@@ -1,0 +1,22 @@
+"""Shared reporting helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures and, in
+addition to the pytest-benchmark timing, writes the reproduced rows to
+``benchmarks/out/<name>.txt`` so they can be diffed against the paper's
+published values (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUT_DIR = Path(__file__).resolve().parent / "out"
+
+
+def write_report(name: str, text: str) -> Path:
+    """Write (and echo) one reproduced table."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text.rstrip() + "\n")
+    print(f"\n[{name}]\n{text}")
+    return path

@@ -1,0 +1,62 @@
+"""Experiment ABL-PIPE: pipelined vs ordinary processing elements.
+
+The paper's §2 notes that pipelined PEs may issue a new task before the
+previous one completes.  This bench quantifies the effect: on
+multiplication-heavy workloads (2-cycle ops), pipelined PEs should
+shorten or match the compacted schedule on every architecture.
+"""
+
+from _report import write_report
+
+from repro.arch import paper_architectures
+from repro.core import CycloConfig, cyclo_compact
+from repro.graph import slowdown
+from repro.workloads import elliptic_wave_filter, figure7_csdfg, volterra
+
+
+def _run(graph, archs, pipelined):
+    cfg = CycloConfig(
+        pipelined_pes=pipelined, max_iterations=60, validate_each_step=False
+    )
+    return {
+        key: cyclo_compact(graph, arch, config=cfg).final_length
+        for key, arch in archs.items()
+    }
+
+
+def test_bench_pipelined_pes(benchmark):
+    archs = paper_architectures(8)
+    workloads = {
+        "figure7": figure7_csdfg(),
+        "volterra3": volterra(3),
+        "elliptic(slow3)": slowdown(elliptic_wave_filter(), 3),
+    }
+
+    def run_all():
+        out = {}
+        for name, graph in workloads.items():
+            out[name] = {
+                "plain": _run(graph, archs, False),
+                "piped": _run(graph, archs, True),
+            }
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = []
+    wins = ties = losses = 0
+    for name, modes in results.items():
+        for key in archs:
+            plain, piped = modes["plain"][key], modes["piped"][key]
+            lines.append(f"{name:16s} {key:4s} plain={plain:3d} piped={piped:3d}")
+            if piped < plain:
+                wins += 1
+            elif piped == plain:
+                ties += 1
+            else:
+                losses += 1
+    lines.append(f"\npipelined wins={wins} ties={ties} losses={losses}")
+    write_report("ablation_pipelined", "\n".join(lines))
+    # pipelining must help in aggregate (heuristic noise allows a few
+    # per-cell losses)
+    assert wins >= losses

@@ -1,0 +1,41 @@
+"""Experiment ABL-PF: start-up priority-function ablation.
+
+The paper's PF (Definition 3.6) blends pending data volume, deferral
+and mobility.  This bench compares it with mobility-only, FIFO and
+volume-only priorities over the bundled workloads and a random suite;
+the paper's PF must win or tie in aggregate.
+"""
+
+from _report import write_report
+
+from repro.analysis import PRIORITY_VARIANTS, priority_ablation
+from repro.arch import paper_architectures
+from repro.workloads import SuiteSpec, make_workload, random_suite
+
+WORKLOAD_NAMES = ["figure1", "figure7", "lattice4", "biquad2", "diffeq"]
+
+
+def _aggregate():
+    archs = paper_architectures(8)
+    totals = {name: 0 for name in PRIORITY_VARIANTS}
+    rows = []
+    graphs = [make_workload(n) for n in WORKLOAD_NAMES]
+    graphs += random_suite(SuiteSpec(count=4, num_nodes=14, seed=11))
+    for graph in graphs:
+        for arch_key in ("lin", "2-d"):
+            lengths = priority_ablation(graph, archs[arch_key])
+            for name, value in lengths.items():
+                totals[name] += value
+            rows.append(f"{graph.name:24s} {arch_key:4s} " + "  ".join(
+                f"{name}={lengths[name]}" for name in PRIORITY_VARIANTS
+            ))
+    rows.append("")
+    rows.append("totals: " + "  ".join(f"{k}={v}" for k, v in totals.items()))
+    return totals, "\n".join(rows)
+
+
+def test_bench_priority_ablation(benchmark):
+    totals, report = benchmark.pedantic(_aggregate, rounds=2, iterations=1)
+    write_report("ablation_priority", report)
+    # the paper's PF is at least competitive with every alternative
+    assert totals["paper-PF"] <= min(totals.values()) * 1.05

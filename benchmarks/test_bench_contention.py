@@ -1,0 +1,54 @@
+"""Experiment EXT-CONTENTION: how optimistic is the no-congestion
+assumption (§3)?
+
+Replays the compacted 19-node schedules over single-channel links and
+measures realized queueing and lateness per architecture.  Expected
+shape: the completely connected machine is nearly congestion-free
+(disjoint point-to-point links), the ring/linear array suffer most
+(shared bisection links).
+"""
+
+from _report import write_report
+
+from repro.arch import paper_architectures
+from repro.core import CycloConfig, cyclo_compact
+from repro.sim import simulate_contended
+from repro.workloads import figure7_csdfg
+
+CFG = CycloConfig(max_iterations=60, validate_each_step=False)
+
+
+def test_bench_contention(benchmark):
+    graph = figure7_csdfg()
+    archs = paper_architectures(8)
+
+    def run():
+        rows = {}
+        for key, arch in archs.items():
+            result = cyclo_compact(graph, arch, config=CFG)
+            report = simulate_contended(
+                result.graph, arch, result.schedule, iterations=6
+            )
+            rows[key] = (result.final_length, report)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = []
+    for key, (length, report) in rows.items():
+        lines.append(
+            f"{key}: L={length} messages={len(report.messages)} "
+            f"late={report.late_messages} max_lateness={report.max_lateness} "
+            f"queueing={report.total_queueing}"
+        )
+    write_report("contention_19node", "\n".join(lines))
+
+    # completely connected has the least queueing of the five
+    com_queueing = rows["com"][1].total_queueing
+    assert all(
+        com_queueing <= report.total_queueing
+        for key, (_, report) in rows.items()
+    )
+    # single-channel lateness exists somewhere: the assumption is
+    # genuinely optimistic on the poorer topologies
+    assert any(report.late_messages > 0 for _, report in rows.values())

@@ -1,0 +1,68 @@
+"""Experiment ABL-Z: convergence of the cyclo-compaction iteration
+(§5's "fast convergence characteristic" claim).
+
+Runs long optimisations and records where the best length is reached;
+the paper's examples converge within a handful of passes, and the claim
+checked here is that the best schedule arrives within O(|V|) rotations.
+"""
+
+from _report import write_report
+
+from repro.analysis import convergence_study
+from repro.arch import paper_architectures
+from repro.graph import slowdown
+from repro.workloads import elliptic_wave_filter, figure1_csdfg, figure7_csdfg
+
+
+def test_bench_convergence_figure1(benchmark):
+    from repro.workloads import figure1_mesh
+
+    graph, mesh = figure1_csdfg(), figure1_mesh()
+    report = benchmark(
+        lambda: convergence_study(graph, mesh, max_iterations=30)
+    )
+    assert report.passes_to_best <= 3 * graph.num_nodes
+    write_report(
+        "convergence_figure1",
+        f"lengths: {list(report.lengths)}\n"
+        f"best {report.best} reached at pass {report.passes_to_best}",
+    )
+
+
+def test_bench_convergence_19node(benchmark):
+    graph = figure7_csdfg()
+    archs = paper_architectures(8)
+
+    def run():
+        return {
+            key: convergence_study(graph, arch, max_iterations=120)
+            for key, arch in archs.items()
+        }
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = []
+    for key, report in reports.items():
+        lines.append(
+            f"{key}: init {report.lengths[0]} best {report.best} "
+            f"at pass {report.passes_to_best}"
+        )
+        # O(|V|) convergence claim (|V| = 19 -> allow 6|V| of headroom)
+        assert report.passes_to_best <= 6 * graph.num_nodes
+    write_report("convergence_19node", "\n".join(lines))
+
+
+def test_bench_convergence_elliptic(benchmark):
+    graph = slowdown(elliptic_wave_filter(), 3)
+    arch = paper_architectures(8)["2-d"]
+    report = benchmark.pedantic(
+        lambda: convergence_study(graph, arch, max_iterations=120),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.best < report.lengths[0]
+    assert report.passes_to_best <= 6 * graph.num_nodes
+    write_report(
+        "convergence_elliptic",
+        f"init {report.lengths[0]} best {report.best} "
+        f"at pass {report.passes_to_best}",
+    )

@@ -1,0 +1,50 @@
+"""Experiment EXT-ETF: cyclo-compaction vs ETF list scheduling.
+
+ETF (earliest task first) is a strong communication-aware DAG
+heuristic contemporary with the paper, but it cannot pipeline across
+loop iterations.  The bench checks that cyclo-compaction dominates ETF
+on cyclic workloads across all five architectures.
+"""
+
+from _report import write_report
+
+from repro.arch import paper_architectures
+from repro.baselines import etf_schedule
+from repro.core import CycloConfig, cyclo_compact
+from repro.workloads import figure7_csdfg, lattice_filter, make_workload
+
+CFG = CycloConfig(max_iterations=60, validate_each_step=False)
+
+WORKLOADS = ["figure7", "lattice8", "diffeq", "volterra3"]
+
+
+def test_bench_etf_comparison(benchmark):
+    archs = paper_architectures(8)
+
+    def run():
+        rows = []
+        for name in WORKLOADS:
+            graph = make_workload(name)
+            for key, arch in archs.items():
+                etf_len = etf_schedule(graph, arch).length
+                ours = cyclo_compact(graph, arch, config=CFG).final_length
+                rows.append((name, key, etf_len, ours))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"{name:12s} {key:4s} etf={etf_len:3d} cyclo={ours:3d}"
+        for name, key, etf_len, ours in rows
+    ]
+    write_report("etf_comparison", "\n".join(lines))
+    # loop pipelining never loses to one-iteration list scheduling
+    for name, key, etf_len, ours in rows:
+        assert ours <= etf_len, (name, key)
+
+
+def test_bench_etf_speed(benchmark):
+    """ETF's own cost on a mid-size workload (timing reference)."""
+    graph = lattice_filter(8)
+    arch = paper_architectures(8)["2-d"]
+    schedule = benchmark(lambda: etf_schedule(graph, arch))
+    assert schedule.num_tasks == graph.num_nodes

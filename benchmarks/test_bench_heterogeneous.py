@@ -1,0 +1,40 @@
+"""Experiment EXT-HETERO: heterogeneous processor speeds (extension).
+
+Sweeps the number of half-speed PEs on an 8-PE completely connected
+machine and checks the scheduler degrades gracefully: schedule lengths
+are non-decreasing (within heuristic noise) as fast PEs are replaced by
+slow ones, and an all-slow machine costs at most the slowdown factor.
+"""
+
+from _report import write_report
+
+from repro.arch import CompletelyConnected
+from repro.core import CycloConfig, cyclo_compact
+from repro.workloads import figure7_csdfg
+
+CFG = CycloConfig(max_iterations=50, validate_each_step=False)
+
+
+def test_bench_heterogeneous_sweep(benchmark):
+    graph = figure7_csdfg()
+
+    def run():
+        lengths = {}
+        for slow in (0, 2, 4, 6, 8):
+            scales = [2] * slow + [1] * (8 - slow)
+            arch = CompletelyConnected(8).with_time_scales(scales)
+            lengths[slow] = cyclo_compact(graph, arch, config=CFG).final_length
+        return lengths
+
+    lengths = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"slow PEs={slow}: final length {length}"
+        for slow, length in lengths.items()
+    ]
+    write_report("heterogeneous_sweep", "\n".join(lines))
+
+    # graceful degradation: all-slow costs at most 2x the all-fast
+    # machine (the slowdown factor), plus heuristic slack
+    assert lengths[8] <= 2 * lengths[0] + 2
+    # replacing every fast PE with slow ones cannot help
+    assert lengths[8] >= lengths[0]

@@ -1,0 +1,64 @@
+"""Experiment EXT-OPT: optimality gap of the heuristics on tiny
+instances.
+
+The exact branch-and-bound scheduler certifies, per instance, the
+smallest legal length for a fixed graph.  The bench measures
+
+* the *placement* gap of the start-up scheduler (same graph, no
+  retiming),
+* the gap of cyclo-compaction's final placement on its own retimed
+  graph (how much the remapping search left on the table).
+"""
+
+from _report import write_report
+
+from repro.arch import LinearArray, Mesh2D
+from repro.baselines import exact_minimum_length
+from repro.core import CycloConfig, cyclo_compact, start_up_schedule
+from repro.graph import random_csdfg
+from repro.workloads import figure1_csdfg, figure1_mesh
+
+CFG = CycloConfig(max_iterations=30, validate_each_step=False)
+
+
+def test_bench_optimality_gap(benchmark):
+    instances = [("figure1", figure1_csdfg(), figure1_mesh())]
+    for seed in range(6):
+        g = random_csdfg(
+            6, seed=seed, edge_prob=0.3, back_edge_prob=0.2, max_time=2
+        )
+        arch = Mesh2D(2, 2) if seed % 2 else LinearArray(3)
+        instances.append((g.name, g, arch))
+
+    def run():
+        rows = []
+        for name, g, arch in instances:
+            startup = start_up_schedule(g, arch).length
+            exact_fixed, _ = exact_minimum_length(g, arch)
+            result = cyclo_compact(g, arch, config=CFG)
+            exact_retimed, _ = exact_minimum_length(result.graph, arch)
+            rows.append(
+                (name, startup, exact_fixed, result.final_length, exact_retimed)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"{name:12s} startup={su:2d} exact(no-retime)={ef:2d} "
+        f"cyclo={cy:2d} exact(retimed)={er:2d}"
+        for name, su, ef, cy, er in rows
+    ]
+    gaps_startup = [su - ef for _, su, ef, _, _ in rows]
+    gaps_cyclo = [cy - er for _, _, _, cy, er in rows]
+    lines.append(
+        f"\nstartup placement gap: total {sum(gaps_startup)} over "
+        f"{len(rows)} instances; cyclo placement gap: total {sum(gaps_cyclo)}"
+    )
+    write_report("optimality_gap", "\n".join(lines))
+
+    for name, su, ef, cy, er in rows:
+        assert su >= ef, name          # heuristics never beat the oracle
+        assert cy >= er, name
+        assert cy - er <= 2, name      # remapping stays near-optimal
+    # start-up is placement-optimal on the paper's own example
+    assert rows[0][1] == rows[0][2]

@@ -1,0 +1,48 @@
+"""Experiment EXT-REFINE: compaction + local-search refinement rounds.
+
+The high-level :func:`repro.core.optimize` driver alternates the
+paper's cyclo-compaction with a single-task local search.  On the
+19-node workload this closes the remaining gap to the paper's published
+lengths (linear array 8 -> 7); the bench records the per-architecture
+comparison and asserts refinement never loses.
+"""
+
+from _report import write_report
+
+from repro.arch import paper_architectures
+from repro.core import CycloConfig, cyclo_compact, optimize
+from repro.workloads import figure7_csdfg, make_workload
+
+CFG = CycloConfig(max_iterations=60, validate_each_step=False)
+
+
+def test_bench_optimize_vs_single_pass(benchmark):
+    graph = figure7_csdfg()
+    archs = paper_architectures(8)
+
+    def run():
+        rows = []
+        for key, arch in archs.items():
+            single = cyclo_compact(graph, arch, config=CFG).final_length
+            multi = optimize(graph, arch, config=CFG).final_length
+            rows.append((key, single, multi))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"{key}: cyclo={single} cyclo+refine={multi}"
+        for key, single, multi in rows
+    ]
+    write_report("refinement_19node", "\n".join(lines))
+    for key, single, multi in rows:
+        assert multi <= single, key
+
+
+def test_bench_refine_speed(benchmark):
+    """Cost of one full optimize() run on a mid-size workload."""
+    graph = make_workload("lattice8")
+    arch = paper_architectures(8)["2-d"]
+    result = benchmark.pedantic(
+        lambda: optimize(graph, arch, config=CFG), rounds=2, iterations=1
+    )
+    assert result.final_length <= result.initial_length

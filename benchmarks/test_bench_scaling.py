@@ -1,0 +1,47 @@
+"""Substrate performance benches: scheduler scaling and hot kernels.
+
+Not a paper table — engineering benches that keep the implementation's
+cost model honest: scheduling wall-time vs graph size, the all-pairs
+distance computation, and the schedule validator.
+"""
+
+import pytest
+
+from repro.arch import Hypercube, Mesh2D, make_architecture
+from repro.core import CycloConfig, cyclo_compact, start_up_schedule
+from repro.graph import random_csdfg
+from repro.schedule import collect_violations
+
+
+@pytest.mark.parametrize("num_nodes", [20, 40, 80])
+def test_bench_startup_scaling(benchmark, num_nodes):
+    graph = random_csdfg(num_nodes, seed=42, edge_prob=0.15, back_edge_prob=0.1)
+    arch = Mesh2D(2, 4)
+    schedule = benchmark(lambda: start_up_schedule(graph, arch))
+    assert schedule.num_tasks == num_nodes
+
+
+@pytest.mark.parametrize("num_nodes", [20, 40])
+def test_bench_cyclo_scaling(benchmark, num_nodes):
+    graph = random_csdfg(num_nodes, seed=7, edge_prob=0.15, back_edge_prob=0.1)
+    arch = Mesh2D(2, 4)
+    cfg = CycloConfig(max_iterations=20, validate_each_step=False)
+    result = benchmark.pedantic(
+        lambda: cyclo_compact(graph, arch, config=cfg), rounds=3, iterations=1
+    )
+    assert result.final_length <= result.initial_length
+
+
+@pytest.mark.parametrize("kind,pes", [("mesh", 64), ("hypercube", 64), ("complete", 64)])
+def test_bench_distance_matrix(benchmark, kind, pes):
+    arch = benchmark(lambda: make_architecture(kind, pes))
+    assert arch.num_pes == pes
+    assert arch.diameter >= 1
+
+
+def test_bench_validator(benchmark):
+    graph = random_csdfg(60, seed=3, edge_prob=0.2, back_edge_prob=0.1)
+    arch = Hypercube(3)
+    schedule = start_up_schedule(graph, arch)
+    violations = benchmark(lambda: collect_violations(graph, arch, schedule))
+    assert violations == []

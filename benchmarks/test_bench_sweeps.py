@@ -1,0 +1,68 @@
+"""Experiment EXT-SWEEP: parameter sweeps (PE count, volume, slowdown).
+
+Scaling curves behind the examples: more PEs help until the iteration
+bound or communication binds; heavier messages hurt; slowdown lowers
+the bound and unlocks deeper pipelining (the rationale for the paper's
+Table 11 transform).
+"""
+
+import math
+
+from _report import write_report
+
+from repro.analysis import pe_count_sweep, slowdown_sweep, volume_sweep
+from repro.core import CycloConfig
+from repro.workloads import elliptic_wave_filter, figure7_csdfg
+
+CFG = CycloConfig(max_iterations=40, validate_each_step=False)
+
+
+def test_bench_pe_count_sweep(benchmark):
+    graph = figure7_csdfg()
+    points = benchmark.pedantic(
+        lambda: pe_count_sweep(graph, "mesh", [1, 2, 4, 8, 16], config=CFG),
+        rounds=1,
+        iterations=1,
+    )
+    write_report(
+        "sweep_pe_count",
+        "\n".join(f"PEs={p.x}: {p.init} -> {p.after}" for p in points),
+    )
+    # saturation: the widest machine is no worse than the narrowest
+    assert points[-1].after <= points[0].after
+    for p in points:
+        assert p.after >= math.ceil(p.bound)
+
+
+def test_bench_volume_sweep(benchmark):
+    graph = figure7_csdfg()
+    points = benchmark.pedantic(
+        lambda: volume_sweep(graph, "linear", 8, [1, 2, 4], config=CFG),
+        rounds=1,
+        iterations=1,
+    )
+    write_report(
+        "sweep_volume",
+        "\n".join(f"volume x{p.x}: {p.init} -> {p.after}" for p in points),
+    )
+    # heavier messages never help (allowing 1 cs of heuristic noise)
+    assert points[-1].after >= points[0].after - 1
+
+
+def test_bench_slowdown_sweep(benchmark):
+    graph = elliptic_wave_filter()
+    points = benchmark.pedantic(
+        lambda: slowdown_sweep(graph, "complete", 8, [1, 2, 3], config=CFG),
+        rounds=1,
+        iterations=1,
+    )
+    write_report(
+        "sweep_slowdown",
+        "\n".join(
+            f"slowdown x{p.x}: {p.init} -> {p.after} (bound {p.bound})"
+            for p in points
+        ),
+    )
+    # slowdown divides the bound, so deeper pipelining becomes possible
+    assert points[-1].bound == points[0].bound / 3
+    assert points[-1].after <= points[0].after

@@ -1,0 +1,83 @@
+"""Experiments TAB1-2 .. TAB9-10: the 19-node CSDFG of Figure 7 on the
+paper's five 8-PE architectures (Tables 1-10).
+
+For each architecture the bench regenerates the paper's (start-up
+table, compacted table) pair and checks the published shape: start-up
+lengths 12-15 compacting to 5-8, the completely connected machine best,
+the linear array not better than the richer topologies.
+
+Paper-reported lengths (init -> after): completely connected 12 -> 5,
+linear array 13 -> 7, ring 15 -> 7, 2-D mesh 13 -> 6, 3-cube 13 -> 6.
+"""
+
+import pytest
+from _report import write_report
+
+from repro.analysis import format_cells, run_cell
+from repro.arch import paper_architectures
+from repro.core import CycloConfig
+from repro.schedule import render_table
+
+CFG = CycloConfig(max_iterations=100, validate_each_step=False)
+
+#: (arch key, paper init, paper after, paper table numbers)
+PAPER_ROWS = {
+    "com": (12, 5, "Tables 1-2"),
+    "lin": (13, 7, "Tables 3-4"),
+    "rin": (15, 7, "Tables 5-6"),
+    "2-d": (13, 6, "Tables 7-8"),
+    "hyp": (13, 6, "Tables 9-10"),
+}
+
+
+@pytest.fixture(scope="module")
+def grid_cells():
+    """All five cells, shared across this module's shape assertions."""
+    from repro.analysis import run_grid
+    from repro.workloads import figure7_csdfg
+
+    cells = run_grid(figure7_csdfg(), paper_architectures(8), config=CFG)
+    lines = [format_cells(cells), ""]
+    for key, (p_init, p_after, tables) in PAPER_ROWS.items():
+        cell = cells[key]
+        lines.append(
+            f"{tables} ({key}): paper {p_init} -> {p_after}, "
+            f"measured {cell.init} -> {cell.after}"
+        )
+    write_report("tables_1_10_19node", "\n".join(lines))
+    return cells
+
+
+@pytest.mark.parametrize("key", list(PAPER_ROWS))
+def test_bench_19node_architecture(benchmark, key, grid_cells):
+    from repro.workloads import figure7_csdfg
+
+    arch = paper_architectures(8)[key]
+    graph = figure7_csdfg()
+
+    cell, result = benchmark.pedantic(
+        lambda: run_cell(graph, arch, config=CFG), rounds=3, iterations=1
+    )
+    p_init, p_after, _ = PAPER_ROWS[key]
+    # start-up band (paper: 12-15)
+    assert abs(cell.init - p_init) <= 3, (key, cell.init)
+    # compacted band (paper: 5-7; allow +2 for the reconstructed graph)
+    assert p_after - 1 <= cell.after <= p_after + 2, (key, cell.after)
+    # emit the two tables the paper prints for this architecture
+    write_report(
+        f"table_19node_{key}",
+        render_table(
+            result.initial_schedule, title=f"start-up schedule ({key})"
+        )
+        + "\n\n"
+        + render_table(result.schedule, title=f"after cyclo-compaction ({key})"),
+    )
+
+
+def test_bench_19node_ordering(benchmark, grid_cells):
+    cells = benchmark(lambda: grid_cells)
+    best = min(c.after for c in cells.values())
+    assert cells["com"].after == best
+    assert cells["lin"].after >= min(
+        cells[k].after for k in ("com", "2-d", "hyp")
+    )

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's running example, end to end.
+
+Schedules the 6-node CSDFG of Figure 1(b) onto the 2x2 mesh of
+Figure 1(a), prints the start-up schedule (7 control steps, matching
+the paper's Figure 2(a)), runs cyclo-compaction and prints the
+compacted schedule (the paper reaches 5 control steps; this
+implementation's remapping typically finds 3-4).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    cyclo_compact,
+    figure1_csdfg,
+    figure1_mesh,
+    iteration_bound,
+    render_table,
+    start_up_schedule,
+    validate_schedule,
+)
+
+
+def main() -> None:
+    graph = figure1_csdfg()
+    mesh = figure1_mesh()
+
+    print(f"workload: {graph.name} ({graph.num_nodes} tasks, "
+          f"{graph.num_edges} dependences)")
+    print(f"architecture: {mesh.name} ({mesh.num_pes} PEs, "
+          f"diameter {mesh.diameter})")
+    print(f"iteration bound (absolute floor): {iteration_bound(graph)}\n")
+
+    # 1. the communication-aware start-up schedule (paper §3)
+    startup = start_up_schedule(graph, mesh)
+    print(render_table(startup, title="start-up schedule (paper Figure 2(a)):"))
+    print()
+
+    # 2. cyclo-compaction (paper §4): rotation + remapping
+    result = cyclo_compact(graph, mesh)
+    print(render_table(
+        result.schedule,
+        title=f"after cyclo-compaction "
+              f"({result.initial_length} -> {result.final_length} control steps):",
+    ))
+    print(f"\nlength trajectory: {result.trace.lengths}")
+    print(f"cumulative retiming: { {k: v for k, v in result.retiming.items() if v} }")
+
+    # 3. every schedule the library returns is validator-checked
+    validate_schedule(result.graph, mesh, result.schedule)
+    print("final schedule validated: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Scaling study: when do more processors stop helping?
+
+Sweeps processor count, message volume and slowdown factor for one
+workload and prints the resulting schedule-length curves — the
+saturation behaviour that makes communication-sensitive scheduling
+matter (§1 of the paper).
+
+Run:  python examples/scaling_study.py
+"""
+
+import math
+
+from repro.analysis import pe_count_sweep, slowdown_sweep, volume_sweep
+from repro.core import CycloConfig
+from repro.graph import iteration_bound
+from repro.workloads import elliptic_wave_filter, figure7_csdfg
+
+CFG = CycloConfig(max_iterations=40, validate_each_step=False)
+
+
+def bar(value: int, scale: float = 1.0) -> str:
+    return "#" * max(1, round(value * scale))
+
+
+def main() -> None:
+    graph = figure7_csdfg()
+    print(f"workload: {graph.name} (iteration bound "
+          f"{iteration_bound(graph)})\n")
+
+    print("== processor count (2-D mesh family) ==")
+    for p in pe_count_sweep(graph, "mesh", [1, 2, 4, 8, 16], config=CFG):
+        floor = math.ceil(p.bound)
+        print(f"  {p.x:3d} PEs: after={p.after:3d} {bar(p.after)}"
+              f"{'  <- saturated (bound ' + str(floor) + ')' if p.after <= floor + 2 and p.x >= 4 else ''}")
+
+    print("\n== message volume (8-PE linear array) ==")
+    for p in volume_sweep(graph, "linear", 8, [1, 2, 4], config=CFG):
+        print(f"  x{p.x}: after={p.after:3d} {bar(p.after)}")
+
+    elliptic = elliptic_wave_filter()
+    print("\n== slowdown factor (elliptic filter, completely connected) ==")
+    for p in slowdown_sweep(elliptic, "complete", 8, [1, 2, 3], config=CFG):
+        print(f"  x{p.x}: after={p.after:3d} (bound {p.bound}) {bar(p.after)}")
+
+    print("\ntakeaways: PE scaling saturates once the iteration bound or")
+    print("the interconnect binds; heavier messages erase parallelism on")
+    print("poor topologies; slowdown (Table 11's transform) lowers the")
+    print("bound and unlocks deeper pipelining.")
+
+
+if __name__ == "__main__":
+    main()

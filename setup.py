@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment ships setuptools without the ``wheel``
+package, so PEP 660 editable installs (``pip install -e .`` via
+pyproject only) fail on ``bdist_wheel``.  This shim enables the legacy
+editable path; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

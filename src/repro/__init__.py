@@ -1,0 +1,99 @@
+"""repro — cyclo-compaction scheduling (ICPP'95 reproduction).
+
+Architecture-dependent loop scheduling via communication-sensitive
+remapping: schedule cyclic, general-time data flow graphs onto
+multiprocessor topologies, accounting for store-and-forward
+communication delays, and compact the schedule by implicit retiming
+(rotation) plus communication-sensitive remapping.
+
+Quick start::
+
+    from repro import cyclo_compact, figure1_csdfg, figure1_mesh
+
+    result = cyclo_compact(figure1_csdfg(), figure1_mesh())
+    print(result.initial_length, "->", result.final_length)   # 7 -> 5
+
+Packages: :mod:`repro.graph` (CSDFG substrate), :mod:`repro.arch`
+(topologies + communication models), :mod:`repro.schedule` (tables +
+validator), :mod:`repro.retiming`, :mod:`repro.core` (the paper's
+algorithms), :mod:`repro.baselines`, :mod:`repro.workloads`,
+:mod:`repro.analysis`.
+"""
+
+from repro.arch import (
+    Architecture,
+    CompletelyConnected,
+    Hypercube,
+    LinearArray,
+    Mesh2D,
+    Ring,
+    make_architecture,
+    paper_architectures,
+)
+from repro.codegen import generate_program
+from repro.core import (
+    CycloConfig,
+    CycloResult,
+    OptimizeResult,
+    cyclo_compact,
+    optimize,
+    refine_schedule,
+    start_up_schedule,
+)
+from repro.errors import ReproError
+from repro.graph import CSDFG, iteration_bound, validate_csdfg
+from repro.schedule import (
+    ScheduleTable,
+    compute_metrics,
+    render_gantt,
+    render_table,
+    validate_schedule,
+)
+from repro.sim import buffer_requirements, simulate
+from repro.workloads import (
+    elliptic_wave_filter,
+    figure1_csdfg,
+    figure1_mesh,
+    figure7_csdfg,
+    lattice_filter,
+    make_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Architecture",
+    "CSDFG",
+    "CompletelyConnected",
+    "CycloConfig",
+    "CycloResult",
+    "Hypercube",
+    "LinearArray",
+    "Mesh2D",
+    "OptimizeResult",
+    "ReproError",
+    "Ring",
+    "ScheduleTable",
+    "__version__",
+    "compute_metrics",
+    "cyclo_compact",
+    "elliptic_wave_filter",
+    "figure1_csdfg",
+    "figure1_mesh",
+    "figure7_csdfg",
+    "generate_program",
+    "iteration_bound",
+    "lattice_filter",
+    "make_architecture",
+    "make_workload",
+    "optimize",
+    "paper_architectures",
+    "refine_schedule",
+    "render_gantt",
+    "render_table",
+    "simulate",
+    "buffer_requirements",
+    "start_up_schedule",
+    "validate_csdfg",
+    "validate_schedule",
+]

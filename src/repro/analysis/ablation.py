@@ -1,0 +1,117 @@
+"""Ablations of the design choices the paper makes.
+
+Three axes:
+
+* **priority function** — the paper's PF vs. mobility-only, FIFO and
+  volume-only start-up priorities (Definition 3.6's design),
+* **communication awareness** — cyclo-compaction vs. the oblivious
+  baselines, evaluated under the true communication model (§1's
+  motivation),
+* **remapping policy** — with vs. without relaxation (Definition 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.topology import Architecture
+from repro.baselines.list_oblivious import oblivious_list_schedule
+from repro.baselines.rotation_chao import rotation_schedule
+from repro.core.config import CycloConfig
+from repro.core.cyclo import cyclo_compact
+from repro.core.priority import (
+    PriorityFn,
+    fifo_priority,
+    mobility_only_priority,
+    paper_priority,
+    volume_only_priority,
+)
+from repro.core.startup import start_up_schedule
+from repro.graph.csdfg import CSDFG
+
+__all__ = [
+    "PRIORITY_VARIANTS",
+    "priority_ablation",
+    "comm_awareness_ablation",
+    "relaxation_ablation",
+    "CommAblationRow",
+]
+
+PRIORITY_VARIANTS: dict[str, PriorityFn] = {
+    "paper-PF": paper_priority,
+    "mobility": mobility_only_priority,
+    "fifo": fifo_priority,
+    "volume": volume_only_priority,
+}
+
+
+def priority_ablation(
+    graph: CSDFG, arch: Architecture
+) -> dict[str, int]:
+    """Start-up schedule length under each priority variant."""
+    return {
+        name: start_up_schedule(graph, arch, priority=fn).length
+        for name, fn in PRIORITY_VARIANTS.items()
+    }
+
+
+@dataclass(frozen=True)
+class CommAblationRow:
+    """Outcome of one scheduler in the communication-awareness ablation.
+
+    ``claimed`` is the length the scheduler believes in; ``actual`` is
+    the minimum legal length under the true communication model
+    (``None`` == infeasible placements).
+    """
+
+    scheduler: str
+    claimed: int
+    actual: int | None
+
+
+def comm_awareness_ablation(
+    graph: CSDFG, arch: Architecture, *, config: CycloConfig | None = None
+) -> list[CommAblationRow]:
+    """Compare cyclo-compaction with the oblivious baselines on
+    ``arch`` (all evaluated under the true comm model)."""
+    rows: list[CommAblationRow] = []
+
+    result = cyclo_compact(graph, arch, config=config)
+    rows.append(
+        CommAblationRow(
+            scheduler="cyclo-compaction",
+            claimed=result.final_length,
+            actual=result.final_length,
+        )
+    )
+
+    oblivious = oblivious_list_schedule(graph, arch)
+    rows.append(
+        CommAblationRow(
+            scheduler="oblivious-list",
+            claimed=oblivious.claimed_length,
+            actual=oblivious.actual_length,
+        )
+    )
+
+    rotation = rotation_schedule(graph, arch, config=config)
+    rows.append(
+        CommAblationRow(
+            scheduler="rotation-no-comm",
+            claimed=rotation.claimed_length,
+            actual=rotation.actual_length,
+        )
+    )
+    return rows
+
+
+def relaxation_ablation(
+    graph: CSDFG, arch: Architecture, *, max_iterations: int | None = None
+) -> dict[str, int]:
+    """Final length with vs. without remapping relaxation."""
+    out: dict[str, int] = {}
+    for label, relaxation in (("with", True), ("w/o", False)):
+        cfg = CycloConfig(relaxation=relaxation, max_iterations=max_iterations)
+        result = cyclo_compact(graph, arch, config=cfg)
+        out[label] = result.final_length
+    return out

@@ -1,0 +1,54 @@
+"""Convergence studies of the cyclo-compaction iteration (§5's "fast
+convergence" claim)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.topology import Architecture
+from repro.core.config import CycloConfig
+from repro.core.cyclo import cyclo_compact
+from repro.graph.csdfg import CSDFG
+
+__all__ = ["ConvergenceReport", "convergence_study"]
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Length trajectory of one optimisation run.
+
+    ``lengths[k]`` is the schedule length after pass ``k`` (index 0 is
+    the start-up schedule).
+    """
+
+    workload: str
+    architecture: str
+    lengths: tuple[int, ...]
+    best: int
+    passes_to_best: int
+
+    @property
+    def normalized(self) -> tuple[float, ...]:
+        """Lengths relative to the initial schedule."""
+        init = self.lengths[0]
+        return tuple(length / init for length in self.lengths)
+
+
+def convergence_study(
+    graph: CSDFG,
+    arch: Architecture,
+    *,
+    max_iterations: int | None = None,
+    relaxation: bool = True,
+) -> ConvergenceReport:
+    """Run cyclo-compaction and capture its full length trajectory."""
+    cfg = CycloConfig(relaxation=relaxation, max_iterations=max_iterations)
+    result = cyclo_compact(graph, arch, config=cfg)
+    lengths = tuple(result.trace.lengths)
+    return ConvergenceReport(
+        workload=graph.name,
+        architecture=arch.name,
+        lengths=lengths,
+        best=result.final_length,
+        passes_to_best=result.trace.passes_to_best,
+    )

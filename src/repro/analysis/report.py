@@ -1,0 +1,80 @@
+"""Markdown experiment report generation.
+
+Produces the paper-vs-measured record that EXPERIMENTS.md is built
+from: every table/figure experiment is rerun and rendered as a markdown
+section with the published values alongside the measured ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.analysis.experiments import ExperimentCell
+
+__all__ = ["PaperComparison", "markdown_comparison_table", "markdown_grid"]
+
+
+@dataclass(frozen=True)
+class PaperComparison:
+    """One experiment cell with its published counterpart.
+
+    ``paper_init`` / ``paper_after`` may be ``None`` when the paper did
+    not report that cell (or reported it on an incomparable scale).
+    """
+
+    label: str
+    paper_init: int | None
+    paper_after: int | None
+    measured: ExperimentCell
+
+    @property
+    def matches_shape(self) -> bool:
+        """Compaction direction and rough magnitude agree with the
+        paper (within the reconstruction tolerance of 3 control
+        steps)."""
+        cell = self.measured
+        if cell.after > cell.init:
+            return False
+        if self.paper_init is not None and abs(cell.init - self.paper_init) > 3:
+            return False
+        if self.paper_after is not None and abs(cell.after - self.paper_after) > 3:
+            return False
+        return True
+
+
+def markdown_comparison_table(
+    title: str, comparisons: Iterable[PaperComparison]
+) -> str:
+    """A markdown table of paper-vs-measured rows."""
+    lines = [
+        f"### {title}",
+        "",
+        "| cell | paper init | paper after | measured init | measured after | shape |",
+        "|---|---|---|---|---|---|",
+    ]
+    for comp in comparisons:
+        paper_i = "-" if comp.paper_init is None else str(comp.paper_init)
+        paper_a = "-" if comp.paper_after is None else str(comp.paper_after)
+        shape = "ok" if comp.matches_shape else "MISMATCH"
+        lines.append(
+            f"| {comp.label} | {paper_i} | {paper_a} | "
+            f"{comp.measured.init} | {comp.measured.after} | {shape} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def markdown_grid(title: str, cells: dict[str, ExperimentCell]) -> str:
+    """A markdown table of one run_grid result."""
+    lines = [
+        f"### {title}",
+        "",
+        "| architecture | init | after | improvement | passes to best | bound |",
+        "|---|---|---|---|---|---|",
+    ]
+    for key, cell in cells.items():
+        lines.append(
+            f"| {key} | {cell.init} | {cell.after} | {cell.improvement} | "
+            f"{cell.passes_to_best} | {cell.bound} |"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,71 @@
+"""Text rendering of experiment grids in the paper's Table 11 layout.
+
+``format_table11`` prints rows of ``init``/``after`` pairs per
+architecture column for each (workload, policy) row — the same shape as
+the paper's final table, so measured and published values can be
+eyeballed side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.analysis.experiments import ExperimentCell
+
+__all__ = ["format_table11", "format_cells"]
+
+
+def format_table11(
+    rows: Sequence[tuple[str, str, Mapping[str, ExperimentCell]]],
+    column_order: Sequence[str] = ("com", "lin", "rin", "2-d", "hyp"),
+) -> str:
+    """Render rows of ``(workload label, policy label, cells-by-arch)``.
+
+    Mirrors the paper's Table 11: each architecture contributes an
+    ``init`` and an ``after`` column.
+    """
+    headers = ["application", "relax"]
+    for col in column_order:
+        headers += [f"{col}:init", f"{col}:after"]
+    body: list[list[str]] = []
+    for workload, policy, cells in rows:
+        row = [workload, policy]
+        for col in column_order:
+            cell = cells.get(col)
+            if cell is None:
+                row += ["-", "-"]
+            else:
+                row += [str(cell.init), str(cell.after)]
+        body.append(row)
+    return _format_grid([headers] + body)
+
+
+def format_cells(cells: Mapping[str, ExperimentCell]) -> str:
+    """One-workload summary: arch, init, after, passes, bound."""
+    headers = ["arch", "init", "after", "improvement", "passes", "bound"]
+    body = [
+        [
+            key,
+            str(cell.init),
+            str(cell.after),
+            str(cell.improvement),
+            str(cell.passes_to_best),
+            str(cell.bound),
+        ]
+        for key, cell in cells.items()
+    ]
+    return _format_grid([headers] + body)
+
+
+def _format_grid(rows: list[list[str]]) -> str:
+    widths = [
+        max(len(row[i]) for row in rows) for i in range(len(rows[0]))
+    ]
+    lines = []
+    for k, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+        if k == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

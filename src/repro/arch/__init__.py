@@ -1,0 +1,71 @@
+"""Architecture substrate: topologies, communication models, routing.
+
+The paper's five experimental architectures (linear array, ring,
+completely connected, 2-D mesh, n-cube) plus extensions (torus, star,
+balanced tree, custom link lists).  Distances are store-and-forward hop
+counts by default; see :mod:`repro.arch.comm` for alternative cost
+models.
+"""
+
+from repro.arch.comm import (
+    CommModel,
+    ConstantLatencyModel,
+    StoreAndForwardModel,
+    WormholeModel,
+    ZeroCommModel,
+)
+from repro.arch.complete import CompletelyConnected
+from repro.arch.contention import LinkLoadReport, link_loads
+from repro.arch.custom import (
+    CustomArchitecture,
+    from_adjacency,
+    load_architecture,
+    save_architecture,
+)
+from repro.arch.hypercube import Hypercube
+from repro.arch.linear import LinearArray
+from repro.arch.mesh import Mesh2D
+from repro.arch.registry import (
+    ARCHITECTURE_KINDS,
+    make_architecture,
+    paper_architectures,
+)
+from repro.arch.ring import Ring
+from repro.arch.routing import ecube_route, route, shortest_path, xy_route
+from repro.arch.star import Star
+from repro.arch.topology import Architecture
+from repro.arch.torus import Torus2D
+from repro.arch.visualize import render_architecture, render_processor_load
+from repro.arch.tree import BalancedTree
+
+__all__ = [
+    "ARCHITECTURE_KINDS",
+    "Architecture",
+    "BalancedTree",
+    "CommModel",
+    "CompletelyConnected",
+    "ConstantLatencyModel",
+    "CustomArchitecture",
+    "Hypercube",
+    "LinearArray",
+    "LinkLoadReport",
+    "Mesh2D",
+    "Ring",
+    "Star",
+    "StoreAndForwardModel",
+    "Torus2D",
+    "WormholeModel",
+    "ZeroCommModel",
+    "ecube_route",
+    "from_adjacency",
+    "link_loads",
+    "load_architecture",
+    "make_architecture",
+    "paper_architectures",
+    "render_architecture",
+    "render_processor_load",
+    "route",
+    "save_architecture",
+    "shortest_path",
+    "xy_route",
+]

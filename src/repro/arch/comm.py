@@ -1,0 +1,101 @@
+"""Inter-processor communication cost models.
+
+The paper (Definition 3.5) uses a **store-and-forward** model: shipping a
+data volume ``m`` across ``h`` links costs ``M = h * m`` control steps,
+with multiple channels so there is no congestion; ``M = 0`` on the same
+processor.  Alternative models are provided for ablation studies:
+
+* :class:`WormholeModel` — cut-through routing where per-hop cost is
+  paid once for the header (``h + m - 1``), the modern NoC idiom;
+* :class:`ConstantLatencyModel` — a flat cost for any remote transfer
+  (bus-like interconnect);
+* :class:`ZeroCommModel` — free communication, which turns the
+  schedulers into their communication-oblivious baselines.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import ArchitectureError
+
+__all__ = [
+    "CommModel",
+    "StoreAndForwardModel",
+    "WormholeModel",
+    "ConstantLatencyModel",
+    "ZeroCommModel",
+]
+
+
+class CommModel(ABC):
+    """Maps (hop distance, data volume) to a communication cost in
+    control steps.
+
+    Implementations must return 0 when ``hops == 0`` (same processor)
+    and a non-negative integer otherwise.
+    """
+
+    #: Short identifier used in experiment reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def cost(self, hops: int, volume: int) -> int:
+        """Communication cost in control steps."""
+
+    def _check(self, hops: int, volume: int) -> None:
+        if hops < 0:
+            raise ArchitectureError(f"negative hop count {hops}")
+        if volume < 1:
+            raise ArchitectureError(f"volume must be >= 1, got {volume}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class StoreAndForwardModel(CommModel):
+    """The paper's model: ``M = hops * volume`` (Definition 3.5)."""
+
+    name = "store-and-forward"
+
+    def cost(self, hops: int, volume: int) -> int:
+        self._check(hops, volume)
+        return hops * volume
+
+
+class WormholeModel(CommModel):
+    """Cut-through routing: ``hops + volume - 1`` when remote, else 0."""
+
+    name = "wormhole"
+
+    def cost(self, hops: int, volume: int) -> int:
+        self._check(hops, volume)
+        return 0 if hops == 0 else hops + volume - 1
+
+
+class ConstantLatencyModel(CommModel):
+    """Flat remote-transfer latency (bus / crossbar abstraction)."""
+
+    name = "constant"
+
+    def __init__(self, latency: int = 1):
+        if latency < 0:
+            raise ArchitectureError(f"latency must be >= 0, got {latency}")
+        self.latency = latency
+
+    def cost(self, hops: int, volume: int) -> int:
+        self._check(hops, volume)
+        return 0 if hops == 0 else self.latency
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ConstantLatencyModel(latency={self.latency})"
+
+
+class ZeroCommModel(CommModel):
+    """Free communication — the communication-oblivious baseline."""
+
+    name = "zero"
+
+    def cost(self, hops: int, volume: int) -> int:
+        self._check(hops, volume)
+        return 0

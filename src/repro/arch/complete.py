@@ -1,0 +1,29 @@
+"""Completely connected topology (paper Figure 5(c)).
+
+Every PE reaches every other PE through one link, so the store-and-
+forward cost degenerates to the bare data volume.  This is the
+architecture assumed by the authors' earlier communication-sensitive
+rotation scheduling (ICCD'94) and is the best case of Table 11.
+"""
+
+from __future__ import annotations
+
+from repro.arch.comm import CommModel
+from repro.arch.topology import Architecture
+
+__all__ = ["CompletelyConnected"]
+
+
+class CompletelyConnected(Architecture):
+    """A clique of ``num_pes`` processors."""
+
+    def __init__(self, num_pes: int, *, comm_model: CommModel | None = None):
+        links = [
+            (i, j) for i in range(num_pes) for j in range(i + 1, num_pes)
+        ]
+        super().__init__(
+            num_pes,
+            links,
+            name=f"complete{num_pes}",
+            comm_model=comm_model,
+        )

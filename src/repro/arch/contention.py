@@ -1,0 +1,84 @@
+"""Optional link-contention accounting (extension beyond the paper).
+
+The paper assumes "the communication channels are multiple so that there
+is no congestion" (§3).  This module quantifies how optimistic that
+assumption is for a *given* schedule: it routes every cross-processor
+transfer along its deterministic path (:func:`repro.arch.routing.route`)
+and reports per-link load, the maximum congestion, and a lower bound on
+the extra control steps a single-channel interconnect would need.
+
+It does **not** change scheduling decisions — it is an analysis tool
+used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.arch.routing import route
+from repro.arch.topology import Architecture
+from repro.graph.csdfg import CSDFG
+
+__all__ = ["LinkLoadReport", "link_loads"]
+
+
+@dataclass
+class LinkLoadReport:
+    """Per-link traffic of one steady-state iteration of a schedule.
+
+    Attributes
+    ----------
+    loads:
+        Data volume crossing each canonical undirected link per
+        iteration.
+    max_load:
+        Largest per-link load (the congestion hotspot).
+    total_traffic:
+        Sum of ``volume * hops`` over all remote transfers — the total
+        store-and-forward work per iteration.
+    num_remote_edges:
+        How many dependence edges cross processors.
+    """
+
+    loads: dict[tuple[int, int], int] = field(default_factory=dict)
+    max_load: int = 0
+    total_traffic: int = 0
+    num_remote_edges: int = 0
+
+    def hotspots(self, top: int = 3) -> list[tuple[tuple[int, int], int]]:
+        """The ``top`` most loaded links, descending."""
+        return sorted(self.loads.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+
+
+def link_loads(
+    graph: CSDFG,
+    arch: Architecture,
+    assignment: dict,
+) -> LinkLoadReport:
+    """Route every cross-PE dependence and accumulate per-link volume.
+
+    Parameters
+    ----------
+    assignment:
+        Mapping node -> PE id (e.g. ``schedule.processor_map()``).
+    """
+    counter: Counter[tuple[int, int]] = Counter()
+    total = 0
+    remote = 0
+    for edge in graph.edges():
+        src_pe = assignment[edge.src]
+        dst_pe = assignment[edge.dst]
+        if src_pe == dst_pe:
+            continue
+        remote += 1
+        path = route(arch, src_pe, dst_pe)
+        total += (len(path) - 1) * edge.volume
+        for a, b in zip(path, path[1:]):
+            counter[(min(a, b), max(a, b))] += edge.volume
+    return LinkLoadReport(
+        loads=dict(counter),
+        max_load=max(counter.values(), default=0),
+        total_traffic=total,
+        num_remote_edges=remote,
+    )

@@ -1,0 +1,107 @@
+"""Custom architectures from explicit link lists or adjacency mappings.
+
+Lets users model irregular interconnects (multi-chip boards, partially
+populated meshes).  Includes a small serialization format so custom
+architectures can live next to workload files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.arch.comm import (
+    CommModel,
+    ConstantLatencyModel,
+    StoreAndForwardModel,
+    WormholeModel,
+    ZeroCommModel,
+)
+from repro.arch.topology import Architecture
+from repro.errors import ArchitectureError
+
+__all__ = [
+    "CustomArchitecture",
+    "from_adjacency",
+    "save_architecture",
+    "load_architecture",
+]
+
+
+class CustomArchitecture(Architecture):
+    """An architecture defined by an explicit undirected link list."""
+
+    def __init__(
+        self,
+        num_pes: int,
+        links: Iterable[tuple[int, int]],
+        *,
+        name: str = "custom",
+        comm_model: CommModel | None = None,
+    ):
+        super().__init__(num_pes, links, name=name, comm_model=comm_model)
+
+
+def from_adjacency(
+    adjacency: Mapping[int, Iterable[int]],
+    *,
+    name: str = "custom",
+    comm_model: CommModel | None = None,
+) -> CustomArchitecture:
+    """Build from an adjacency mapping ``{pe: [neighbours...]}``.
+
+    PE ids must be ``0..n-1`` where ``n`` is the largest mentioned id
+    plus one; the adjacency may be one-directional (links are
+    symmetrised).
+    """
+    if not adjacency:
+        raise ArchitectureError("empty adjacency")
+    num = max(
+        [max(adjacency.keys(), default=0)]
+        + [max(v, default=0) for v in map(list, adjacency.values())]
+    ) + 1
+    links = [(a, b) for a, nbrs in adjacency.items() for b in nbrs]
+    return CustomArchitecture(num, links, name=name, comm_model=comm_model)
+
+
+_COMM_BY_NAME = {
+    "store-and-forward": StoreAndForwardModel,
+    "wormhole": WormholeModel,
+    "zero": ZeroCommModel,
+}
+
+
+def save_architecture(arch: Architecture, path: str | Path) -> None:
+    """Persist an architecture (topology + comm model) as JSON."""
+    payload: dict[str, Any] = {
+        "format": "repro-arch",
+        "name": arch.name,
+        "num_pes": arch.num_pes,
+        "links": [list(link) for link in arch.links],
+        "comm_model": arch.comm_model.name,
+    }
+    if isinstance(arch.comm_model, ConstantLatencyModel):
+        payload["comm_latency"] = arch.comm_model.latency
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_architecture(path: str | Path) -> CustomArchitecture:
+    """Load an architecture written by :func:`save_architecture`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != "repro-arch":
+        raise ArchitectureError("not a repro-arch JSON payload")
+    comm_name = payload.get("comm_model", "store-and-forward")
+    comm: CommModel
+    if comm_name == "constant":
+        comm = ConstantLatencyModel(payload.get("comm_latency", 1))
+    elif comm_name in _COMM_BY_NAME:
+        comm = _COMM_BY_NAME[comm_name]()
+    else:
+        raise ArchitectureError(f"unknown comm model {comm_name!r}")
+    return CustomArchitecture(
+        payload["num_pes"],
+        [tuple(link) for link in payload["links"]],
+        name=payload.get("name", "custom"),
+        comm_model=comm,
+    )

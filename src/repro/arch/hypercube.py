@@ -1,0 +1,45 @@
+"""n-cube (hypercube) topology (paper Figure 5(e)).
+
+``2**n`` PEs; PEs are adjacent iff their ids differ in exactly one bit,
+so the hop distance is the Hamming distance and the diameter is ``n``.
+The paper's fifth experimental architecture is the 3-cube (8 PEs).
+"""
+
+from __future__ import annotations
+
+from repro.arch.comm import CommModel
+from repro.arch.topology import Architecture
+from repro.errors import ArchitectureError
+
+__all__ = ["Hypercube"]
+
+
+class Hypercube(Architecture):
+    """An ``n``-dimensional binary hypercube (``2**n`` processors)."""
+
+    def __init__(self, dimension: int, *, comm_model: CommModel | None = None):
+        if dimension < 0:
+            raise ArchitectureError(f"dimension must be >= 0, got {dimension}")
+        if dimension > 16:
+            raise ArchitectureError(
+                f"dimension {dimension} would create {2**dimension} PEs"
+            )
+        self.dimension = dimension
+        n = 1 << dimension
+        links = [
+            (pe, pe ^ (1 << bit))
+            for pe in range(n)
+            for bit in range(dimension)
+            if pe < (pe ^ (1 << bit))
+        ]
+        super().__init__(
+            n,
+            links,
+            name=f"{dimension}-cube",
+            comm_model=comm_model,
+        )
+
+    def bit_label(self, pe: int) -> str:
+        """Binary-string label of ``pe`` (``dimension`` bits wide)."""
+        self._check_pe(pe)
+        return format(pe, f"0{max(1, self.dimension)}b")

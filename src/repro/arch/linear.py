@@ -1,0 +1,27 @@
+"""Linear array topology (paper Figure 5(a)).
+
+``N`` PEs in a line joined by ``N - 1`` links; terminal PEs have degree
+1, interior PEs degree 2.  Hop distance between ``i`` and ``j`` is
+``|i - j|``, so the diameter is ``N - 1`` — the worst communication
+behaviour of the paper's five experimental architectures.
+"""
+
+from __future__ import annotations
+
+from repro.arch.comm import CommModel
+from repro.arch.topology import Architecture
+
+__all__ = ["LinearArray"]
+
+
+class LinearArray(Architecture):
+    """A one-dimensional array of ``num_pes`` processors."""
+
+    def __init__(self, num_pes: int, *, comm_model: CommModel | None = None):
+        links = [(i, i + 1) for i in range(num_pes - 1)]
+        super().__init__(
+            num_pes,
+            links,
+            name=f"linear{num_pes}",
+            comm_model=comm_model,
+        )

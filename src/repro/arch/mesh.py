@@ -1,0 +1,53 @@
+"""2-D mesh topology (paper Figure 5(d)).
+
+``rows x cols`` PEs on a grid with 4-neighbour links; interior nodes
+have degree 4, edges 3, corners 2.  Hop distance is the Manhattan
+distance between grid coordinates.  PE ids are row-major:
+``pe = r * cols + c``.
+"""
+
+from __future__ import annotations
+
+from repro.arch.comm import CommModel
+from repro.arch.topology import Architecture
+from repro.errors import ArchitectureError, UnknownProcessorError
+
+__all__ = ["Mesh2D"]
+
+
+class Mesh2D(Architecture):
+    """A ``rows x cols`` two-dimensional mesh."""
+
+    def __init__(
+        self, rows: int, cols: int, *, comm_model: CommModel | None = None
+    ):
+        if rows < 1 or cols < 1:
+            raise ArchitectureError(f"mesh dimensions must be >= 1, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        links: list[tuple[int, int]] = []
+        for r in range(rows):
+            for c in range(cols):
+                pe = r * cols + c
+                if c + 1 < cols:
+                    links.append((pe, pe + 1))
+                if r + 1 < rows:
+                    links.append((pe, pe + cols))
+        super().__init__(
+            rows * cols,
+            links,
+            name=f"mesh{rows}x{cols}",
+            comm_model=comm_model,
+        )
+
+    def coordinates(self, pe: int) -> tuple[int, int]:
+        """Grid coordinates ``(row, col)`` of ``pe``."""
+        if not (0 <= pe < self.num_pes):
+            raise UnknownProcessorError(f"PE {pe} outside mesh {self.name}")
+        return divmod(pe, self.cols)
+
+    def pe_at(self, row: int, col: int) -> int:
+        """PE id at grid position ``(row, col)``."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise UnknownProcessorError(f"({row},{col}) outside mesh {self.name}")
+        return row * self.cols + col

@@ -1,0 +1,113 @@
+"""Named architecture factory and the paper's experimental set.
+
+The paper evaluates five 8-PE architectures (Figure 8): linear array,
+ring, completely connected, 2-D mesh and 3-cube.
+:func:`paper_architectures` builds exactly that set;
+:func:`make_architecture` resolves string names (handy for CLI-style
+experiment drivers).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.arch.comm import CommModel
+from repro.arch.complete import CompletelyConnected
+from repro.arch.hypercube import Hypercube
+from repro.arch.linear import LinearArray
+from repro.arch.mesh import Mesh2D
+from repro.arch.ring import Ring
+from repro.arch.star import Star
+from repro.arch.topology import Architecture
+from repro.arch.torus import Torus2D
+from repro.arch.tree import BalancedTree
+from repro.errors import ArchitectureError
+
+__all__ = ["make_architecture", "paper_architectures", "ARCHITECTURE_KINDS"]
+
+
+def _mesh_shape(num_pes: int) -> tuple[int, int]:
+    """Most-square ``rows x cols`` factorisation of ``num_pes``."""
+    best = (1, num_pes)
+    for rows in range(1, int(math.isqrt(num_pes)) + 1):
+        if num_pes % rows == 0:
+            best = (rows, num_pes // rows)
+    return best
+
+
+def _make_mesh(num_pes: int, comm_model: CommModel | None) -> Mesh2D:
+    rows, cols = _mesh_shape(num_pes)
+    return Mesh2D(rows, cols, comm_model=comm_model)
+
+
+def _make_torus(num_pes: int, comm_model: CommModel | None) -> Torus2D:
+    rows, cols = _mesh_shape(num_pes)
+    return Torus2D(rows, cols, comm_model=comm_model)
+
+
+def _make_hypercube(num_pes: int, comm_model: CommModel | None) -> Hypercube:
+    dim = num_pes.bit_length() - 1
+    if 1 << dim != num_pes:
+        raise ArchitectureError(f"hypercube needs a power-of-two PE count, got {num_pes}")
+    return Hypercube(dim, comm_model=comm_model)
+
+
+def _make_tree(num_pes: int, comm_model: CommModel | None) -> BalancedTree:
+    # binary tree with enough levels, truncated is not supported: require
+    # num_pes == 2**(h+1) - 1
+    height = num_pes.bit_length() - 1
+    if 2 ** (height + 1) - 1 != num_pes:
+        raise ArchitectureError(
+            f"balanced binary tree needs 2**k - 1 PEs, got {num_pes}"
+        )
+    return BalancedTree(2, height, comm_model=comm_model)
+
+
+ARCHITECTURE_KINDS: dict[str, Callable[[int, CommModel | None], Architecture]] = {
+    "linear": lambda n, cm: LinearArray(n, comm_model=cm),
+    "ring": lambda n, cm: Ring(n, comm_model=cm),
+    "complete": lambda n, cm: CompletelyConnected(n, comm_model=cm),
+    "mesh": _make_mesh,
+    "torus": _make_torus,
+    "hypercube": _make_hypercube,
+    "star": lambda n, cm: Star(n, comm_model=cm),
+    "tree": _make_tree,
+}
+
+
+def make_architecture(
+    kind: str, num_pes: int, *, comm_model: CommModel | None = None
+) -> Architecture:
+    """Build an architecture by kind name.
+
+    ``kind`` is one of :data:`ARCHITECTURE_KINDS`
+    (``linear, ring, complete, mesh, torus, hypercube, star, tree``).
+    Meshes/tori use the most-square factorisation of ``num_pes``.
+    """
+    try:
+        factory = ARCHITECTURE_KINDS[kind]
+    except KeyError:
+        raise ArchitectureError(
+            f"unknown architecture kind {kind!r}; known: {sorted(ARCHITECTURE_KINDS)}"
+        ) from None
+    return factory(num_pes, comm_model)
+
+
+def paper_architectures(
+    num_pes: int = 8, *, comm_model: CommModel | None = None
+) -> dict[str, Architecture]:
+    """The paper's five experimental architectures (Figure 8), keyed by
+    the paper's Table 11 column labels.
+
+    With the default ``num_pes=8`` these are: completely connected
+    (``com``), linear array (``lin``), ring (``rin``), 2x4 mesh
+    (``2-d``) and 3-cube (``hyp``).
+    """
+    return {
+        "com": make_architecture("complete", num_pes, comm_model=comm_model),
+        "lin": make_architecture("linear", num_pes, comm_model=comm_model),
+        "rin": make_architecture("ring", num_pes, comm_model=comm_model),
+        "2-d": make_architecture("mesh", num_pes, comm_model=comm_model),
+        "hyp": make_architecture("hypercube", num_pes, comm_model=comm_model),
+    }

@@ -1,0 +1,99 @@
+"""Routing paths over architectures.
+
+The store-and-forward model only needs hop *counts*, but explicit paths
+are useful for visualisation, for the link-contention extension
+(:mod:`repro.arch.contention`), and for checking that the specialised
+routers agree with BFS:
+
+* :func:`shortest_path` — generic BFS route on any architecture,
+* :func:`xy_route` — deterministic dimension-ordered routing on a
+  :class:`~repro.arch.mesh.Mesh2D`,
+* :func:`ecube_route` — e-cube (ascending-bit) routing on a
+  :class:`~repro.arch.hypercube.Hypercube`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.arch.hypercube import Hypercube
+from repro.arch.mesh import Mesh2D
+from repro.arch.topology import Architecture
+from repro.errors import ArchitectureError
+
+__all__ = ["shortest_path", "xy_route", "ecube_route", "route"]
+
+
+def shortest_path(arch: Architecture, src: int, dst: int) -> list[int]:
+    """A shortest PE path ``[src, ..., dst]`` found by BFS.
+
+    Ties are broken toward lower PE ids, so the result is
+    deterministic.
+    """
+    arch._check_pe(src)
+    arch._check_pe(dst)
+    if src == dst:
+        return [src]
+    parent: dict[int, int] = {src: src}
+    queue: deque[int] = deque([src])
+    while queue:
+        node = queue.popleft()
+        for nb in arch.neighbors(node):
+            if nb not in parent:
+                parent[nb] = node
+                if nb == dst:
+                    path = [dst]
+                    while path[-1] != src:
+                        path.append(parent[path[-1]])
+                    return path[::-1]
+                queue.append(nb)
+    raise ArchitectureError(f"no path {src} -> {dst} in {arch.name!r}")
+
+
+def xy_route(mesh: Mesh2D, src: int, dst: int) -> list[int]:
+    """Dimension-ordered (X then Y) route on a 2-D mesh.
+
+    Moves along the column dimension first, then along rows; the length
+    always equals the Manhattan distance, i.e. ``mesh.hops(src, dst)``.
+    """
+    r0, c0 = mesh.coordinates(src)
+    r1, c1 = mesh.coordinates(dst)
+    path = [src]
+    r, c = r0, c0
+    while c != c1:
+        c += 1 if c1 > c else -1
+        path.append(mesh.pe_at(r, c))
+    while r != r1:
+        r += 1 if r1 > r else -1
+        path.append(mesh.pe_at(r, c))
+    return path
+
+
+def ecube_route(cube: Hypercube, src: int, dst: int) -> list[int]:
+    """E-cube route on a hypercube: fix differing bits from LSB to MSB.
+
+    The length equals the Hamming distance ``cube.hops(src, dst)``.
+    """
+    cube._check_pe(src)
+    cube._check_pe(dst)
+    path = [src]
+    cur = src
+    diff = src ^ dst
+    bit = 0
+    while diff:
+        if diff & 1:
+            cur ^= 1 << bit
+            path.append(cur)
+        diff >>= 1
+        bit += 1
+    return path
+
+
+def route(arch: Architecture, src: int, dst: int) -> list[int]:
+    """Topology-aware route: XY on meshes, e-cube on hypercubes, BFS
+    otherwise."""
+    if isinstance(arch, Mesh2D):
+        return xy_route(arch, src, dst)
+    if isinstance(arch, Hypercube):
+        return ecube_route(arch, src, dst)
+    return shortest_path(arch, src, dst)

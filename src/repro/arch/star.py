@@ -1,0 +1,33 @@
+"""Star topology: one hub PE linked to every leaf.
+
+An extension architecture (host + accelerator farm); the hub is PE 0.
+Any leaf-to-leaf transfer pays 2 hops through the hub.
+"""
+
+from __future__ import annotations
+
+from repro.arch.comm import CommModel
+from repro.arch.topology import Architecture
+from repro.errors import ArchitectureError
+
+__all__ = ["Star"]
+
+
+class Star(Architecture):
+    """A hub-and-spoke topology of ``num_pes`` processors (PE 0 hub)."""
+
+    def __init__(self, num_pes: int, *, comm_model: CommModel | None = None):
+        if num_pes < 2:
+            raise ArchitectureError(f"a star needs >= 2 PEs, got {num_pes}")
+        links = [(0, leaf) for leaf in range(1, num_pes)]
+        super().__init__(
+            num_pes,
+            links,
+            name=f"star{num_pes}",
+            comm_model=comm_model,
+        )
+
+    @property
+    def hub(self) -> int:
+        """The center processor id."""
+        return 0

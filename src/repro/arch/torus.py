@@ -1,0 +1,48 @@
+"""2-D torus: a mesh with wrap-around links in both dimensions.
+
+Not one of the paper's five experimental architectures, but a natural
+extension (the mesh's boundary penalty disappears) used by the
+architecture-exploration example and ablations.
+"""
+
+from __future__ import annotations
+
+from repro.arch.comm import CommModel
+from repro.arch.topology import Architecture
+from repro.errors import ArchitectureError, UnknownProcessorError
+
+__all__ = ["Torus2D"]
+
+
+class Torus2D(Architecture):
+    """A ``rows x cols`` torus (each dimension >= 3 so wrap links do
+    not duplicate mesh links)."""
+
+    def __init__(
+        self, rows: int, cols: int, *, comm_model: CommModel | None = None
+    ):
+        if rows < 3 or cols < 3:
+            raise ArchitectureError(
+                f"torus dimensions must be >= 3, got {rows}x{cols}"
+            )
+        self.rows = rows
+        self.cols = cols
+        links: list[tuple[int, int]] = []
+        for r in range(rows):
+            for c in range(cols):
+                pe = r * cols + c
+                links.append((pe, r * cols + (c + 1) % cols))
+                links.append((pe, ((r + 1) % rows) * cols + c))
+        canonical = {(min(a, b), max(a, b)) for a, b in links}
+        super().__init__(
+            rows * cols,
+            sorted(canonical),
+            name=f"torus{rows}x{cols}",
+            comm_model=comm_model,
+        )
+
+    def coordinates(self, pe: int) -> tuple[int, int]:
+        """Grid coordinates ``(row, col)`` of ``pe``."""
+        if not (0 <= pe < self.num_pes):
+            raise UnknownProcessorError(f"PE {pe} outside torus {self.name}")
+        return divmod(pe, self.cols)

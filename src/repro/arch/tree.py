@@ -1,0 +1,54 @@
+"""Balanced-tree topology.
+
+A complete ``branching``-ary tree with ``height`` levels of links; the
+root is PE 0 and children of PE ``i`` are ``i*b + 1 .. i*b + b``.  Used
+by the architecture-exploration example as a hierarchical interconnect.
+"""
+
+from __future__ import annotations
+
+from repro.arch.comm import CommModel
+from repro.arch.topology import Architecture
+from repro.errors import ArchitectureError
+
+__all__ = ["BalancedTree"]
+
+
+class BalancedTree(Architecture):
+    """A complete ``branching``-ary tree of depth ``height``.
+
+    ``num_pes = (b**(h+1) - 1) / (b - 1)`` for branching ``b > 1``.
+    """
+
+    def __init__(
+        self, branching: int, height: int, *, comm_model: CommModel | None = None
+    ):
+        if branching < 2:
+            raise ArchitectureError(f"branching must be >= 2, got {branching}")
+        if height < 0:
+            raise ArchitectureError(f"height must be >= 0, got {height}")
+        self.branching = branching
+        self.height = height
+        num = (branching ** (height + 1) - 1) // (branching - 1)
+        links = []
+        for parent in range(num):
+            for k in range(1, branching + 1):
+                child = parent * branching + k
+                if child < num:
+                    links.append((parent, child))
+        super().__init__(
+            num,
+            links,
+            name=f"tree{branching}^{height}",
+            comm_model=comm_model,
+        )
+
+    @property
+    def root(self) -> int:
+        """The root processor id."""
+        return 0
+
+    def parent(self, pe: int) -> int | None:
+        """Parent PE of ``pe`` (``None`` for the root)."""
+        self._check_pe(pe)
+        return None if pe == 0 else (pe - 1) // self.branching

@@ -1,0 +1,90 @@
+"""ASCII diagrams of architectures (paper Figures 5 and 8).
+
+Text renderings for reports and teaching: meshes/tori draw the grid,
+linear arrays and rings the chain, hypercubes the bit-labelled node
+list, everything else a generic adjacency listing.  A schedule's
+processor load can be overlaid to visualise mapping decisions.
+"""
+
+from __future__ import annotations
+
+from repro.arch.hypercube import Hypercube
+from repro.arch.linear import LinearArray
+from repro.arch.mesh import Mesh2D
+from repro.arch.ring import Ring
+from repro.arch.topology import Architecture
+from repro.arch.torus import Torus2D
+
+__all__ = ["render_architecture", "render_processor_load"]
+
+
+def render_architecture(arch: Architecture) -> str:
+    """A text diagram of ``arch``'s topology."""
+    if isinstance(arch, Mesh2D):
+        return _render_grid(arch, wrap=False)
+    if isinstance(arch, Torus2D):
+        return _render_grid(arch, wrap=True)
+    if isinstance(arch, LinearArray):
+        return _render_chain(arch, closed=False)
+    if isinstance(arch, Ring):
+        return _render_chain(arch, closed=True)
+    if isinstance(arch, Hypercube):
+        return _render_hypercube(arch)
+    return _render_generic(arch)
+
+
+def _pe(num: int) -> str:
+    return f"pe{num + 1}"
+
+
+def _render_grid(arch, wrap: bool) -> str:
+    width = len(_pe(arch.num_pes - 1))
+    lines = [f"{arch.name}:"]
+    for r in range(arch.rows):
+        cells = [
+            _pe(r * arch.cols + c).ljust(width) for c in range(arch.cols)
+        ]
+        row = " -- ".join(cells)
+        if wrap:
+            row = "~ " + row + " ~"
+        lines.append("  " + row)
+        if r + 1 < arch.rows:
+            bar = ("|".ljust(width + 4) * arch.cols).rstrip()
+            lines.append("  " + ("  " if wrap else "") + bar)
+    if wrap:
+        lines.append("  (~ marks wrap-around links in both dimensions)")
+    return "\n".join(lines)
+
+
+def _render_chain(arch, closed: bool) -> str:
+    chain = " -- ".join(_pe(p) for p in arch.processors)
+    if closed:
+        chain = chain + f" -- ({_pe(0)})"
+    return f"{arch.name}:\n  {chain}"
+
+
+def _render_hypercube(arch: Hypercube) -> str:
+    lines = [f"{arch.name} (nodes adjacent iff labels differ in one bit):"]
+    for p in arch.processors:
+        neighbours = ", ".join(_pe(q) for q in arch.neighbors(p))
+        lines.append(f"  {_pe(p)} [{arch.bit_label(p)}] -- {neighbours}")
+    return "\n".join(lines)
+
+
+def _render_generic(arch: Architecture) -> str:
+    lines = [f"{arch.name} ({arch.num_pes} PEs, {len(arch.links)} links):"]
+    for p in arch.processors:
+        neighbours = ", ".join(_pe(q) for q in arch.neighbors(p))
+        lines.append(f"  {_pe(p)} -- {neighbours if neighbours else '(isolated)'}")
+    return "\n".join(lines)
+
+
+def render_processor_load(arch: Architecture, schedule) -> str:
+    """Per-PE busy-control-step bars for a schedule on ``arch``."""
+    lines = [f"processor load ({schedule.name}, L={schedule.length}):"]
+    for p in arch.processors:
+        busy = sum(pl.occupancy for pl in schedule.pe_tasks(p))
+        bar = "#" * busy + "." * max(0, schedule.length - busy)
+        tasks = ",".join(str(pl.node) for pl in schedule.pe_tasks(p))
+        lines.append(f"  {_pe(p):5s} |{bar}| {tasks}")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Communication-sensitive rotation scheduling (Tongsima et al.,
+ICCD'94) — the authors' own earlier technique, as a baseline.
+
+The predecessor method handled communication cost but only for
+**completely connected** architectures (uniform one-hop distances).
+Applied to any other topology it under-estimates multi-hop transfers.
+We model it by optimising against a completely-connected *decision*
+topology with the same PE count, then re-evaluating the result on the
+true architecture.
+"""
+
+from __future__ import annotations
+
+from repro.arch.complete import CompletelyConnected
+from repro.arch.topology import Architecture
+from repro.baselines.result import BaselineResult, evaluate_under
+from repro.core.config import CycloConfig
+from repro.core.cyclo import cyclo_compact
+from repro.graph.csdfg import CSDFG
+
+__all__ = ["comm_rotation_schedule"]
+
+
+def comm_rotation_schedule(
+    graph: CSDFG,
+    arch: Architecture,
+    *,
+    config: CycloConfig | None = None,
+) -> BaselineResult:
+    """ICCD'94-style scheduling: communication-aware but topology-blind.
+
+    Decisions assume every PE pair is one hop apart (the predecessor
+    paper's completely-connected assumption), re-evaluated on the true
+    ``arch``.  On an actual completely connected machine this coincides
+    with full cyclo-compaction.
+    """
+    decision_arch = CompletelyConnected(
+        arch.num_pes, comm_model=arch.comm_model
+    )
+    result = cyclo_compact(graph, decision_arch, config=config)
+    actual = evaluate_under(result.graph, arch, result.schedule)
+    return BaselineResult(
+        schedule=result.schedule,
+        claimed_length=result.schedule.length,
+        actual_length=actual,
+        graph=result.graph,
+    )

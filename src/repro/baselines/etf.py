@@ -1,0 +1,80 @@
+"""ETF — Earliest Task First scheduling (Hwang et al., 1989) baseline.
+
+A classic *communication-aware* DAG heuristic contemporary with the
+paper: among all ready tasks, repeatedly schedule the (task, processor)
+pair with the globally earliest feasible start time (data arrival via
+the interconnect plus processor availability).  Unlike the paper's
+start-up scheduler it has no mobility/volume priority — ties fall to
+the earliest-start pair — and like all DAG schedulers it does no loop
+pipelining, so cyclo-compaction should beat it on cyclic workloads
+while ETF remains a strong one-iteration baseline.
+"""
+
+from __future__ import annotations
+
+from repro.arch.topology import Architecture
+from repro.core.psl import projected_schedule_length
+from repro.errors import SchedulingError
+from repro.graph.csdfg import CSDFG, Node
+from repro.graph.validation import topological_order_zero_delay
+from repro.schedule.table import ScheduleTable
+
+__all__ = ["etf_schedule"]
+
+
+def etf_schedule(
+    graph: CSDFG,
+    arch: Architecture,
+    *,
+    pad_for_delayed_edges: bool = True,
+) -> ScheduleTable:
+    """Earliest-task-first schedule of ``graph`` on ``arch``.
+
+    Returns a legal :class:`~repro.schedule.table.ScheduleTable`
+    (delayed-edge padding included unless disabled).
+    """
+    if graph.num_nodes == 0:
+        raise SchedulingError("cannot schedule an empty graph")
+    topological_order_zero_delay(graph)  # legality check
+
+    schedule = ScheduleTable(arch.num_pes, name=f"{graph.name}@{arch.name}:etf")
+    pending = {
+        v: sum(1 for e in graph.in_edges(v) if e.delay == 0)
+        for v in graph.nodes()
+    }
+    ready = {v for v, k in pending.items() if k == 0}
+
+    while ready:
+        best: tuple[int, int, int, str] | None = None  # (finish, start, pe, node)
+        best_node: Node | None = None
+        for node in ready:
+            for pe in arch.processors:
+                duration = arch.execution_time(pe, graph.time(node))
+                arrival = 1
+                for e in graph.in_edges(node):
+                    if e.delay != 0:
+                        continue
+                    p = schedule.placement(e.src)
+                    comm = arch.comm_cost(p.pe, pe, e.volume)
+                    arrival = max(arrival, p.finish + comm + 1)
+                start = schedule.earliest_slot(pe, arrival, duration)
+                key = (start + duration - 1, start, pe, str(node))
+                if best is None or key < best:
+                    best = key
+                    best_node = node
+        assert best is not None and best_node is not None
+        _, start, pe, _ = best
+        schedule.place(
+            best_node, pe, start, arch.execution_time(pe, graph.time(best_node))
+        )
+        ready.remove(best_node)
+        for e in graph.out_edges(best_node):
+            if e.delay == 0:
+                pending[e.dst] -= 1
+                if pending[e.dst] == 0:
+                    ready.add(e.dst)
+
+    schedule.trim()
+    if pad_for_delayed_edges:
+        schedule.set_length(projected_schedule_length(graph, arch, schedule))
+    return schedule

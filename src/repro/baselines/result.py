@@ -1,0 +1,66 @@
+"""Shared result type for baseline schedulers.
+
+Communication-oblivious baselines make placement decisions pretending
+communication is free, so their output must be *re-evaluated* under the
+true architecture: either the placements remain legal once delayed-edge
+padding is added (``actual_length``), or some intra-iteration
+dependence is outright violated (``actual_length is None`` — the
+schedule is infeasible at any length, the failure mode the paper's §1
+motivates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.topology import Architecture
+from repro.graph.csdfg import CSDFG
+from repro.schedule.table import ScheduleTable
+from repro.schedule.validate import minimum_feasible_length
+
+__all__ = ["BaselineResult", "evaluate_under"]
+
+
+@dataclass
+class BaselineResult:
+    """A baseline schedule plus its evaluation under the true comm model.
+
+    Attributes
+    ----------
+    schedule:
+        The schedule as produced by the baseline (legal under the
+        *decision* model, e.g. zero communication).
+    claimed_length:
+        The length the baseline believes it achieved.
+    actual_length:
+        The minimum legal length of the same placements under the true
+        architecture, or ``None`` when they are infeasible outright.
+    graph:
+        The (possibly retimed) graph matching ``schedule``.
+    """
+
+    schedule: ScheduleTable
+    claimed_length: int
+    actual_length: int | None
+    graph: CSDFG
+
+    @property
+    def feasible(self) -> bool:
+        """True when the placements survive the true comm model."""
+        return self.actual_length is not None
+
+    @property
+    def penalty(self) -> int | None:
+        """Extra control steps the true comm model costs (None when
+        infeasible)."""
+        if self.actual_length is None:
+            return None
+        return self.actual_length - self.claimed_length
+
+
+def evaluate_under(
+    graph: CSDFG, true_arch: Architecture, schedule: ScheduleTable
+) -> int | None:
+    """Minimum legal length of ``schedule``'s placements under
+    ``true_arch`` (``None`` if infeasible)."""
+    return minimum_feasible_length(graph, true_arch, schedule)

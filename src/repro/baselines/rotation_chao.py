@@ -1,0 +1,44 @@
+"""Rotation scheduling (Chao, LaPaugh & Sha, DAC'93) — baseline.
+
+The paper's direct predecessor: loop pipelining by rotation and
+rescheduling, but with *no* notion of communication cost.  We model it
+as cyclo-compaction running against a zero-cost communication model,
+then re-evaluate the winning schedule under the true architecture —
+exactly the comparison the paper's introduction argues motivates
+communication sensitivity.
+"""
+
+from __future__ import annotations
+
+from repro.arch.comm import ZeroCommModel
+from repro.arch.topology import Architecture
+from repro.baselines.result import BaselineResult, evaluate_under
+from repro.core.config import CycloConfig
+from repro.core.cyclo import cyclo_compact
+from repro.graph.csdfg import CSDFG
+
+__all__ = ["rotation_schedule"]
+
+
+def rotation_schedule(
+    graph: CSDFG,
+    arch: Architecture,
+    *,
+    config: CycloConfig | None = None,
+) -> BaselineResult:
+    """Rotation scheduling ignoring communication.
+
+    Optimises on ``arch`` under a zero-cost model; the result records
+    the minimum legal length of the winning placements under the true
+    model (``None`` when they are infeasible, e.g. chained zero-delay
+    tasks split across distant processors).
+    """
+    decision_arch = arch.with_comm_model(ZeroCommModel())
+    result = cyclo_compact(graph, decision_arch, config=config)
+    actual = evaluate_under(result.graph, arch, result.schedule)
+    return BaselineResult(
+        schedule=result.schedule,
+        claimed_length=result.schedule.length,
+        actual_length=actual,
+        graph=result.graph,
+    )

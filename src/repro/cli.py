@@ -1,0 +1,311 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Registered workloads and architecture kinds.
+``info``
+    Structural statistics and bounds of one workload.
+``schedule``
+    Run start-up scheduling + cyclo-compaction on a (workload,
+    architecture) pair and render the schedules.
+``simulate``
+    Execute a compacted schedule for N loop iterations and report the
+    dynamic statistics.
+``codegen``
+    Emit the per-PE steady-state programs of a compacted schedule.
+``report``
+    Write the full markdown reproduction report (all paper
+    experiments, paper-vs-measured).
+``experiment``
+    Regenerate one of the paper's experiments (``figure1``,
+    ``tables19``, ``table11``) on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import format_cells, format_table11, run_cell, run_grid
+from repro.arch import ARCHITECTURE_KINDS, make_architecture, paper_architectures
+from repro.baselines import schedule_bounds
+from repro.codegen import generate_program
+from repro.core import CycloConfig, cyclo_compact, optimize
+from repro.errors import ReproError
+from repro.graph import critical_path_length, iteration_bound, slowdown
+from repro.schedule import compute_metrics, render_gantt, render_table
+from repro.sim import buffer_requirements, simulate
+from repro.workloads import make_workload, workload_names
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cyclo-compaction scheduling (ICPP'95 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and architecture kinds")
+
+    p_info = sub.add_parser("info", help="describe one workload")
+    p_info.add_argument("workload", choices=workload_names())
+
+    p_sched = sub.add_parser("schedule", help="schedule a workload")
+    _add_pair_args(p_sched)
+    p_sched.add_argument(
+        "--no-relax",
+        action="store_true",
+        help="remapping without relaxation (Theorem 4.4 monotone mode)",
+    )
+    p_sched.add_argument(
+        "--pipelined",
+        action="store_true",
+        help="pipelined processing elements (paper §2)",
+    )
+    p_sched.add_argument(
+        "--iterations", type=int, default=None, help="compaction passes (z)"
+    )
+    p_sched.add_argument(
+        "--render",
+        choices=["table", "gantt", "none"],
+        default="table",
+        help="schedule rendering style",
+    )
+    p_sched.add_argument(
+        "--refine",
+        action="store_true",
+        help="alternate compaction with local-search refinement",
+    )
+
+    p_code = sub.add_parser(
+        "codegen", help="emit per-PE programs for a compacted schedule"
+    )
+    _add_pair_args(p_code)
+
+    p_sim = sub.add_parser("simulate", help="simulate a compacted schedule")
+    _add_pair_args(p_sim)
+    p_sim.add_argument(
+        "--loops", type=int, default=6, help="loop iterations to execute"
+    )
+
+    p_rep = sub.add_parser(
+        "report", help="write the full markdown reproduction report"
+    )
+    p_rep.add_argument(
+        "--out", default=None, help="output file (default: stdout)"
+    )
+    p_rep.add_argument(
+        "--iterations", type=int, default=80, help="compaction passes per cell"
+    )
+    p_rep.add_argument(
+        "--skip-table11", action="store_true", help="omit the filter study"
+    )
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper experiment")
+    p_exp.add_argument("name", choices=["figure1", "tables19", "table11"])
+    p_exp.add_argument(
+        "--iterations", type=int, default=80, help="compaction passes per cell"
+    )
+    return parser
+
+
+def _add_pair_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", required=True, choices=workload_names())
+    parser.add_argument(
+        "--arch",
+        default="mesh",
+        choices=sorted(ARCHITECTURE_KINDS),
+        help="architecture kind",
+    )
+    parser.add_argument("--pes", type=int, default=8, help="processor count")
+    parser.add_argument(
+        "--slowdown", type=int, default=1, help="delay slow-down factor"
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:  # e.g. `python -m repro ... | head`
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "info":
+        return _cmd_info(args)
+    if args.command == "schedule":
+        return _cmd_schedule(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "codegen":
+        return _cmd_codegen(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _cmd_list() -> int:
+    print("workloads:")
+    for name in workload_names():
+        graph = make_workload(name)
+        print(f"  {name:12s} {graph.num_nodes:3d} nodes, "
+              f"{graph.num_edges:3d} edges, work {graph.total_work()}")
+    print("architecture kinds:")
+    print("  " + ", ".join(sorted(ARCHITECTURE_KINDS)))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    graph = make_workload(args.workload)
+    print(f"workload {graph.name}")
+    print(f"  nodes:           {graph.num_nodes}")
+    print(f"  edges:           {graph.num_edges}")
+    print(f"  total work:      {graph.total_work()}")
+    print(f"  delayed edges:   {sum(1 for e in graph.edges() if e.delay)}")
+    print(f"  critical path:   {critical_path_length(graph)}")
+    print(f"  iteration bound: {iteration_bound(graph)}")
+    return 0
+
+
+def _make_pair(args: argparse.Namespace):
+    graph = make_workload(args.workload)
+    if args.slowdown > 1:
+        graph = slowdown(graph, args.slowdown)
+    arch = make_architecture(args.arch, args.pes)
+    return graph, arch
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    graph, arch = _make_pair(args)
+    cfg = CycloConfig(
+        relaxation=not args.no_relax,
+        max_iterations=args.iterations,
+        pipelined_pes=args.pipelined,
+        validate_each_step=False,
+    )
+    if args.refine:
+        result = optimize(graph, arch, config=cfg)
+    else:
+        result = cyclo_compact(graph, arch, config=cfg)
+    bounds = schedule_bounds(graph, arch)
+    print(f"{graph.name} on {arch.name}: "
+          f"{result.initial_length} -> {result.final_length} control steps "
+          f"(lower bound {bounds.lower}, sequential {bounds.sequential})")
+    metrics = compute_metrics(result.graph, arch, result.schedule)
+    print(f"utilization {metrics.utilization:.2f}, speedup "
+          f"{metrics.speedup:.2f}, comm cost {metrics.comm_cost}")
+    if args.render == "table":
+        print(render_table(result.schedule, title="compacted schedule:"))
+    elif args.render == "gantt":
+        print(render_gantt(result.schedule, title="compacted schedule:"))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    graph, arch = _make_pair(args)
+    cfg = CycloConfig(max_iterations=40, validate_each_step=False)
+    result = cyclo_compact(graph, arch, config=cfg)
+    sim = simulate(result.graph, arch, result.schedule, args.loops)
+    buffers = buffer_requirements(
+        result.graph, arch, result.schedule, result=sim
+    )
+    print(f"simulated {sim.iterations} iterations of {graph.name} "
+          f"on {arch.name} (L = {sim.schedule_length})")
+    print(f"  makespan:        {sim.makespan} control steps")
+    print(f"  throughput:      {sim.throughput():.4f} iterations/cs")
+    print(f"  messages:        {len(sim.messages)} "
+          f"({sim.total_comm_steps} transit control steps)")
+    print(f"  buffer tokens:   {buffers.total_tokens} "
+          f"({buffers.total_words} words)")
+    return 0
+
+
+def _cmd_codegen(args: argparse.Namespace) -> int:
+    graph, arch = _make_pair(args)
+    cfg = CycloConfig(max_iterations=40, validate_each_step=False)
+    result = cyclo_compact(graph, arch, config=cfg)
+    program = generate_program(result.graph, arch, result.schedule)
+    print(program.render())
+    print(f"\n{program.total_computes} computes, "
+          f"{program.total_sends} messages per iteration")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis import generate_full_report
+
+    text = generate_full_report(
+        compaction_passes=args.iterations,
+        include_table11=not args.skip_table11,
+    )
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text + "\n")
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    cfg = CycloConfig(max_iterations=args.iterations, validate_each_step=False)
+    if args.name == "figure1":
+        from repro.workloads import figure1_csdfg, figure1_mesh
+
+        cell, result = run_cell(figure1_csdfg(), figure1_mesh(), config=cfg)
+        print(render_table(result.initial_schedule, title="start-up (paper: 7 cs):"))
+        print()
+        print(render_table(
+            result.schedule,
+            title=f"compacted (paper: 5 cs, measured: {cell.after} cs):",
+        ))
+        return 0
+    if args.name == "tables19":
+        from repro.workloads import figure7_csdfg
+
+        cells = run_grid(figure7_csdfg(), paper_architectures(8), config=cfg)
+        print(format_cells(cells))
+        return 0
+    # table11
+    from repro.workloads import elliptic_wave_filter, lattice_filter
+
+    rows = []
+    for name, graph in (
+        ("Elliptic Filter", slowdown(elliptic_wave_filter(), 3)),
+        ("Lattice Filter", slowdown(lattice_filter(8), 3)),
+    ):
+        for relaxation, label in ((False, "w/o"), (True, "with")):
+            run_cfg = CycloConfig(
+                relaxation=relaxation,
+                max_iterations=args.iterations,
+                validate_each_step=False,
+            )
+            cells = run_grid(
+                graph,
+                paper_architectures(8),
+                relaxation=relaxation,
+                config=run_cfg,
+            )
+            rows.append((name, label, cells))
+    print(format_table11(rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,19 @@
+"""Code generation: per-PE programs from scheduling results."""
+
+from repro.codegen.program import (
+    ComputeOp,
+    LoopProgram,
+    PEProgram,
+    RecvOp,
+    SendOp,
+    generate_program,
+)
+
+__all__ = [
+    "ComputeOp",
+    "LoopProgram",
+    "PEProgram",
+    "RecvOp",
+    "SendOp",
+    "generate_program",
+]

@@ -1,0 +1,191 @@
+"""Program extraction from static cyclic schedules.
+
+Turns a scheduling result into the artifact a compiler backend or a
+runtime would consume: one program per processor, listing for every
+control step of the steady-state loop body what the PE computes, which
+messages it injects after each task completes (``SEND``), and which
+messages must have arrived before each task issues (``RECV``).  The
+store-and-forward network carries messages without stealing PE cycles
+(the paper's multiple-channel assumption), so sends/receives are
+annotations on the compute timeline rather than occupying slots.
+
+Combined with :mod:`repro.retiming.prologue` this yields the complete
+prologue / steady-state / epilogue decomposition of a retimed loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.arch.topology import Architecture
+from repro.errors import ScheduleValidationError
+from repro.graph.csdfg import CSDFG, Node
+from repro.schedule.table import ScheduleTable
+from repro.schedule.validate import collect_violations
+
+__all__ = ["ComputeOp", "SendOp", "RecvOp", "PEProgram", "LoopProgram", "generate_program"]
+
+
+@dataclass(frozen=True)
+class ComputeOp:
+    """Issue ``node`` at control step ``cs`` (occupies ``duration``)."""
+
+    cs: int
+    node: Node
+    duration: int
+
+
+@dataclass(frozen=True)
+class SendOp:
+    """Inject ``volume`` words for edge ``src -> dst`` right after
+    ``after_cs`` (the producer's CE); transit takes ``transit`` control
+    steps to ``to_pe``.  ``delay`` is the edge's iteration distance."""
+
+    after_cs: int
+    src: Node
+    dst: Node
+    to_pe: int
+    volume: int
+    transit: int
+    delay: int
+
+
+@dataclass(frozen=True)
+class RecvOp:
+    """Data for edge ``src -> dst`` must be present before ``by_cs``
+    (the consumer's CB); it comes from ``from_pe`` and was produced
+    ``delay`` iterations earlier."""
+
+    by_cs: int
+    src: Node
+    dst: Node
+    from_pe: int
+    volume: int
+    delay: int
+
+
+@dataclass
+class PEProgram:
+    """The steady-state loop body of one processor."""
+
+    pe: int
+    computes: list[ComputeOp] = field(default_factory=list)
+    sends: list[SendOp] = field(default_factory=list)
+    recvs: list[RecvOp] = field(default_factory=list)
+
+    def render(self, length: int) -> str:
+        """Human-readable listing of this PE's loop body."""
+        by_cs: dict[int, list[str]] = {}
+        for op in self.computes:
+            span = (
+                f"cs{op.cs}" if op.duration == 1 else f"cs{op.cs}-{op.cs + op.duration - 1}"
+            )
+            by_cs.setdefault(op.cs, []).append(f"compute {op.node} ({span})")
+        for op in self.recvs:
+            by_cs.setdefault(op.by_cs, []).insert(
+                0,
+                f"recv {op.src}->{op.dst} from pe{op.from_pe + 1} "
+                f"[{op.volume}w, d={op.delay}]",
+            )
+        for op in self.sends:
+            by_cs.setdefault(op.after_cs, []).append(
+                f"send {op.src}->{op.dst} to pe{op.to_pe + 1} "
+                f"[{op.volume}w, {op.transit}cs, d={op.delay}]"
+            )
+        lines = [f"pe{self.pe + 1}:"]
+        for cs in range(1, length + 1):
+            ops = by_cs.get(cs)
+            if not ops:
+                continue
+            for k, text in enumerate(ops):
+                prefix = f"  cs{cs:<3d} " if k == 0 else "        "
+                lines.append(prefix + text)
+        if len(lines) == 1:
+            lines.append("  (idle)")
+        return "\n".join(lines)
+
+
+@dataclass
+class LoopProgram:
+    """Per-PE programs for the steady-state loop of length ``length``."""
+
+    length: int
+    pes: list[PEProgram]
+
+    def pe(self, pe: int) -> PEProgram:
+        return self.pes[pe]
+
+    @property
+    def total_sends(self) -> int:
+        return sum(len(p.sends) for p in self.pes)
+
+    @property
+    def total_computes(self) -> int:
+        return sum(len(p.computes) for p in self.pes)
+
+    def render(self) -> str:
+        """The whole program listing."""
+        header = f"steady-state loop body, initiation interval {self.length}"
+        return "\n\n".join([header] + [p.render(self.length) for p in self.pes])
+
+
+def generate_program(
+    graph: CSDFG,
+    arch: Architecture,
+    schedule: ScheduleTable,
+    *,
+    pipelined_pes: bool = False,
+) -> LoopProgram:
+    """Extract per-PE programs from a legal schedule.
+
+    Raises :class:`~repro.errors.ScheduleValidationError` when the
+    schedule is illegal (code emitted from a broken schedule would
+    deadlock).
+    """
+    violations = collect_violations(
+        graph, arch, schedule, pipelined_pes=pipelined_pes
+    )
+    if violations:
+        raise ScheduleValidationError(
+            ["cannot generate code from an illegal schedule"] + violations
+        )
+
+    programs = [PEProgram(pe=pe) for pe in range(schedule.num_pes)]
+    for node in graph.nodes():
+        p = schedule.placement(node)
+        programs[p.pe].computes.append(
+            ComputeOp(cs=p.start, node=node, duration=p.duration)
+        )
+    for edge in graph.edges():
+        src_p = schedule.placement(edge.src)
+        dst_p = schedule.placement(edge.dst)
+        if src_p.pe == dst_p.pe:
+            continue
+        transit = arch.comm_cost(src_p.pe, dst_p.pe, edge.volume)
+        programs[src_p.pe].sends.append(
+            SendOp(
+                after_cs=src_p.finish,
+                src=edge.src,
+                dst=edge.dst,
+                to_pe=dst_p.pe,
+                volume=edge.volume,
+                transit=transit,
+                delay=edge.delay,
+            )
+        )
+        programs[dst_p.pe].recvs.append(
+            RecvOp(
+                by_cs=dst_p.start,
+                src=edge.src,
+                dst=edge.dst,
+                from_pe=src_p.pe,
+                volume=edge.volume,
+                delay=edge.delay,
+            )
+        )
+    for program in programs:
+        program.computes.sort(key=lambda op: op.cs)
+        program.sends.sort(key=lambda op: (op.after_cs, str(op.src)))
+        program.recvs.sort(key=lambda op: (op.by_cs, str(op.dst)))
+    return LoopProgram(length=schedule.length, pes=programs)

@@ -1,0 +1,96 @@
+"""The anticipation function AN (Definition 4.3 / Lemma 4.2).
+
+When the remapping phase re-places a rotated node ``v`` on a candidate
+processor ``p``, every incoming edge ``u -> v`` (with its *retimed*
+delay ``dr`` and the producer ``u`` already placed) constrains the
+earliest start, assuming the final schedule length will be
+``L_target``::
+
+    CB(v) + dr * L_target  >=  CE(u) + M(PE(u), p; c) + 1
+    =>  CB(v)  >=  CE(u) + M + 1 - dr * L_target
+
+``AN(v, p)`` is the max of these bounds clamped to control step 1.
+With ``L_target = L - 1`` this is term-for-term the paper's
+``M - (dr*(L-1) - CE(u)) + 1``.  Because the bound *decreases* in
+``L_target``, checking a placement against a smaller assumed length
+than the one finally realised is always safe (DESIGN.md §2).
+
+The dual :func:`latest_finish` bounds ``CE(v)`` through v's *outgoing*
+edges to already-placed consumers — the paper enforces this implicitly
+via its "``PSL(v) <= length(S)`` for all v" remapping side condition.
+"""
+
+from __future__ import annotations
+
+from typing import Container
+
+from repro.arch.topology import Architecture
+from repro.graph.csdfg import CSDFG, Node
+from repro.schedule.table import ScheduleTable
+
+__all__ = ["anticipated_start", "latest_finish"]
+
+#: Sentinel for "no upper bound" from :func:`latest_finish`.
+_NO_BOUND = 10**12
+
+
+def anticipated_start(
+    graph: CSDFG,
+    arch: Architecture,
+    schedule: ScheduleTable,
+    node: Node,
+    pe: int,
+    target_length: int,
+) -> int:
+    """Earliest legal ``CB(node)`` on ``pe`` assuming final length
+    ``target_length``.
+
+    Only incoming edges whose producers are currently placed
+    contribute; producers that are themselves awaiting remapping are
+    handled by the projected-schedule-length check afterwards.
+    """
+    bound = 1
+    for e in graph.in_edges(node):
+        if e.src == node or e.src not in schedule:
+            continue
+        placement = schedule.placement(e.src)
+        comm = arch.comm_cost(placement.pe, pe, e.volume)
+        need = placement.finish + comm + 1 - e.delay * target_length
+        if need > bound:
+            bound = need
+    return bound
+
+
+def latest_finish(
+    graph: CSDFG,
+    arch: Architecture,
+    schedule: ScheduleTable,
+    node: Node,
+    pe: int,
+    target_length: int,
+    *,
+    unbounded: Container[int] = (),
+) -> int:
+    """Latest legal ``CE(node)`` on ``pe`` w.r.t. placed consumers,
+    assuming final length ``target_length``.
+
+    For each outgoing edge ``node -> x`` with retimed delay ``dr`` and
+    ``x`` placed: ``CE(node) <= CB(x) + dr * target_length - M - 1``.
+    Returns a very large sentinel when nothing constrains the node.
+
+    ``unbounded`` suppresses the delayed-edge bounds (used by the
+    relaxed remapping phase that lets the projected schedule length
+    float); pass the set ``{1}`` meaning "delays >= 1 are unbounded".
+    """
+    bound = _NO_BOUND
+    for e in graph.out_edges(node):
+        if e.dst == node or e.dst not in schedule:
+            continue
+        if e.delay >= 1 and 1 in unbounded:
+            continue
+        placement = schedule.placement(e.dst)
+        comm = arch.comm_cost(pe, placement.pe, e.volume)
+        limit = placement.start + e.delay * target_length - comm - 1
+        if limit < bound:
+            bound = limit
+    return bound

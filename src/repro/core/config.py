@@ -1,0 +1,70 @@
+"""Configuration for the cyclo-compaction optimiser."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulingError
+
+__all__ = ["CycloConfig"]
+
+
+@dataclass(frozen=True)
+class CycloConfig:
+    """Tuning knobs of :func:`repro.core.cyclo.cyclo_compact`.
+
+    Attributes
+    ----------
+    relaxation:
+        Remapping policy (Definition 4.2).  ``True`` allows intermediate
+        schedules to grow (the best schedule seen is returned);
+        ``False`` enforces the paper's Theorem 4.4 monotonicity — an
+        iteration that would lengthen the schedule is rolled back.
+    max_iterations:
+        Number of rotation+remapping passes (the paper's ``z``).
+        ``None`` picks ``3 * |V|``, comfortably past the convergence
+        points observed in the paper's examples.
+    patience:
+        Stop early after this many consecutive passes without improving
+        the best length.  ``None`` disables early stopping.
+    validate_each_step:
+        Run the full schedule validator after every pass (cheap for the
+        paper-scale graphs; disable for large sweeps).
+    pipelined_pes:
+        Schedule for pipelined processing elements (paper §2): a task
+        blocks its processor for a single control step while its result
+        latency stays ``t(v)``.
+    remap_strategy:
+        Slot search of the remapping phase.  ``"implied"`` (default)
+        scores every free slot by its implied schedule length — the
+        stronger search this implementation contributes.
+        ``"first-fit"`` reproduces the paper's procedure literally:
+        earliest available slot at or after the anticipation function's
+        value, minimised across processors.
+    """
+
+    relaxation: bool = True
+    max_iterations: int | None = None
+    patience: int | None = None
+    validate_each_step: bool = True
+    pipelined_pes: bool = False
+    remap_strategy: str = "implied"
+
+    def __post_init__(self) -> None:
+        if self.max_iterations is not None and self.max_iterations < 0:
+            raise SchedulingError(
+                f"max_iterations must be >= 0, got {self.max_iterations}"
+            )
+        if self.patience is not None and self.patience < 1:
+            raise SchedulingError(f"patience must be >= 1, got {self.patience}")
+        if self.remap_strategy not in ("implied", "first-fit"):
+            raise SchedulingError(
+                f"remap_strategy must be 'implied' or 'first-fit', got "
+                f"{self.remap_strategy!r}"
+            )
+
+    def iterations_for(self, num_nodes: int) -> int:
+        """Resolve ``max_iterations`` for a graph of ``num_nodes``."""
+        if self.max_iterations is not None:
+            return self.max_iterations
+        return 3 * max(1, num_nodes)

@@ -1,0 +1,189 @@
+"""Cyclo-compaction scheduling — the paper's Algorithm Cyclo-Compact.
+
+Drives repeated rotation (implicit retiming / loop pipelining) and
+communication-sensitive remapping passes over an initial schedule,
+keeping the best schedule encountered::
+
+    S <- Start-Up-Schedule(G);  Q <- S
+    for n in 1..z:
+        (G, S) <- Rotate-Remap(G, S)
+        if length(S) < length(Q): Q <- S
+    return Q
+
+*Remapping without relaxation* rolls a pass back whenever it would
+lengthen the schedule (Theorem 4.4: lengths are monotonically
+non-increasing); since a rolled-back pass would repeat identically, the
+driver stops there.  *Remapping with relaxation* lets intermediate
+schedules grow and relies on the best-seen bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.topology import Architecture
+from repro.core.config import CycloConfig
+from repro.core.remapping import remap_nodes
+from repro.core.rotation import rotate_schedule, undo_rotation
+from repro.core.startup import start_up_schedule
+from repro.core.trace import CompactionTrace, IterationRecord
+from repro.errors import ScheduleValidationError, SchedulingError
+from repro.graph.csdfg import CSDFG, Node
+from repro.schedule.table import ScheduleTable
+from repro.schedule.validate import collect_violations
+
+__all__ = ["CycloResult", "cyclo_compact"]
+
+
+@dataclass
+class CycloResult:
+    """Output of :func:`cyclo_compact`.
+
+    Attributes
+    ----------
+    schedule:
+        The best (shortest) legal schedule found.
+    graph:
+        The retimed CSDFG matching ``schedule`` (the original input
+        graph is never mutated).
+    retiming:
+        Cumulative retiming mapping the input graph to ``graph``
+        (``graph == apply_retiming(input, retiming)``).
+    initial_schedule:
+        The start-up schedule the optimisation began from.
+    trace:
+        Per-pass records (lengths, rotated sets, accept/reject).
+    """
+
+    schedule: ScheduleTable
+    graph: CSDFG
+    retiming: dict[Node, int]
+    initial_schedule: ScheduleTable
+    trace: CompactionTrace
+
+    @property
+    def initial_length(self) -> int:
+        return self.initial_schedule.length
+
+    @property
+    def final_length(self) -> int:
+        return self.schedule.length
+
+
+def cyclo_compact(
+    graph: CSDFG,
+    arch: Architecture,
+    *,
+    config: CycloConfig | None = None,
+    initial: ScheduleTable | None = None,
+) -> CycloResult:
+    """Run cyclo-compaction scheduling of ``graph`` on ``arch``.
+
+    Parameters
+    ----------
+    config:
+        Optimiser options (defaults to relaxed remapping, ``3 * |V|``
+        passes).
+    initial:
+        Optional starting schedule (defaults to the paper's start-up
+        schedule).  It must be legal for ``graph`` on ``arch``.
+
+    The input graph is copied, never mutated.
+    """
+    cfg = config if config is not None else CycloConfig()
+    working = graph.copy()
+    if initial is None:
+        schedule = start_up_schedule(
+            working, arch, pipelined_pes=cfg.pipelined_pes
+        )
+    else:
+        violations = collect_violations(
+            working, arch, initial, pipelined_pes=cfg.pipelined_pes
+        )
+        if violations:
+            raise ScheduleValidationError(
+                ["initial schedule is illegal"] + violations
+            )
+        schedule = initial.copy()
+
+    initial_schedule = schedule.copy()
+    retiming: dict[Node, int] = {v: 0 for v in working.nodes()}
+
+    best_schedule = schedule.copy()
+    best_graph = working.copy()
+    best_retiming = dict(retiming)
+
+    trace = CompactionTrace(initial_length=schedule.length)
+    stall = 0
+
+    for index in range(1, cfg.iterations_for(working.num_nodes) + 1):
+        previous_length = schedule.length
+        rotated, old_placements = rotate_schedule(working, schedule)
+        for node in rotated:
+            retiming[node] += 1
+        outcome = remap_nodes(
+            working,
+            arch,
+            schedule,
+            rotated,
+            previous_length=previous_length,
+            relaxation=cfg.relaxation,
+            pipelined_pes=cfg.pipelined_pes,
+            strategy=cfg.remap_strategy,
+        )
+        if not outcome.accepted:
+            undo_rotation(
+                working, schedule, rotated, old_placements, previous_length
+            )
+            for node in rotated:
+                retiming[node] -= 1
+            trace.records.append(
+                IterationRecord(
+                    index=index,
+                    rotated=tuple(rotated),
+                    accepted=False,
+                    length_after=schedule.length,
+                    best_so_far=best_schedule.length,
+                )
+            )
+            # a rejected pass would repeat identically: stop here
+            break
+
+        if cfg.validate_each_step:
+            violations = collect_violations(
+                working, arch, schedule, pipelined_pes=cfg.pipelined_pes
+            )
+            if violations:  # pragma: no cover - internal invariant
+                raise SchedulingError(
+                    "cyclo-compaction produced an illegal intermediate "
+                    "schedule: " + "; ".join(violations)
+                )
+
+        improved = schedule.length < best_schedule.length
+        if improved:
+            best_schedule = schedule.copy()
+            best_graph = working.copy()
+            best_retiming = dict(retiming)
+            stall = 0
+        else:
+            stall += 1
+
+        trace.records.append(
+            IterationRecord(
+                index=index,
+                rotated=tuple(rotated),
+                accepted=True,
+                length_after=schedule.length,
+                best_so_far=best_schedule.length,
+            )
+        )
+        if cfg.patience is not None and stall >= cfg.patience:
+            break
+
+    return CycloResult(
+        schedule=best_schedule,
+        graph=best_graph,
+        retiming=best_retiming,
+        initial_schedule=initial_schedule,
+        trace=trace,
+    )

@@ -1,0 +1,34 @@
+"""Mobility (Definition 3.4): scheduling slack of a node.
+
+``MB(v)`` is the difference between the as-late-as-possible control
+step of ``v`` (w.r.t. the critical path of the zero-delay sub-DAG) and
+the control step currently being scheduled: how long ``v`` may still be
+deferred without stretching the critical path.  Critical-path nodes at
+their deadline have mobility 0; the priority function penalises high
+mobility.
+"""
+
+from __future__ import annotations
+
+from repro.graph.csdfg import CSDFG, Node
+from repro.graph.properties import alap_times
+
+__all__ = ["mobility_map", "mobility"]
+
+
+def mobility_map(graph: CSDFG) -> dict[Node, int]:
+    """ALAP start control step for every node (the static part of MB).
+
+    ``MB(v)`` at scheduling time is ``mobility_map(g)[v] - cs_cur``.
+    """
+    return alap_times(graph)
+
+
+def mobility(alap: dict[Node, int], node: Node, cs_cur: int) -> int:
+    """``MB(node)`` when control step ``cs_cur`` is being filled.
+
+    May go negative once the schedule has already slipped past the
+    node's ALAP slot — the node is then overdue and the priority
+    function boosts it.
+    """
+    return alap[node] - cs_cur

@@ -1,0 +1,95 @@
+"""The start-up priority function PF (Definition 3.6).
+
+``PF(v) = max_i { m_i - (cs_cur - (CE(u_i) + 1)) - MB(v) }`` over the
+already-scheduled zero-delay predecessors ``u_i`` of ``v`` with edge
+data volumes ``m_i``:
+
+* a large pending data volume raises priority (get the receiver placed
+  before its data goes stale / the producer's processor fills up),
+* ``cs_cur - (CE(u_i) + 1)`` is how long ``v`` has already been
+  deferred past its producer — the volume's influence decays with it,
+* mobility is subtracted: nodes that *can* wait, wait.
+
+Root nodes (no zero-delay predecessor) score ``-MB(v)``, i.e. pure
+inverse mobility.  Alternative priorities used by the ablation bench
+(:mod:`repro.analysis.ablation`) are defined alongside.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.core.mobility import mobility
+from repro.graph.csdfg import CSDFG, Node
+
+__all__ = [
+    "paper_priority",
+    "mobility_only_priority",
+    "fifo_priority",
+    "volume_only_priority",
+    "PriorityFn",
+]
+
+#: Signature shared by all start-up priority functions:
+#: ``(graph, alap, finish_times, node, cs_cur) -> score`` (higher first).
+PriorityFn = Callable[[CSDFG, Mapping[Node, int], Mapping[Node, int], Node, int], float]
+
+
+def paper_priority(
+    graph: CSDFG,
+    alap: Mapping[Node, int],
+    finish: Mapping[Node, int],
+    node: Node,
+    cs_cur: int,
+) -> float:
+    """The paper's PF (Definition 3.6)."""
+    mb = mobility(dict(alap), node, cs_cur)
+    best: float | None = None
+    for e in graph.in_edges(node):
+        if e.delay != 0 or e.src not in finish:
+            continue
+        deferred = cs_cur - (finish[e.src] + 1)
+        score = e.volume - deferred - mb
+        if best is None or score > best:
+            best = score
+    if best is None:
+        return float(-mb)
+    return float(best)
+
+
+def mobility_only_priority(
+    graph: CSDFG,
+    alap: Mapping[Node, int],
+    finish: Mapping[Node, int],
+    node: Node,
+    cs_cur: int,
+) -> float:
+    """Classic list scheduling: least mobility first (ablation)."""
+    return float(-mobility(dict(alap), node, cs_cur))
+
+
+def fifo_priority(
+    graph: CSDFG,
+    alap: Mapping[Node, int],
+    finish: Mapping[Node, int],
+    node: Node,
+    cs_cur: int,
+) -> float:
+    """No prioritisation at all — ready order (ablation strawman)."""
+    return 0.0
+
+
+def volume_only_priority(
+    graph: CSDFG,
+    alap: Mapping[Node, int],
+    finish: Mapping[Node, int],
+    node: Node,
+    cs_cur: int,
+) -> float:
+    """Largest pending inbound data volume first (ablation)."""
+    volumes = [
+        e.volume
+        for e in graph.in_edges(node)
+        if e.delay == 0 and e.src in finish
+    ]
+    return float(max(volumes, default=0))

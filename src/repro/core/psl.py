@@ -1,0 +1,64 @@
+"""Projected schedule length PSL (Definition 4.4 / Lemma 4.3).
+
+For an edge ``u -> v`` with delay ``k > 0`` whose endpoints sit on
+different processors, the data produced by iteration ``i`` of ``u``
+must reach ``v`` by iteration ``i + k``; across a static schedule of
+length ``L`` this requires::
+
+    CB(v) + k * L  >=  CE(u) + M(PE(u), PE(v); c) + 1
+    =>  L  >=  ceil((CE(u) + M + 1 - CB(v)) / k)
+
+The paper's printed formula omits the ``+1`` its own discrete
+control-step accounting implies (DESIGN.md §2); we use the rigorous
+form so PSL agrees exactly with the schedule validator.  The projected
+schedule length of a whole table is the max of these bounds and the
+makespan — precisely the minimum length at which the current placements
+are legal.
+"""
+
+from __future__ import annotations
+
+from repro.arch.topology import Architecture
+from repro.errors import InfeasibleScheduleError
+from repro.graph.csdfg import CSDFG
+from repro.schedule.table import ScheduleTable
+from repro.schedule.validate import minimum_feasible_length
+
+__all__ = ["psl_edge_bound", "projected_schedule_length"]
+
+
+def psl_edge_bound(
+    finish_u: int, start_v: int, comm: int, delay: int
+) -> int:
+    """Lower bound on ``L`` induced by one delayed edge.
+
+    Parameters are the producer's ``CE``, the consumer's ``CB``, the
+    communication cost ``M`` and the edge delay ``k > 0``.
+    """
+    if delay <= 0:
+        raise InfeasibleScheduleError("psl_edge_bound requires delay > 0")
+    return -(-(finish_u + comm + 1 - start_v) // delay)  # ceil division
+
+
+def projected_schedule_length(
+    graph: CSDFG,
+    arch: Architecture,
+    schedule: ScheduleTable,
+    *,
+    pipelined_pes: bool = False,
+) -> int:
+    """Minimum legal length for the schedule's current placements.
+
+    Raises :class:`InfeasibleScheduleError` when some zero-delay
+    dependence is violated outright (no length can repair an
+    intra-iteration ordering error).
+    """
+    length = minimum_feasible_length(
+        graph, arch, schedule, pipelined_pes=pipelined_pes
+    )
+    if length is None:
+        raise InfeasibleScheduleError(
+            "placements violate an intra-iteration dependence; no schedule "
+            "length is feasible"
+        )
+    return length

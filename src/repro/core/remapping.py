@@ -1,0 +1,259 @@
+"""The remapping phase (Definition 4.2): re-place rotated nodes.
+
+Each rotated node is re-placed by scanning every free (processor,
+control-step) slot and scoring it with the **implied schedule length**
+— the smallest ``L`` at which that placement satisfies every dependence
+incident to already-placed neighbours::
+
+    in-edge  u -> v, dr = 0 :  cb >= CE(u) + M + 1          (feasibility)
+    in-edge  u -> v, dr > 0 :  L >= ceil((CE(u) + M + 1 - cb) / dr)
+    out-edge v -> x, dr = 0 :  CB(x) >= ce + M + 1           (feasibility)
+    out-edge v -> x, dr > 0 :  L >= ceil((ce + M + 1 - CB(x)) / dr)
+
+plus the node's own finish ``ce``.  The slot with the smallest implied
+length wins (ties: earlier finish, earlier start, lower PE) — this is
+the paper's remapping side condition "``CB(u) >= AN(u)``, ``CE(u) <
+length(S)`` and ``PSL(v) <= length(S)`` for all v" turned from a filter
+into the search objective.
+
+*Remapping without relaxation* caps the implied length at the previous
+schedule length and reports failure when any rotated node has no
+admissible slot — the caller rolls the pass back, giving Theorem 4.4's
+monotonicity.  *Remapping with relaxation* always places (the implied
+length may exceed the previous length; the driver keeps the best
+schedule seen, per Definition 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.topology import Architecture
+from repro.core.psl import projected_schedule_length
+from repro.errors import InfeasibleScheduleError
+from repro.graph.csdfg import CSDFG, Node
+from repro.graph.validation import topological_order_zero_delay
+from repro.schedule.table import ScheduleTable
+
+__all__ = ["RemapOutcome", "remap_nodes"]
+
+
+@dataclass
+class RemapOutcome:
+    """Result of one remapping pass.
+
+    Attributes
+    ----------
+    accepted:
+        False when the without-relaxation policy rejected the pass (the
+        caller must roll back).
+    new_length:
+        Schedule length after the pass (meaningful when accepted).
+    placements:
+        Where each rotated node landed, ``node -> (pe, cb)``.
+    """
+
+    accepted: bool
+    new_length: int
+    placements: dict[Node, tuple[int, int]] = field(default_factory=dict)
+
+
+def remap_nodes(
+    graph: CSDFG,
+    arch: Architecture,
+    schedule: ScheduleTable,
+    nodes: list[Node],
+    *,
+    previous_length: int,
+    relaxation: bool,
+    pipelined_pes: bool = False,
+    strategy: str = "implied",
+) -> RemapOutcome:
+    """Place ``nodes`` (already rotated out of ``schedule``) back in.
+
+    ``schedule`` must be the rotated/renumbered table (length
+    ``previous_length - 1`` with the rotated nodes absent).  On a
+    rejected pass the trial placements are removed again so the caller
+    can restore its snapshot cheaply.  ``strategy`` selects the slot
+    search: ``"implied"`` (this implementation's scoring) or
+    ``"first-fit"`` (the paper's literal procedure).
+    """
+    ordered = _placement_order(graph, nodes)
+    placed: list[Node] = []
+    outcome = RemapOutcome(accepted=True, new_length=previous_length)
+    cap = None if relaxation else previous_length
+
+    for node in ordered:
+        spot = _find_spot(
+            graph,
+            arch,
+            schedule,
+            node,
+            cap=cap,
+            pipelined_pes=pipelined_pes,
+            strategy=strategy,
+        )
+        if spot is None:
+            _rollback(schedule, placed)
+            return RemapOutcome(accepted=False, new_length=previous_length)
+        pe, cb, duration = spot
+        occupancy = 1 if pipelined_pes else duration
+        schedule.place(node, pe, cb, duration, occupancy)
+        placed.append(node)
+        outcome.placements[node] = (pe, cb)
+
+    try:
+        new_length = projected_schedule_length(
+            graph, arch, schedule, pipelined_pes=pipelined_pes
+        )
+    except InfeasibleScheduleError:  # pragma: no cover - defensive
+        _rollback(schedule, placed)
+        return RemapOutcome(accepted=False, new_length=previous_length)
+
+    if not relaxation and new_length > previous_length:
+        _rollback(schedule, placed)
+        return RemapOutcome(accepted=False, new_length=previous_length)
+
+    schedule.trim()
+    schedule.set_length(max(new_length, schedule.makespan))
+    outcome.new_length = schedule.length
+    return outcome
+
+
+def _placement_order(graph: CSDFG, nodes: list[Node]) -> list[Node]:
+    """Zero-delay topological order restricted to the rotated set, so a
+    node's intra-iteration producers inside the set are placed first;
+    longer tasks go earlier among order-equivalent nodes."""
+    node_set = set(nodes)
+    topo = [v for v in topological_order_zero_delay(graph) if v in node_set]
+    rank = {v: i for i, v in enumerate(topo)}
+    return sorted(nodes, key=lambda v: (rank[v], -graph.time(v), str(v)))
+
+
+def _find_spot(
+    graph: CSDFG,
+    arch: Architecture,
+    schedule: ScheduleTable,
+    node: Node,
+    *,
+    cap: int | None,
+    pipelined_pes: bool = False,
+    strategy: str = "implied",
+) -> tuple[int, int, int] | None:
+    """Best ``(pe, cb, duration)`` slot for ``node``.
+
+    ``strategy="implied"`` scans every free slot up to the horizon and
+    minimises the implied schedule length; ``strategy="first-fit"``
+    takes the earliest available slot at or after the anticipation
+    bound, minimised across processors (the paper's procedure) — the
+    cap still enforces the paper's ``PSL <= length(S)`` side condition.
+    Returns ``None`` when no admissible slot fits under ``cap``.  The
+    duration is the node's execution time on the chosen PE
+    (heterogeneous machines scale it).
+    """
+    base_time = graph.time(node)
+    tail = max(schedule.length, schedule.makespan)
+
+    in_constraints: list[tuple[int, int, int, int]] = []  # (src_pe, CE, dr, vol)
+    out_constraints: list[tuple[int, int, int, int]] = []  # (dst_pe, CB, dr, vol)
+    self_loops: list[int] = []
+    for e in graph.in_edges(node):
+        if e.src == node:
+            self_loops.append(max(1, e.delay))
+            continue
+        if e.src in schedule:
+            p = schedule.placement(e.src)
+            in_constraints.append((p.pe, p.finish, e.delay, e.volume))
+    for e in graph.out_edges(node):
+        if e.dst == node or e.dst not in schedule:
+            continue
+        p = schedule.placement(e.dst)
+        out_constraints.append((p.pe, p.start, e.delay, e.volume))
+
+    first_fit = strategy == "first-fit"
+    best: tuple[int, int, int, int, int] | None = None
+    # key: (implied, ce, cb, pe) for "implied"; (cb, ce, pe) lifted into
+    # the same tuple shape for "first-fit"
+    for pe in arch.processors:
+        duration = arch.execution_time(pe, base_time)
+        occupancy = 1 if pipelined_pes else duration
+        # self-loop: L >= ceil(duration / d), placement-independent
+        self_loop_bound = max(
+            (-(-duration // d) for d in self_loops), default=0
+        )
+        # earliest start admissible w.r.t. zero-delay producers
+        floor = 1
+        for src_pe, ce_u, dr, vol in in_constraints:
+            if dr == 0:
+                need = ce_u + arch.comm_cost(src_pe, pe, vol) + 1
+                if need > floor:
+                    floor = need
+        # with a cap, slots beyond it are pointless; without one, scan
+        # far enough past the tail (and past the floor) that a free
+        # slot is guaranteed on every PE
+        horizon = cap if cap is not None else max(tail, floor) + duration
+        cb = schedule.earliest_slot(pe, floor, occupancy, horizon=horizon)
+        while cb is not None:
+            ce = cb + duration - 1
+            implied = _implied_length(
+                arch, pe, cb, ce, in_constraints, out_constraints
+            )
+            if implied is not None:
+                implied = max(implied, ce, self_loop_bound)
+                if cap is None or implied <= cap:
+                    if first_fit:
+                        key = (cb, ce, 0, pe, duration)
+                    else:
+                        key = (implied, ce, cb, pe, duration)
+                    if best is None or key < best:
+                        best = key
+                    if first_fit or implied == ce:
+                        # first-fit keeps the earliest admissible slot
+                        # per PE; implied-scoring stops once no later
+                        # slot on this PE can score better
+                        break
+            cb = schedule.earliest_slot(pe, cb + 1, occupancy, horizon=horizon)
+    if best is None:
+        return None
+    if first_fit:
+        return best[3], best[0], best[4]
+    return best[3], best[2], best[4]
+
+
+def _implied_length(
+    arch: Architecture,
+    pe: int,
+    cb: int,
+    ce: int,
+    in_constraints: list[tuple[int, int, int, int]],
+    out_constraints: list[tuple[int, int, int, int]],
+) -> int | None:
+    """Smallest ``L`` making the candidate legal w.r.t. its placed
+    neighbours, or ``None`` when a zero-delay dependence is violated."""
+    implied = 1
+    for src_pe, ce_u, dr, vol in in_constraints:
+        comm = arch.comm_cost(src_pe, pe, vol)
+        slack = ce_u + comm + 1 - cb
+        if dr == 0:
+            if slack > 0:
+                return None
+        else:
+            need = -(-slack // dr)  # ceil
+            if need > implied:
+                implied = need
+    for dst_pe, cb_x, dr, vol in out_constraints:
+        comm = arch.comm_cost(pe, dst_pe, vol)
+        slack = ce + comm + 1 - cb_x
+        if dr == 0:
+            if slack > 0:
+                return None
+        else:
+            need = -(-slack // dr)
+            if need > implied:
+                implied = need
+    return implied
+
+
+def _rollback(schedule: ScheduleTable, placed: list[Node]) -> None:
+    for node in placed:
+        schedule.remove(node)

@@ -1,0 +1,73 @@
+"""The rotation phase (Definition 4.1).
+
+One rotation deallocates the schedule's first row — every node with
+``CB = 1`` — retimes those nodes by +1 (drawing a delay from each edge
+entering the set, pushing one onto each edge leaving it) and renumbers
+the remaining table one control step earlier.  Lemma 4.1: rotation by
+itself never changes the schedule length; the deallocated nodes are
+conceptually parked at the freed last row until the remapping phase
+re-places them.
+
+For any schedule that is legal under the communication-aware criterion,
+rotation is always *legal*: a first-row node cannot have a zero-delay
+predecessor (it would have to finish before control step 1), so every
+entering edge carries at least one delay.
+"""
+
+from __future__ import annotations
+
+from repro.arch.topology import Architecture
+from repro.graph.csdfg import CSDFG, Node
+from repro.retiming.incremental import rotate_nodes, unrotate_nodes
+from repro.schedule.table import Placement, ScheduleTable
+
+__all__ = ["rotate_schedule", "undo_rotation"]
+
+
+def rotate_schedule(
+    graph: CSDFG, schedule: ScheduleTable
+) -> tuple[list[Node], list[Placement]]:
+    """Rotate ``schedule`` once, mutating ``graph`` and ``schedule``.
+
+    Returns the rotated node set ``J`` (in PE order) and their former
+    placements (for :func:`undo_rotation`).  After the call the rotated
+    nodes are *unplaced*; the caller must remap them.
+
+    Raises :class:`~repro.errors.IllegalRetimingError` when some node in
+    the first row cannot legally be retimed — impossible for legal
+    schedules, but the precondition is still enforced.
+    """
+    rotated = schedule.first_row()
+    rotate_nodes(graph, rotated)  # raises before any mutation if illegal
+    old_placements = [schedule.remove(node) for node in rotated]
+    schedule.shift_all(-1)
+    return rotated, old_placements
+
+
+def undo_rotation(
+    graph: CSDFG,
+    schedule: ScheduleTable,
+    rotated: list[Node],
+    old_placements: list[Placement],
+    original_length: int,
+) -> None:
+    """Exactly invert :func:`rotate_schedule`.
+
+    ``schedule`` must hold no placement for the rotated nodes (any
+    trial remapping must be removed first).
+    """
+    for node in rotated:
+        if node in schedule:
+            schedule.remove(node)
+    schedule.shift_all(+1)
+    for placement in old_placements:
+        schedule.place(
+            placement.node,
+            placement.pe,
+            placement.start,
+            placement.duration,
+            placement.occupancy,
+        )
+    schedule.trim()
+    schedule.set_length(max(original_length, schedule.makespan))
+    unrotate_nodes(graph, rotated)

@@ -1,0 +1,161 @@
+"""Start-up scheduling (paper §3): communication-aware list scheduling.
+
+The algorithm walks control steps ``cs = 1, 2, ...`` keeping a ready
+list of nodes whose zero-delay predecessors are all scheduled, ordered
+by the priority function PF.  A ready node is placed at ``cs`` on the
+processor minimising ``cm = max_i (CE(pred_i) + M(PE(pred_i), p; c))``
+— the latest data-arrival over its predecessors — provided ``cm < cs``
+(the data is there) and the processor is free for the node's full
+duration.  Nodes that fit nowhere are deferred to the next control
+step.
+
+Delayed (loop-carried) edges are invisible to the placement loop (the
+paper feeds the algorithm the graph "with no feedback edges") but still
+constrain the initiation interval: the final schedule length is the
+projected schedule length of the resulting placements, which may pad
+empty control steps at the end of the table.
+"""
+
+from __future__ import annotations
+
+from repro.arch.topology import Architecture
+from repro.core.mobility import mobility_map
+from repro.core.priority import PriorityFn, paper_priority
+from repro.core.psl import projected_schedule_length
+from repro.errors import SchedulingError
+from repro.graph.csdfg import CSDFG, Node
+from repro.graph.validation import topological_order_zero_delay
+from repro.schedule.table import ScheduleTable
+
+__all__ = ["start_up_schedule"]
+
+
+def start_up_schedule(
+    graph: CSDFG,
+    arch: Architecture,
+    *,
+    priority: PriorityFn = paper_priority,
+    pad_for_delayed_edges: bool = True,
+    pipelined_pes: bool = False,
+) -> ScheduleTable:
+    """Compute the paper's initial schedule for ``graph`` on ``arch``.
+
+    Parameters
+    ----------
+    priority:
+        Start-up priority function; defaults to the paper's PF.  The
+        ablation suite passes the alternatives from
+        :mod:`repro.core.priority`.
+    pad_for_delayed_edges:
+        Grow the schedule length to the projected schedule length so
+        loop-carried cross-processor dependences are met (on by
+        default; disable only to inspect the raw makespan).
+    pipelined_pes:
+        Treat every PE as pipelined (§2): a task blocks its processor
+        for one control step only, while its results still take
+        ``t(v)`` control steps to appear.
+
+    Returns
+    -------
+    A legal :class:`~repro.schedule.table.ScheduleTable`.
+    """
+    if graph.num_nodes == 0:
+        raise SchedulingError("cannot schedule an empty graph")
+    # verifies legality (zero-delay subgraph acyclic) as a side effect
+    topological_order_zero_delay(graph)
+
+    alap = mobility_map(graph)
+    schedule = ScheduleTable(arch.num_pes, name=f"{graph.name}@{arch.name}:startup")
+    finish: dict[Node, int] = {}
+
+    pending_preds: dict[Node, int] = {
+        v: sum(1 for e in graph.in_edges(v) if e.delay == 0) for v in graph.nodes()
+    }
+    ready: list[Node] = [v for v, k in pending_preds.items() if k == 0]
+    remaining = graph.num_nodes
+
+    # any legal schedule fits in total work plus total possible comm
+    max_comm = arch.diameter * sum(e.volume for e in graph.edges())
+    cs_limit = graph.total_work() + max_comm + 1
+
+    cs = 1
+    while remaining > 0:
+        if cs > cs_limit:
+            raise SchedulingError(
+                f"start-up scheduling did not converge by cs {cs_limit}"
+            )
+        ready.sort(
+            key=lambda v: (-priority(graph, alap, finish, v, cs), str(v))
+        )
+        deferred: list[Node] = []
+        newly_ready: list[Node] = []
+        for node in ready:
+            choice = _best_processor(
+                graph, arch, schedule, finish, node, cs, pipelined_pes
+            )
+            if choice is None:
+                deferred.append(node)
+                continue
+            pe, duration = choice
+            occupancy = 1 if pipelined_pes else duration
+            placement = schedule.place(node, pe, cs, duration, occupancy)
+            finish[node] = placement.finish
+            remaining -= 1
+            for e in graph.out_edges(node):
+                if e.delay == 0:
+                    pending_preds[e.dst] -= 1
+                    if pending_preds[e.dst] == 0:
+                        newly_ready.append(e.dst)
+        ready = deferred + newly_ready
+        cs += 1
+
+    schedule.trim()
+    if pad_for_delayed_edges:
+        schedule.set_length(
+            projected_schedule_length(
+                graph, arch, schedule, pipelined_pes=pipelined_pes
+            )
+        )
+    return schedule
+
+
+def _best_processor(
+    graph: CSDFG,
+    arch: Architecture,
+    schedule: ScheduleTable,
+    finish: dict[Node, int],
+    node: Node,
+    cs: int,
+    pipelined_pes: bool,
+) -> tuple[int, int] | None:
+    """The ``(processor, duration)`` where ``node`` may start at ``cs``.
+
+    Minimises the execution time on the PE (heterogeneous machines),
+    then the data-arrival bound ``cm``; ``None`` when no processor
+    qualifies."""
+    best: tuple[int, int, int] | None = None  # (duration, cm, pe)
+    for pe in arch.processors:
+        cm = 0
+        feasible = True
+        for e in graph.in_edges(node):
+            if e.delay != 0:
+                continue
+            src_pe = schedule.processor(e.src)
+            arrival = finish[e.src] + arch.comm_cost(src_pe, pe, e.volume)
+            if arrival > cm:
+                cm = arrival
+            if arrival >= cs:  # paper: need cm < cs
+                feasible = False
+                break
+        if not feasible:
+            continue
+        duration = arch.execution_time(pe, graph.time(node))
+        occupancy = 1 if pipelined_pes else duration
+        if not schedule.is_free(pe, cs, occupancy):
+            continue
+        key = (duration, cm, pe)
+        if best is None or key < best:
+            best = key
+    if best is None:
+        return None
+    return best[2], best[0]

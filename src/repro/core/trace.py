@@ -1,0 +1,70 @@
+"""Execution traces of the cyclo-compaction optimiser.
+
+Each rotation+remapping pass appends an :class:`IterationRecord`; the
+full :class:`CompactionTrace` feeds the convergence benchmarks and the
+examples' progress printouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.csdfg import Node
+
+__all__ = ["IterationRecord", "CompactionTrace"]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One pass of the optimiser.
+
+    Attributes
+    ----------
+    index:
+        1-based pass number.
+    rotated:
+        The first-row node set ``J`` that was rotated.
+    accepted:
+        Whether the remapping was kept (always true with relaxation).
+    length_after:
+        Schedule length after the pass (== before, when rejected).
+    best_so_far:
+        Best length seen up to and including this pass.
+    """
+
+    index: int
+    rotated: tuple[Node, ...]
+    accepted: bool
+    length_after: int
+    best_so_far: int
+
+
+@dataclass
+class CompactionTrace:
+    """The whole optimisation trajectory."""
+
+    initial_length: int
+    records: list[IterationRecord] = field(default_factory=list)
+
+    @property
+    def lengths(self) -> list[int]:
+        """Schedule length after each pass (prefixed by the initial)."""
+        return [self.initial_length] + [r.length_after for r in self.records]
+
+    @property
+    def best_length(self) -> int:
+        return min(self.lengths)
+
+    @property
+    def passes_to_best(self) -> int:
+        """Index of the first pass reaching the best length (0 == the
+        initial schedule was never improved)."""
+        best = self.best_length
+        for record in self.records:
+            if record.length_after == best:
+                return record.index
+        return 0
+
+    def improvement(self) -> int:
+        """Control steps shaved off the initial schedule."""
+        return self.initial_length - self.best_length

@@ -1,0 +1,97 @@
+"""Exception hierarchy shared across the :mod:`repro` packages.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  Sub-hierarchies mirror the package
+layout: graph construction/validation, architecture modelling, schedule
+manipulation, and scheduling-algorithm failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "GraphValidationError",
+    "RetimingError",
+    "IllegalRetimingError",
+    "ArchitectureError",
+    "UnknownProcessorError",
+    "ScheduleError",
+    "PlacementConflictError",
+    "ScheduleValidationError",
+    "SchedulingError",
+    "InfeasibleScheduleError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class GraphError(ReproError):
+    """Malformed CSDFG construction (duplicate edges, unknown nodes, ...)."""
+
+
+class GraphValidationError(GraphError):
+    """A CSDFG violates a structural invariant (e.g. a zero-delay cycle).
+
+    Attributes
+    ----------
+    issues:
+        Human-readable description of each violated invariant.
+    """
+
+    def __init__(self, issues: list[str]):
+        self.issues = list(issues)
+        super().__init__("; ".join(self.issues))
+
+
+class RetimingError(ReproError):
+    """Problems applying or solving for a retiming function."""
+
+
+class IllegalRetimingError(RetimingError):
+    """A retiming would drive some edge delay negative."""
+
+
+class ArchitectureError(ReproError):
+    """Malformed architecture description (disconnected topology, ...)."""
+
+
+class UnknownProcessorError(ArchitectureError):
+    """A processor id outside the architecture's processor set."""
+
+
+class ScheduleError(ReproError):
+    """Malformed schedule-table manipulation."""
+
+
+class PlacementConflictError(ScheduleError):
+    """Two tasks would occupy the same (processor, control step) cell."""
+
+
+class ScheduleValidationError(ScheduleError):
+    """A schedule violates precedence, communication or resource rules.
+
+    Attributes
+    ----------
+    violations:
+        One entry per violated constraint.
+    """
+
+    def __init__(self, violations: list[str]):
+        self.violations = list(violations)
+        super().__init__("; ".join(self.violations))
+
+
+class SchedulingError(ReproError):
+    """A scheduling algorithm could not produce a schedule."""
+
+
+class InfeasibleScheduleError(SchedulingError):
+    """No legal placement exists under the requested constraints."""
+
+
+class WorkloadError(ReproError):
+    """A benchmark workload was requested with invalid parameters."""

@@ -1,0 +1,226 @@
+"""Random and parametric CSDFG generators.
+
+Used by the property-based test suite (hypothesis draws parameters and
+seeds, these builders guarantee CSDFG legality by construction) and by
+the scaling benchmarks.  All generators are deterministic given their
+``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import GraphError
+from repro.graph.csdfg import CSDFG
+
+__all__ = [
+    "random_csdfg",
+    "random_dag",
+    "layered_csdfg",
+    "chain_csdfg",
+    "ring_csdfg",
+    "fork_join_csdfg",
+]
+
+
+def random_csdfg(
+    num_nodes: int,
+    *,
+    seed: int = 0,
+    edge_prob: float = 0.25,
+    back_edge_prob: float = 0.15,
+    max_time: int = 3,
+    max_delay: int = 3,
+    max_volume: int = 3,
+    name: str | None = None,
+) -> CSDFG:
+    """Random legal cyclic CSDFG.
+
+    Nodes are placed on a random total order; forward edges (w.r.t. the
+    order) may carry zero delay, while backward edges always carry at
+    least one delay — so the zero-delay subgraph is a sub-DAG of the
+    order and the graph is legal by construction.
+    """
+    if num_nodes < 1:
+        raise GraphError("num_nodes must be >= 1")
+    rng = random.Random(seed)
+    graph = CSDFG(name if name is not None else f"rand{num_nodes}-s{seed}")
+    labels = [f"n{i}" for i in range(num_nodes)]
+    for label in labels:
+        graph.add_node(label, rng.randint(1, max_time))
+    order = labels[:]
+    rng.shuffle(order)
+    index = {v: i for i, v in enumerate(order)}
+    for u in labels:
+        for v in labels:
+            if u == v or graph.has_edge(u, v):
+                continue
+            if index[u] < index[v]:
+                if rng.random() < edge_prob:
+                    delay = rng.randint(0, max_delay)
+                    graph.add_edge(u, v, delay, rng.randint(1, max_volume))
+            else:
+                if rng.random() < back_edge_prob:
+                    delay = rng.randint(1, max(1, max_delay))
+                    graph.add_edge(u, v, delay, rng.randint(1, max_volume))
+    return graph
+
+
+def random_dag(
+    num_nodes: int,
+    *,
+    seed: int = 0,
+    edge_prob: float = 0.3,
+    max_time: int = 3,
+    max_volume: int = 3,
+    name: str | None = None,
+) -> CSDFG:
+    """Random acyclic CSDFG (all delays zero)."""
+    return random_csdfg(
+        num_nodes,
+        seed=seed,
+        edge_prob=edge_prob,
+        back_edge_prob=0.0,
+        max_time=max_time,
+        max_delay=0,
+        max_volume=max_volume,
+        name=name if name is not None else f"dag{num_nodes}-s{seed}",
+    )
+
+
+def layered_csdfg(
+    layer_sizes: Sequence[int],
+    *,
+    seed: int = 0,
+    fanout: int = 2,
+    feedback_edges: int = 1,
+    feedback_delay: int = 2,
+    max_time: int = 2,
+    max_volume: int = 2,
+    name: str | None = None,
+) -> CSDFG:
+    """Layered task graph (pipeline stages) with optional feedback loops.
+
+    Each node in layer ``k`` feeds up to ``fanout`` random nodes of
+    layer ``k+1`` with zero-delay edges; ``feedback_edges`` delayed
+    edges run from the last layer back to the first, modelling the
+    loop-carried state of an iterative kernel.
+    """
+    if not layer_sizes or any(s < 1 for s in layer_sizes):
+        raise GraphError("layer_sizes must be non-empty positive integers")
+    rng = random.Random(seed)
+    graph = CSDFG(name if name is not None else f"layers{'x'.join(map(str, layer_sizes))}")
+    layers: list[list[str]] = []
+    for k, size in enumerate(layer_sizes):
+        layer = [f"L{k}_{i}" for i in range(size)]
+        for label in layer:
+            graph.add_node(label, rng.randint(1, max_time))
+        layers.append(layer)
+    for k in range(len(layers) - 1):
+        for u in layers[k]:
+            targets = rng.sample(
+                layers[k + 1], k=min(fanout, len(layers[k + 1]))
+            )
+            for v in targets:
+                if not graph.has_edge(u, v):
+                    graph.add_edge(u, v, 0, rng.randint(1, max_volume))
+        # ensure every node of layer k+1 has a parent (connectivity)
+        for v in layers[k + 1]:
+            if graph.in_degree(v) == 0:
+                u = rng.choice(layers[k])
+                graph.add_edge(u, v, 0, rng.randint(1, max_volume))
+    for _ in range(feedback_edges):
+        u = rng.choice(layers[-1])
+        v = rng.choice(layers[0])
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v, feedback_delay, rng.randint(1, max_volume))
+    return graph
+
+
+def chain_csdfg(
+    length: int,
+    *,
+    time: int = 1,
+    volume: int = 1,
+    loop_delay: int = 1,
+    name: str | None = None,
+) -> CSDFG:
+    """A single dependence chain closed into a loop.
+
+    ``n0 -> n1 -> ... -> n_{L-1} -> n0`` where only the closing edge
+    carries ``loop_delay`` delays.  Its iteration bound is
+    ``L * time / loop_delay``.
+    """
+    if length < 1:
+        raise GraphError("length must be >= 1")
+    graph = CSDFG(name if name is not None else f"chain{length}")
+    labels = [f"n{i}" for i in range(length)]
+    for label in labels:
+        graph.add_node(label, time)
+    for i in range(length - 1):
+        graph.add_edge(labels[i], labels[i + 1], 0, volume)
+    if length == 1:
+        graph.add_edge(labels[0], labels[0], max(1, loop_delay), volume)
+    else:
+        graph.add_edge(labels[-1], labels[0], max(1, loop_delay), volume)
+    return graph
+
+
+def ring_csdfg(
+    length: int,
+    *,
+    delay_per_edge: int = 1,
+    time: int = 1,
+    volume: int = 1,
+    name: str | None = None,
+) -> CSDFG:
+    """A cycle where *every* edge carries ``delay_per_edge`` delays.
+
+    Fully pipelineable: its iteration bound is
+    ``length * time / (length * delay_per_edge)``.
+    """
+    if length < 2:
+        raise GraphError("length must be >= 2")
+    if delay_per_edge < 1:
+        raise GraphError("delay_per_edge must be >= 1 for legality")
+    graph = CSDFG(name if name is not None else f"ring{length}")
+    labels = [f"n{i}" for i in range(length)]
+    for label in labels:
+        graph.add_node(label, time)
+    for i in range(length):
+        graph.add_edge(labels[i], labels[(i + 1) % length], delay_per_edge, volume)
+    return graph
+
+
+def fork_join_csdfg(
+    width: int,
+    *,
+    stages: int = 1,
+    time: int = 1,
+    volume: int = 1,
+    loop_delay: int = 1,
+    name: str | None = None,
+) -> CSDFG:
+    """Fork–join kernels: source fans out to ``width`` parallel chains
+    of ``stages`` nodes which join into a sink; the sink feeds the
+    source back with ``loop_delay`` delays.
+
+    Stresses the communication model: the fan-out/fan-in edges all
+    cross processors in any width-exploiting schedule.
+    """
+    if width < 1 or stages < 1:
+        raise GraphError("width and stages must be >= 1")
+    graph = CSDFG(name if name is not None else f"forkjoin{width}x{stages}")
+    graph.add_node("src", time)
+    graph.add_node("sink", time)
+    for w in range(width):
+        prev = "src"
+        for s in range(stages):
+            node = f"b{w}_{s}"
+            graph.add_node(node, time)
+            graph.add_edge(prev, node, 0, volume)
+            prev = node
+        graph.add_edge(prev, "sink", 0, volume)
+    graph.add_edge("sink", "src", max(1, loop_delay), volume)
+    return graph

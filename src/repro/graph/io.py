@@ -1,0 +1,152 @@
+"""Serialization of CSDFGs: JSON, DOT, and a compact edge-list text form.
+
+The JSON form is the canonical interchange format (round-trips every
+annotation); DOT output is for visual inspection with graphviz; the
+edge-list form is convenient for hand-written workload files::
+
+    # node lines:  node NAME TIME
+    # edge lines:  SRC -> DST [delay=K] [volume=M]
+    node A 1
+    node B 2
+    A -> B delay=0 volume=1
+    B -> A delay=3 volume=2
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any
+
+from repro.errors import GraphError
+from repro.graph.csdfg import CSDFG
+
+__all__ = [
+    "to_json",
+    "from_json",
+    "save_json",
+    "load_json",
+    "to_dot",
+    "to_edge_list",
+    "from_edge_list",
+]
+
+_FORMAT_VERSION = 1
+
+
+def to_json(graph: CSDFG) -> dict[str, Any]:
+    """Canonical JSON-serializable representation of ``graph``."""
+    return {
+        "format": "repro-csdfg",
+        "version": _FORMAT_VERSION,
+        "name": graph.name,
+        "nodes": [{"id": str(v), "time": graph.time(v)} for v in graph.nodes()],
+        "edges": [
+            {
+                "src": str(e.src),
+                "dst": str(e.dst),
+                "delay": e.delay,
+                "volume": e.volume,
+            }
+            for e in graph.edges()
+        ],
+    }
+
+
+def from_json(payload: dict[str, Any]) -> CSDFG:
+    """Rebuild a CSDFG from :func:`to_json` output.
+
+    Node ids are restored as strings (the canonical label type of the
+    interchange format).
+    """
+    if payload.get("format") != "repro-csdfg":
+        raise GraphError("not a repro-csdfg JSON payload")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise GraphError(f"unsupported csdfg format version {payload.get('version')!r}")
+    graph = CSDFG(payload.get("name", "csdfg"))
+    for node in payload["nodes"]:
+        graph.add_node(node["id"], node.get("time", 1))
+    for edge in payload["edges"]:
+        graph.add_edge(
+            edge["src"], edge["dst"], edge.get("delay", 0), edge.get("volume", 1)
+        )
+    return graph
+
+
+def save_json(graph: CSDFG, path: str | Path) -> None:
+    """Write ``graph`` to ``path`` as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(to_json(graph), indent=2) + "\n")
+
+
+def load_json(path: str | Path) -> CSDFG:
+    """Load a CSDFG written by :func:`save_json`."""
+    return from_json(json.loads(Path(path).read_text()))
+
+
+def to_dot(graph: CSDFG) -> str:
+    """Graphviz DOT rendering.
+
+    Nodes show ``name (t)``; edges are labelled ``d/c`` and delayed
+    edges are drawn dashed (the paper draws delays as bars).
+    """
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=TB;"]
+    for node in graph.nodes():
+        lines.append(f'  "{node}" [label="{node} ({graph.time(node)})"];')
+    for e in graph.edges():
+        style = ' style=dashed' if e.delay > 0 else ""
+        lines.append(
+            f'  "{e.src}" -> "{e.dst}" [label="d={e.delay} c={e.volume}"{style}];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def to_edge_list(graph: CSDFG) -> str:
+    """Compact textual form (see module docstring for the grammar)."""
+    lines = [f"# csdfg {graph.name}"]
+    for node in graph.nodes():
+        lines.append(f"node {node} {graph.time(node)}")
+    for e in graph.edges():
+        lines.append(f"{e.src} -> {e.dst} delay={e.delay} volume={e.volume}")
+    return "\n".join(lines) + "\n"
+
+
+_NODE_RE = re.compile(r"^node\s+(\S+)\s+(\d+)\s*$")
+_EDGE_RE = re.compile(
+    r"^(\S+)\s*->\s*(\S+)((?:\s+(?:delay|volume)=\d+)*)\s*$"
+)
+_ATTR_RE = re.compile(r"(delay|volume)=(\d+)")
+
+
+def from_edge_list(text: str, name: str = "csdfg") -> CSDFG:
+    """Parse the edge-list text format.
+
+    Unknown nodes referenced by edges are implicitly created with
+    ``time=1`` so quick experiments need only edge lines.
+    """
+    graph = CSDFG(name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        m = _NODE_RE.match(line)
+        if m:
+            graph.add_node(m.group(1), int(m.group(2)))
+            continue
+        m = _EDGE_RE.match(line)
+        if m:
+            src, dst, attrs = m.group(1), m.group(2), m.group(3) or ""
+            delay, volume = 0, 1
+            for key, value in _ATTR_RE.findall(attrs):
+                if key == "delay":
+                    delay = int(value)
+                else:
+                    volume = int(value)
+            for endpoint in (src, dst):
+                if endpoint not in graph:
+                    graph.add_node(endpoint, 1)
+            graph.add_edge(src, dst, delay, volume)
+            continue
+        raise GraphError(f"line {lineno}: cannot parse {raw!r}")
+    return graph

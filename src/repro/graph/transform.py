@@ -1,0 +1,145 @@
+"""Graph transformations: slowdown, unfolding, edge merging, reversal.
+
+The paper's Table 11 evaluates the filters "with a slow down factor of 3";
+*slowdown* multiplies every delay count by a constant, a classical
+transformation (Parhi) that enlarges the retiming space so loop
+pipelining can expose more parallelism.  *Unfolding* by ``f`` replicates
+the loop body ``f`` times, which trades schedule-table size for a lower
+per-iteration initiation interval.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from repro.errors import GraphError
+from repro.graph.csdfg import CSDFG, Node
+
+__all__ = [
+    "slowdown",
+    "unfold",
+    "merge_parallel_edges",
+    "reverse",
+    "scale_times",
+    "scale_volumes",
+]
+
+
+def slowdown(graph: CSDFG, factor: int, name: str | None = None) -> CSDFG:
+    """Multiply every edge delay by ``factor`` (the paper's Table 11 setup).
+
+    The transformed graph computes the same recurrence executed once
+    every ``factor`` iterations of the schedule; legality is preserved
+    because cycle delays scale by the same positive factor.
+    """
+    if factor < 1:
+        raise GraphError(f"slowdown factor must be >= 1, got {factor}")
+    out = graph.copy(name if name is not None else f"{graph.name}:slow{factor}")
+    for edge in list(out.edges()):
+        out.set_delay(edge.src, edge.dst, edge.delay * factor)
+    return out
+
+
+def unfold(
+    graph: CSDFG,
+    factor: int,
+    name: str | None = None,
+    label: Callable[[Node, int], Hashable] | None = None,
+) -> CSDFG:
+    """Unfold the loop body ``factor`` times (standard DFG unfolding).
+
+    Each node ``v`` becomes copies ``v_0 .. v_{f-1}``; an edge
+    ``u -> v`` with delay ``d`` becomes, for every copy index ``i``,
+    the edge ``u_i -> v_{(i + d) mod f}`` with delay ``(i + d) // f``.
+    Data volumes are preserved on every copy.
+
+    Parameters
+    ----------
+    label:
+        Naming function ``(node, copy_index) -> new label``; defaults to
+        ``f"{node}#{i}"``.
+    """
+    if factor < 1:
+        raise GraphError(f"unfolding factor must be >= 1, got {factor}")
+    if label is None:
+        label = lambda v, i: f"{v}#{i}"  # noqa: E731
+    out = CSDFG(name if name is not None else f"{graph.name}:unfold{factor}")
+    for node in graph.nodes():
+        for i in range(factor):
+            out.add_node(label(node, i), graph.time(node))
+    for edge in graph.edges():
+        for i in range(factor):
+            j = (i + edge.delay) % factor
+            d = (i + edge.delay) // factor
+            src, dst = label(edge.src, i), label(edge.dst, j)
+            if out.has_edge(src, dst):
+                # duplicate arises only for degenerate self-parallel
+                # dependences; keep the tightest constraint
+                existing = out.edge(src, dst)
+                out.set_delay(src, dst, min(existing.delay, d))
+            else:
+                out.add_edge(src, dst, d, edge.volume)
+    return out
+
+
+def merge_parallel_edges(
+    edges: list[tuple[Node, Node, int, int]],
+) -> list[tuple[Node, Node, int, int]]:
+    """Collapse duplicate ``(src, dst)`` entries to one edge each.
+
+    Input tuples are ``(src, dst, delay, volume)``.  The merged edge
+    keeps the minimum delay (tightest precedence constraint) and the
+    maximum volume (largest communication, conservative for cost).
+    Helper for importers whose sources may contain parallel edges.
+    """
+    merged: dict[tuple[Node, Node], tuple[int, int]] = {}
+    order: list[tuple[Node, Node]] = []
+    for src, dst, delay, volume in edges:
+        key = (src, dst)
+        if key in merged:
+            d0, v0 = merged[key]
+            merged[key] = (min(d0, delay), max(v0, volume))
+        else:
+            merged[key] = (delay, volume)
+            order.append(key)
+    return [(s, t, merged[(s, t)][0], merged[(s, t)][1]) for s, t in order]
+
+
+def reverse(graph: CSDFG, name: str | None = None) -> CSDFG:
+    """Reverse every edge (delays/volumes preserved).
+
+    The reverse graph is used by ALAP-style backward passes and by the
+    Leiserson–Saxe feasibility formulation.
+    """
+    out = CSDFG(name if name is not None else f"{graph.name}:rev")
+    for node in graph.nodes():
+        out.add_node(node, graph.time(node))
+    for edge in graph.edges():
+        out.add_edge(edge.dst, edge.src, edge.delay, edge.volume)
+    return out
+
+
+def scale_times(graph: CSDFG, factor: int, name: str | None = None) -> CSDFG:
+    """Multiply every execution time by ``factor`` (clock rescaling)."""
+    if factor < 1:
+        raise GraphError(f"time scale factor must be >= 1, got {factor}")
+    out = graph.copy(name if name is not None else f"{graph.name}:t*{factor}")
+    for node in list(out.nodes()):
+        out.add_node(node, graph.time(node) * factor)
+    return out
+
+
+def scale_volumes(graph: CSDFG, factor: int, name: str | None = None) -> CSDFG:
+    """Multiply every communication volume by ``factor``.
+
+    Models wider data words or finer-grained packets; used by the
+    communication-sensitivity ablation.
+    """
+    if factor < 1:
+        raise GraphError(f"volume scale factor must be >= 1, got {factor}")
+    out = CSDFG(name if name is not None else f"{graph.name}:c*{factor}")
+    for node in graph.nodes():
+        out.add_node(node, graph.time(node))
+    for edge in graph.edges():
+        out.add_edge(edge.src, edge.dst, edge.delay, edge.volume * factor)
+    return out

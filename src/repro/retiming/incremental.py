@@ -1,0 +1,92 @@
+"""Incremental node-set retiming — the rotation primitive.
+
+The paper's rotation phase (Definition 4.1) retimes the set ``J`` of
+first-row nodes by +1: one delay is drawn from every edge *entering*
+``J`` and pushed onto every edge *leaving* ``J``; edges internal to
+``J`` are unchanged.  This module provides that primitive as an
+in-place graph rewrite plus its legality precondition.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import IllegalRetimingError
+from repro.graph.csdfg import CSDFG, Node
+
+__all__ = ["can_rotate", "rotate_nodes", "unrotate_nodes"]
+
+
+def can_rotate(graph: CSDFG, nodes: Iterable[Node]) -> bool:
+    """True when every edge entering the node set carries >= 1 delay.
+
+    For the first row of a legal communication-aware schedule this
+    always holds: a zero-delay predecessor would have to *finish*
+    before control step 1.
+    """
+    node_set = set(nodes)
+    for v in node_set:
+        for e in graph.in_edges(v):
+            if e.src not in node_set and e.delay < 1:
+                return False
+    return True
+
+
+def rotate_nodes(graph: CSDFG, nodes: Iterable[Node], amount: int = 1) -> None:
+    """Retime every node of ``nodes`` by ``+amount`` in place.
+
+    Draws ``amount`` delays from each edge entering the set and pushes
+    ``amount`` onto each edge leaving it.  Raises
+    :class:`IllegalRetimingError` (leaving the graph untouched) when
+    any entering edge has fewer than ``amount`` delays.
+    """
+    if amount < 0:
+        raise IllegalRetimingError("rotation amount must be >= 0")
+    node_set = set(nodes)
+    entering = []
+    leaving = []
+    for v in node_set:
+        for e in graph.in_edges(v):
+            if e.src not in node_set:
+                if e.delay < amount:
+                    raise IllegalRetimingError(
+                        f"cannot rotate {sorted(map(str, node_set))}: edge "
+                        f"{e.src!r}->{e.dst!r} carries {e.delay} < {amount} delays"
+                    )
+                entering.append(e)
+        for e in graph.out_edges(v):
+            if e.dst not in node_set:
+                leaving.append(e)
+    for e in entering:
+        graph.set_delay(e.src, e.dst, e.delay - amount)
+    for e in leaving:
+        graph.set_delay(e.src, e.dst, e.delay + amount)
+
+
+def unrotate_nodes(graph: CSDFG, nodes: Iterable[Node], amount: int = 1) -> None:
+    """Inverse of :func:`rotate_nodes` (retime the set by ``-amount``).
+
+    Raises :class:`IllegalRetimingError` when some *leaving* edge has
+    fewer than ``amount`` delays to give back.
+    """
+    if amount < 0:
+        raise IllegalRetimingError("rotation amount must be >= 0")
+    node_set = set(nodes)
+    entering = []
+    leaving = []
+    for v in node_set:
+        for e in graph.in_edges(v):
+            if e.src not in node_set:
+                entering.append(e)
+        for e in graph.out_edges(v):
+            if e.dst not in node_set:
+                if e.delay < amount:
+                    raise IllegalRetimingError(
+                        f"cannot unrotate {sorted(map(str, node_set))}: edge "
+                        f"{e.src!r}->{e.dst!r} carries {e.delay} < {amount} delays"
+                    )
+                leaving.append(e)
+    for e in entering:
+        graph.set_delay(e.src, e.dst, e.delay + amount)
+    for e in leaving:
+        graph.set_delay(e.src, e.dst, e.delay - amount)

@@ -1,0 +1,161 @@
+"""Leiserson–Saxe clock-period-minimising retiming.
+
+The paper's rotation phase applies retiming *implicitly*; the classic
+explicit algorithm [Leiserson & Saxe, Algorithmica 1991] is implemented
+here both as a baseline (what pure retiming achieves with unlimited
+processors and free communication) and as a lower-bound oracle for the
+tests: no schedule of one loop iteration can beat the minimum
+achievable clock period when processors are unlimited.
+
+Terminology mapped onto CSDFGs: the *clock period* of ``G`` is the
+maximum total execution time along a zero-delay path —
+:func:`repro.graph.properties.critical_path_length`.  The algorithm:
+
+1. ``W(u,v)`` = minimum delay count over all ``u -> v`` paths and
+   ``D(u,v)`` = maximum total node time over the minimum-delay paths
+   (computed by an all-pairs shortest path over lexicographic weights
+   ``(d(e), -t(u))``).
+2. A period ``c`` is feasible iff the difference constraints
+   ``r(u) - r(v) <= d(e)`` (legality) and ``r(u) - r(v) <= W(u,v) - 1``
+   for every pair with ``D(u,v) > c`` admit a solution (Bellman–Ford).
+3. Binary-search ``c`` over the sorted distinct values of ``D``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import RetimingError
+from repro.graph.csdfg import CSDFG, Node
+
+__all__ = ["wd_matrices", "feasible_retiming_for_period", "min_period_retiming"]
+
+_INF = np.iinfo(np.int64).max // 4
+
+
+def wd_matrices(graph: CSDFG) -> tuple[dict, np.ndarray, np.ndarray]:
+    """The W and D matrices of Leiserson–Saxe.
+
+    Returns ``(index, W, D)`` where ``index`` maps nodes to matrix rows.
+    ``W[i, j]`` is the minimum path delay from node i to node j
+    (``_INF``-like sentinel when unreachable) and ``D[i, j]`` the
+    maximum total computation time over those minimum-delay paths
+    (including both endpoints).
+    """
+    nodes = list(graph.nodes())
+    index = {v: i for i, v in enumerate(nodes)}
+    n = len(nodes)
+    times = np.array([graph.time(v) for v in nodes], dtype=np.int64)
+
+    # lexicographic weights: minimise (delay, -time-excluding-endpoint)
+    w = np.full((n, n), _INF, dtype=np.int64)
+    # second component: for a path p, sum of t over nodes of p except dst;
+    # stored negated so smaller == more computation
+    neg_t = np.full((n, n), _INF, dtype=np.int64)
+    for i in range(n):
+        w[i, i] = 0
+        neg_t[i, i] = 0  # empty path: no delay, no time before the endpoint
+    for e in graph.edges():
+        i, j = index[e.src], index[e.dst]
+        if i == j:
+            continue  # a self-loop never lies on a simple u->v path
+        cand_w, cand_t = e.delay, -times[i]
+        if (cand_w, cand_t) < (w[i, j], neg_t[i, j]):
+            w[i, j], neg_t[i, j] = cand_w, cand_t
+    # Floyd–Warshall on lexicographic pairs.  The invariant is
+    # neg_t[i, j] == -(max time over min-delay i->j paths, excluding j),
+    # so concatenating i->k (excl. k) with k->j (incl. k, excl. j) is a
+    # plain sum of both components.
+    for k in range(n):
+        wk_out = w[k, :]
+        tk_out = neg_t[k, :]
+        for i in range(n):
+            if w[i, k] >= _INF:
+                continue
+            cw = w[i, k] + wk_out
+            ct = neg_t[i, k] + tk_out
+            reach = wk_out < _INF
+            better = reach & (
+                (cw < w[i, :]) | ((cw == w[i, :]) & (ct < neg_t[i, :]))
+            )
+            w[i, better] = cw[better]
+            neg_t[i, better] = ct[better]
+    # D includes both endpoints: path time = -neg_t + t(dst)
+    D = np.where(w < _INF, -neg_t + times[None, :], -_INF)
+    return index, w, D
+
+
+def feasible_retiming_for_period(
+    graph: CSDFG, period: int
+) -> dict[Node, int] | None:
+    """A legal retiming achieving clock period <= ``period``, or None.
+
+    Solves the Leiserson–Saxe difference constraints with Bellman–Ford
+    over a constraint graph with a virtual source.
+    """
+    index, w, D = wd_matrices(graph)
+    nodes = list(index)
+    n = len(nodes)
+    # constraints r(u) - r(v) <= bound  =>  edge v -> u with weight bound
+    constraints: dict[tuple[int, int], int] = {}
+
+    def add(u: int, v: int, bound: int) -> None:
+        key = (v, u)
+        if key not in constraints or bound < constraints[key]:
+            constraints[key] = bound
+
+    for e in graph.edges():
+        add(index[e.src], index[e.dst], e.delay)
+    rows, cols = np.where(D > period)
+    for i, j in zip(rows.tolist(), cols.tolist()):
+        if w[i, j] >= _INF:
+            continue
+        add(i, j, int(w[i, j]) - 1)
+
+    dist = [0] * n  # virtual source at distance 0 to all nodes
+    edges = [(a, b, bound) for (a, b), bound in constraints.items()]
+    for _ in range(n):
+        changed = False
+        for a, b, bound in edges:
+            if dist[a] + bound < dist[b]:
+                dist[b] = dist[a] + bound
+                changed = True
+        if not changed:
+            break
+    else:
+        # n relaxations without fixpoint: check for a negative cycle
+        for a, b, bound in edges:
+            if dist[a] + bound < dist[b]:
+                return None
+    # Bellman–Ford solves the Leiserson–Saxe convention
+    # (d_r = d + r(v) - r(u)); negate to this library's paper
+    # convention (d_r = d + r(u) - r(v), see repro.retiming.basic)
+    return {nodes[i]: -dist[i] for i in range(n)}
+
+
+def min_period_retiming(graph: CSDFG) -> tuple[int, dict[Node, int]]:
+    """Minimum achievable clock period and a retiming realising it.
+
+    Binary-searches the sorted distinct entries of ``D``.  Raises
+    :class:`RetimingError` for empty graphs.
+    """
+    if graph.num_nodes == 0:
+        raise RetimingError("cannot retime an empty graph")
+    _, w, D = wd_matrices(graph)
+    candidates = np.unique(D[D > -_INF])
+    lo, hi = 0, len(candidates) - 1
+    best: tuple[int, dict[Node, int]] | None = None
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        period = int(candidates[mid])
+        retiming = feasible_retiming_for_period(graph, period)
+        if retiming is not None:
+            best = (period, retiming)
+            hi = mid - 1
+        else:
+            lo = mid + 1
+    if best is None:
+        raise RetimingError(
+            "no feasible period found (graph has a zero-delay cycle?)"
+        )
+    return best

@@ -1,0 +1,105 @@
+"""Prologue / epilogue extraction for retimed loops.
+
+Retiming by ``r`` shifts node ``v``'s computation ``r(v)`` iterations
+earlier.  Before the steady-state (retimed) loop can run, the shifted
+instances must be precomputed — the **prologue** (paper §2: "the set of
+instructions that must be executed to provide the necessary data for
+the iterative process after it has been successfully retimed").  The
+**epilogue** completes the trailing instances after the loop exits.
+
+With the retiming normalised so ``min r = 0``:
+
+* prologue: node ``v`` runs for original iterations ``0 .. r(v) - 1``,
+* steady state: retimed iteration ``i`` executes instance
+  ``(v, i + r(v))`` for ``N - r_max`` iterations,
+* epilogue: node ``v`` runs for original iterations
+  ``N - r_max + r(v) .. N - 1``.
+
+Together they execute each node exactly ``N`` times — the invariant the
+tests check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import RetimingError
+from repro.graph.csdfg import CSDFG, Node
+from repro.graph.validation import topological_order_zero_delay
+from repro.retiming.basic import normalize_retiming
+
+__all__ = ["Instance", "LoopCode", "build_loop_code"]
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One execution instance: ``node`` at original iteration
+    ``iteration``."""
+
+    node: Node
+    iteration: int
+
+
+@dataclass(frozen=True)
+class LoopCode:
+    """Prologue / steady-state / epilogue decomposition of ``N``
+    iterations of a retimed loop."""
+
+    prologue: tuple[Instance, ...]
+    steady_iterations: int
+    epilogue: tuple[Instance, ...]
+    retiming: dict[Node, int]
+
+    def total_instances(self, graph: CSDFG) -> int:
+        """Total node executions across all three phases."""
+        return (
+            len(self.prologue)
+            + self.steady_iterations * graph.num_nodes
+            + len(self.epilogue)
+        )
+
+
+def build_loop_code(
+    graph: CSDFG, retiming: Mapping[Node, int], iterations: int
+) -> LoopCode:
+    """Decompose ``iterations`` runs of the loop under ``retiming``.
+
+    The retiming is normalised internally (``min r = 0``).  Requires
+    ``iterations >= max r`` so the steady state is non-empty.  Prologue
+    instances are emitted in (iteration, zero-delay topological) order,
+    so they can be executed sequentially as written.
+    """
+    if iterations < 0:
+        raise RetimingError(f"iterations must be >= 0, got {iterations}")
+    r = normalize_retiming({v: retiming.get(v, 0) for v in graph.nodes()})
+    r_max = max(r.values(), default=0)
+    if iterations < r_max:
+        raise RetimingError(
+            f"need at least r_max={r_max} iterations, got {iterations}"
+        )
+    topo = topological_order_zero_delay(graph)
+
+    prologue: list[Instance] = []
+    for it in range(r_max):
+        for v in topo:
+            if r[v] > it:
+                prologue.append(Instance(v, it))
+
+    # steady-state retimed iteration i (0 <= i < steady) executes the
+    # original instance (v, i + r(v)); the epilogue covers the rest
+    steady = iterations - r_max
+    topo_index = {v: k for k, v in enumerate(topo)}
+    epilogue = [
+        Instance(v, orig_it)
+        for v in topo
+        for orig_it in range(steady + r[v], iterations)
+    ]
+    epilogue.sort(key=lambda inst: (inst.iteration, topo_index[inst.node]))
+
+    return LoopCode(
+        prologue=tuple(prologue),
+        steady_iterations=steady,
+        epilogue=tuple(epilogue),
+        retiming=dict(r),
+    )

@@ -1,0 +1,86 @@
+"""Schedule table serialization (JSON).
+
+Lets toolchains persist a scheduling result — e.g. feed the table to a
+code generator or compare runs — and reload it bit-exactly.  The
+payload records the table shape plus every placement (including the
+pipelined-PE occupancy).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ScheduleError
+from repro.schedule.table import ScheduleTable
+
+__all__ = [
+    "schedule_to_json",
+    "schedule_from_json",
+    "save_schedule",
+    "load_schedule",
+]
+
+_FORMAT_VERSION = 1
+
+
+def schedule_to_json(schedule: ScheduleTable) -> dict[str, Any]:
+    """Canonical JSON-serializable form of a schedule table."""
+    return {
+        "format": "repro-schedule",
+        "version": _FORMAT_VERSION,
+        "name": schedule.name,
+        "num_pes": schedule.num_pes,
+        "length": schedule.length,
+        "placements": [
+            {
+                "node": str(p.node),
+                "pe": p.pe,
+                "start": p.start,
+                "duration": p.duration,
+                "occupancy": p.occupancy,
+            }
+            for p in sorted(
+                schedule.placements(), key=lambda p: (p.pe, p.start)
+            )
+        ],
+    }
+
+
+def schedule_from_json(payload: dict[str, Any]) -> ScheduleTable:
+    """Rebuild a :class:`ScheduleTable` from :func:`schedule_to_json`.
+
+    Node ids are restored as strings (the interchange label type).
+    """
+    if payload.get("format") != "repro-schedule":
+        raise ScheduleError("not a repro-schedule JSON payload")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ScheduleError(
+            f"unsupported schedule format version {payload.get('version')!r}"
+        )
+    table = ScheduleTable(
+        payload["num_pes"], name=payload.get("name", "schedule")
+    )
+    for entry in payload["placements"]:
+        table.place(
+            entry["node"],
+            entry["pe"],
+            entry["start"],
+            entry["duration"],
+            entry.get("occupancy"),
+        )
+    table.set_length(max(payload.get("length", 0), table.makespan))
+    return table
+
+
+def save_schedule(schedule: ScheduleTable, path: str | Path) -> None:
+    """Write ``schedule`` to ``path`` as pretty-printed JSON."""
+    Path(path).write_text(
+        json.dumps(schedule_to_json(schedule), indent=2) + "\n"
+    )
+
+
+def load_schedule(path: str | Path) -> ScheduleTable:
+    """Load a schedule written by :func:`save_schedule`."""
+    return schedule_from_json(json.loads(Path(path).read_text()))

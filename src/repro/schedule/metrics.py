@@ -1,0 +1,102 @@
+"""Quantitative schedule metrics used by the evaluation harness.
+
+All metrics are per steady-state iteration of the static cyclic
+schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.topology import Architecture
+from repro.graph.csdfg import CSDFG
+from repro.schedule.table import ScheduleTable
+
+__all__ = [
+    "ScheduleMetrics",
+    "compute_metrics",
+    "utilization",
+    "speedup",
+    "total_comm_cost",
+    "remote_edge_count",
+]
+
+
+def utilization(schedule: ScheduleTable) -> float:
+    """Fraction of (PE, control step) cells that are busy."""
+    if schedule.length == 0 or schedule.num_pes == 0:
+        return 0.0
+    busy = sum(p.duration for p in schedule.placements())
+    return busy / (schedule.length * schedule.num_pes)
+
+
+def speedup(graph: CSDFG, schedule: ScheduleTable) -> float:
+    """Sequential work divided by the schedule length.
+
+    The sequential baseline is a single PE with no communication, i.e.
+    ``sum t(v)``; an ideal ``p``-PE schedule approaches ``p``.
+    """
+    if schedule.length == 0:
+        return 0.0
+    return graph.total_work() / schedule.length
+
+
+def total_comm_cost(
+    graph: CSDFG, arch: Architecture, schedule: ScheduleTable
+) -> int:
+    """Sum of ``M(PE(u), PE(v); c(e))`` over all cross-PE edges."""
+    total = 0
+    for edge in graph.edges():
+        pu = schedule.processor(edge.src)
+        pv = schedule.processor(edge.dst)
+        total += arch.comm_cost(pu, pv, edge.volume)
+    return total
+
+
+def remote_edge_count(graph: CSDFG, schedule: ScheduleTable) -> int:
+    """How many dependence edges cross processors."""
+    return sum(
+        1
+        for edge in graph.edges()
+        if schedule.processor(edge.src) != schedule.processor(edge.dst)
+    )
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """A bundle of per-iteration schedule statistics."""
+
+    length: int
+    utilization: float
+    speedup: float
+    comm_cost: int
+    remote_edges: int
+    pes_used: int
+
+    def as_row(self) -> dict[str, float | int]:
+        """Flat dict form for tabular reports."""
+        return {
+            "length": self.length,
+            "utilization": round(self.utilization, 4),
+            "speedup": round(self.speedup, 4),
+            "comm_cost": self.comm_cost,
+            "remote_edges": self.remote_edges,
+            "pes_used": self.pes_used,
+        }
+
+
+def compute_metrics(
+    graph: CSDFG, arch: Architecture, schedule: ScheduleTable
+) -> ScheduleMetrics:
+    """Compute the full :class:`ScheduleMetrics` bundle."""
+    pes_used = sum(
+        1 for pe in range(schedule.num_pes) if schedule.pe_tasks(pe)
+    )
+    return ScheduleMetrics(
+        length=schedule.length,
+        utilization=utilization(schedule),
+        speedup=speedup(graph, schedule),
+        comm_cost=total_comm_cost(graph, arch, schedule),
+        remote_edges=remote_edge_count(graph, schedule),
+        pes_used=pes_used,
+    )

@@ -1,0 +1,77 @@
+"""ASCII renderings of schedule tables, matching the paper's layout.
+
+The paper prints schedules as ``cs`` rows against ``pe1..peN`` columns,
+repeating a multi-cycle task's name in each of its control steps (e.g.
+``B B`` for a two-cycle task).  :func:`render_table` reproduces that
+layout; :func:`render_gantt` gives the transposed per-processor view.
+"""
+
+from __future__ import annotations
+
+from repro.schedule.table import ScheduleTable
+
+__all__ = ["render_table", "render_gantt", "render_summary"]
+
+
+def render_table(schedule: ScheduleTable, title: str | None = None) -> str:
+    """Paper-style table: one row per control step, one column per PE."""
+    width = max(
+        [2]
+        + [len(str(node)) for node in schedule.nodes()]
+        + [len(f"pe{schedule.num_pes}")]
+    )
+    length = max(schedule.length, 1)
+    cs_width = max(2, len(str(length)))
+
+    def fmt(text: str) -> str:
+        return text.ljust(width)
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = "cs".ljust(cs_width) + " | " + " ".join(
+        fmt(f"pe{p + 1}") for p in range(schedule.num_pes)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cs in range(1, length + 1):
+        cells = []
+        for pe in range(schedule.num_pes):
+            node = schedule.cell(pe, cs)
+            cells.append(fmt(str(node) if node is not None else "."))
+        lines.append(str(cs).ljust(cs_width) + " | " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def render_gantt(schedule: ScheduleTable, title: str | None = None) -> str:
+    """Transposed view: one row per PE, control steps left to right."""
+    width = max(
+        [2] + [len(str(node)) for node in schedule.nodes()]
+    )
+    length = max(schedule.length, 1)
+
+    def fmt(text: str) -> str:
+        return text.ljust(width)
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = "     " + " ".join(fmt(str(cs)) for cs in range(1, length + 1))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for pe in range(schedule.num_pes):
+        cells = []
+        for cs in range(1, length + 1):
+            node = schedule.cell(pe, cs)
+            cells.append(fmt(str(node) if node is not None else "."))
+        lines.append(f"pe{pe + 1:<2} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def render_summary(schedule: ScheduleTable) -> str:
+    """One-line summary: length, tasks, busy PEs."""
+    busy = sum(1 for pe in range(schedule.num_pes) if schedule.pe_tasks(pe))
+    return (
+        f"{schedule.name}: length={schedule.length} tasks={schedule.num_tasks} "
+        f"PEs used={busy}/{schedule.num_pes}"
+    )

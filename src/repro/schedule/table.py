@@ -1,0 +1,320 @@
+"""Static schedule tables (control step x processor grids).
+
+A :class:`ScheduleTable` is the paper's "schedule table": rows are
+control steps ``1..length`` and columns are processors.  A task ``v``
+occupies processor ``PE(v)`` for the ``t(v)`` consecutive control steps
+``CB(v) .. CE(v)`` (Definitions 3.1-3.3).  The table is executed
+cyclically with initiation interval ``length``.
+
+The table stores explicit :class:`Placement` records plus a cell index
+for O(1) occupancy checks; ``length`` may exceed the last busy control
+step (the paper pads with empty control steps when the projected
+schedule length demands it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import PlacementConflictError, ScheduleError
+from repro.graph.csdfg import Node
+
+__all__ = ["Placement", "ScheduleTable"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One task's slot: processor, start, latency and resource span.
+
+    ``duration`` is the task's execution latency ``t(v)`` (the paper's
+    ``CE - CB + 1``).  ``occupancy`` is how many control steps the task
+    *blocks its processor* for: equal to ``duration`` on ordinary PEs,
+    1 on pipelined PEs (the paper's §2 "pipeline design" processors,
+    which may issue a new task before the previous one completes).
+    """
+
+    node: Node
+    pe: int
+    start: int
+    duration: int
+    occupancy: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.start < 1:
+            raise ScheduleError(
+                f"{self.node!r}: control steps start at 1, got {self.start}"
+            )
+        if self.duration < 1:
+            raise ScheduleError(
+                f"{self.node!r}: duration must be >= 1, got {self.duration}"
+            )
+        if self.pe < 0:
+            raise ScheduleError(f"{self.node!r}: negative PE {self.pe}")
+        if self.occupancy is None:
+            object.__setattr__(self, "occupancy", self.duration)
+        elif not (1 <= self.occupancy <= self.duration):
+            raise ScheduleError(
+                f"{self.node!r}: occupancy must be in 1..duration, got "
+                f"{self.occupancy}"
+            )
+
+    @property
+    def finish(self) -> int:
+        """Last execution control step (the paper's ``CE``)."""
+        return self.start + self.duration - 1
+
+    @property
+    def busy_until(self) -> int:
+        """Last control step the processor is blocked."""
+        return self.start + self.occupancy - 1
+
+    def shifted(self, delta: int) -> "Placement":
+        """Copy with the start moved by ``delta`` control steps."""
+        return Placement(
+            self.node, self.pe, self.start + delta, self.duration, self.occupancy
+        )
+
+
+class ScheduleTable:
+    """A static cyclic schedule over ``num_pes`` processors.
+
+    Parameters
+    ----------
+    num_pes:
+        Number of processor columns.
+    length:
+        Initial schedule length (grows automatically as tasks are
+        placed beyond it; may be padded explicitly via
+        :meth:`set_length`).
+    """
+
+    def __init__(self, num_pes: int, length: int = 0, name: str = "schedule"):
+        if num_pes < 1:
+            raise ScheduleError(f"need at least one PE, got {num_pes}")
+        if length < 0:
+            raise ScheduleError(f"length must be >= 0, got {length}")
+        self.num_pes = num_pes
+        self.name = name
+        self._length = length
+        self._placements: dict[Node, Placement] = {}
+        self._cells: dict[tuple[int, int], Node] = {}
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Schedule length ``L`` (the initiation interval)."""
+        return self._length
+
+    @property
+    def makespan(self) -> int:
+        """Last busy control step (0 when empty); ``<= length``."""
+        if not self._placements:
+            return 0
+        return max(p.finish for p in self._placements.values())
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self._placements)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._placements
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._placements)
+
+    def placements(self) -> Iterator[Placement]:
+        return iter(self._placements.values())
+
+    def placement(self, node: Node) -> Placement:
+        try:
+            return self._placements[node]
+        except KeyError:
+            raise ScheduleError(f"node {node!r} is not scheduled") from None
+
+    def start(self, node: Node) -> int:
+        """The paper's ``CB(node)``."""
+        return self.placement(node).start
+
+    def finish(self, node: Node) -> int:
+        """The paper's ``CE(node)``."""
+        return self.placement(node).finish
+
+    def processor(self, node: Node) -> int:
+        """The paper's ``PE(node)``."""
+        return self.placement(node).pe
+
+    def processor_map(self) -> dict[Node, int]:
+        """Mapping node -> PE id for all scheduled tasks."""
+        return {n: p.pe for n, p in self._placements.items()}
+
+    def cell(self, pe: int, cs: int) -> Node | None:
+        """The task occupying ``(pe, cs)``, or ``None``."""
+        return self._cells.get((pe, cs))
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def set_length(self, length: int) -> None:
+        """Set the schedule length; must cover the last busy step."""
+        if length < self.makespan:
+            raise ScheduleError(
+                f"length {length} would cut busy control steps (makespan "
+                f"{self.makespan})"
+            )
+        self._length = length
+
+    def place(
+        self,
+        node: Node,
+        pe: int,
+        start: int,
+        duration: int,
+        occupancy: int | None = None,
+    ) -> Placement:
+        """Assign ``node`` to ``pe`` starting at ``start``.
+
+        The task executes for ``duration`` control steps and blocks the
+        processor for ``occupancy`` of them (defaults to ``duration``;
+        pass 1 for pipelined PEs).  Raises
+        :class:`PlacementConflictError` on cell overlap and
+        :class:`ScheduleError` when the node is already placed.  The
+        schedule length grows to cover the placement if needed.
+        """
+        if node in self._placements:
+            raise ScheduleError(f"node {node!r} is already scheduled")
+        if not (0 <= pe < self.num_pes):
+            raise ScheduleError(f"PE {pe} outside 0..{self.num_pes - 1}")
+        placement = Placement(node, pe, start, duration, occupancy)
+        for cs in range(start, placement.busy_until + 1):
+            occupant = self._cells.get((pe, cs))
+            if occupant is not None:
+                raise PlacementConflictError(
+                    f"(pe{pe + 1}, cs{cs}) already holds {occupant!r}; "
+                    f"cannot place {node!r}"
+                )
+        for cs in range(start, placement.busy_until + 1):
+            self._cells[(pe, cs)] = node
+        self._placements[node] = placement
+        if placement.finish > self._length:
+            self._length = placement.finish
+        return placement
+
+    def remove(self, node: Node) -> Placement:
+        """Unschedule ``node`` and return its former placement.
+
+        The schedule length is left unchanged (callers renumber/trim
+        explicitly).
+        """
+        placement = self.placement(node)
+        for cs in range(placement.start, placement.busy_until + 1):
+            del self._cells[(placement.pe, cs)]
+        del self._placements[node]
+        return placement
+
+    def shift_all(self, delta: int) -> None:
+        """Renumber every placement by ``delta`` control steps.
+
+        Used by the rotation phase (the former row 2 becomes row 1).
+        The length is adjusted by the same delta (floored at the new
+        makespan).
+        """
+        if not self._placements and delta:
+            self._length = max(0, self._length + delta)
+            return
+        moved = [p.shifted(delta) for p in self._placements.values()]
+        self._placements = {}
+        self._cells = {}
+        self._length = max(0, self._length + delta)
+        for p in moved:
+            self.place(p.node, p.pe, p.start, p.duration, p.occupancy)
+
+    def trim(self) -> None:
+        """Shrink the length to the last busy control step."""
+        self._length = self.makespan
+
+    # ------------------------------------------------------------------
+    # queries used by the schedulers
+    # ------------------------------------------------------------------
+    def is_free(self, pe: int, start: int, duration: int) -> bool:
+        """True when ``(pe, start..start+duration-1)`` has no occupant.
+
+        Control steps beyond the current length count as free (placing
+        there extends the table).
+        """
+        if start < 1:
+            return False
+        return all(
+            (pe, cs) not in self._cells for cs in range(start, start + duration)
+        )
+
+    def earliest_slot(
+        self, pe: int, not_before: int, duration: int, horizon: int | None = None
+    ) -> int | None:
+        """First control step ``>= not_before`` where ``duration``
+        consecutive cells on ``pe`` are free and the task would end by
+        ``horizon`` (inclusive).  ``None`` when no such slot exists.
+
+        ``horizon=None`` means unbounded: a slot always exists at the
+        first gap past the last occupied step.
+        """
+        cs = max(1, not_before)
+        limit = horizon if horizon is not None else max(self._length, cs) + duration
+        while cs + duration - 1 <= limit:
+            conflict = None
+            for probe in range(cs, cs + duration):
+                if (pe, probe) in self._cells:
+                    conflict = probe
+            if conflict is None:
+                return cs
+            cs = conflict + 1
+        return None
+
+    def first_row(self) -> list[Node]:
+        """Tasks starting at control step 1, by PE order (the set the
+        rotation phase deallocates)."""
+        starters = [p for p in self._placements.values() if p.start == 1]
+        starters.sort(key=lambda p: p.pe)
+        return [p.node for p in starters]
+
+    def row(self, cs: int) -> list[tuple[int, Node]]:
+        """Occupied cells of control step ``cs`` as ``(pe, node)``."""
+        return sorted(
+            ((pe, node) for (pe, c), node in self._cells.items() if c == cs),
+        )
+
+    def pe_tasks(self, pe: int) -> list[Placement]:
+        """All placements on ``pe`` in start order."""
+        return sorted(
+            (p for p in self._placements.values() if p.pe == pe),
+            key=lambda p: p.start,
+        )
+
+    def busy_cells(self, pe: int) -> int:
+        """Number of occupied control steps on ``pe``."""
+        return sum(1 for (p, _cs) in self._cells if p == pe)
+
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "ScheduleTable":
+        clone = ScheduleTable(
+            self.num_pes, self._length, name if name is not None else self.name
+        )
+        clone._placements = dict(self._placements)
+        clone._cells = dict(self._cells)
+        return clone
+
+    def same_placements(self, other: "ScheduleTable") -> bool:
+        """True when both tables place every task identically."""
+        return (
+            self.num_pes == other.num_pes
+            and self._length == other._length
+            and self._placements == other._placements
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ScheduleTable(name={self.name!r}, num_pes={self.num_pes}, "
+            f"length={self._length}, tasks={len(self._placements)})"
+        )

@@ -1,0 +1,24 @@
+"""Execution simulator substrate: dynamic replay of static cyclic
+schedules, event timelines, buffer sizing and link-contention replay."""
+
+from repro.sim.buffers import BufferReport, buffer_requirements
+from repro.sim.contention import (
+    ContendedMessage,
+    ContentionReport,
+    simulate_contended,
+)
+from repro.sim.engine import SimulationError, SimulationResult, simulate
+from repro.sim.events import MessageTransfer, TaskExecution
+
+__all__ = [
+    "BufferReport",
+    "ContendedMessage",
+    "ContentionReport",
+    "MessageTransfer",
+    "SimulationError",
+    "SimulationResult",
+    "TaskExecution",
+    "buffer_requirements",
+    "simulate",
+    "simulate_contended",
+]

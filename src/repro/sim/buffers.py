@@ -1,0 +1,106 @@
+"""Edge buffer analysis over a simulated execution.
+
+Each dependence edge needs storage for its live tokens: a value is
+*live* from the control step after its producer finishes (plus transit,
+for remote edges) until its consumer finishes reading it.  The steady-
+state maximum number of simultaneously live tokens per edge sizes the
+FIFO a hardware implementation (or the message buffer a runtime) must
+provision — at least ``d(e)`` for a delayed edge (the preloaded
+initial tokens) and more when the schedule skews producer and consumer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.topology import Architecture
+from repro.graph.csdfg import CSDFG
+from repro.schedule.table import ScheduleTable
+from repro.sim.engine import SimulationResult, simulate
+
+__all__ = ["BufferReport", "buffer_requirements"]
+
+
+@dataclass(frozen=True)
+class BufferReport:
+    """Buffer sizing for one schedule.
+
+    Attributes
+    ----------
+    per_edge:
+        Max simultaneous live tokens per edge key ``(src, dst)``.
+    total_tokens:
+        Sum over edges (aggregate storage in tokens).
+    total_words:
+        Sum weighted by each edge's data volume (storage in words).
+    """
+
+    per_edge: dict[tuple, int]
+    total_tokens: int
+    total_words: int
+
+
+def buffer_requirements(
+    graph: CSDFG,
+    arch: Architecture,
+    schedule: ScheduleTable,
+    *,
+    iterations: int = 6,
+    result: SimulationResult | None = None,
+) -> BufferReport:
+    """Measure per-edge peak token liveness over a simulated run.
+
+    A token produced by ``(u, j)`` for edge ``u -> v`` (delay ``d``)
+    becomes live at ``CE(u, j) + M + 1`` and dies at ``CE(v, j + d)``.
+    Initial tokens (consumed by iterations ``0 .. d-1``) are live from
+    control step 1.  The report takes the max concurrent liveness per
+    edge across the run.
+    """
+    sim = result if result is not None else simulate(
+        graph, arch, schedule, iterations, check=False
+    )
+    n = sim.iterations
+    per_edge: dict[tuple, int] = {}
+    for edge in graph.edges():
+        src_pe = schedule.processor(edge.src)
+        dst_pe = schedule.processor(edge.dst)
+        comm = arch.comm_cost(src_pe, dst_pe, edge.volume)
+        intervals: list[tuple[int, int]] = []
+        # initial (preloaded) tokens feed consumer iterations 0..d-1
+        for consumer_iter in range(min(edge.delay, n)):
+            death = sim.execution_of(edge.dst, consumer_iter).finish
+            intervals.append((1, death))
+        # produced tokens
+        for j in range(n):
+            consumer_iter = j + edge.delay
+            if consumer_iter >= n:
+                continue
+            birth = sim.execution_of(edge.src, j).finish + comm + 1
+            death = sim.execution_of(edge.dst, consumer_iter).finish
+            intervals.append((birth, max(birth, death)))
+        per_edge[edge.key] = _max_overlap(intervals)
+    total_tokens = sum(per_edge.values())
+    total_words = sum(
+        per_edge[e.key] * e.volume for e in graph.edges()
+    )
+    return BufferReport(
+        per_edge=per_edge,
+        total_tokens=total_tokens,
+        total_words=total_words,
+    )
+
+
+def _max_overlap(intervals: list[tuple[int, int]]) -> int:
+    """Peak number of overlapping [birth, death] intervals."""
+    if not intervals:
+        return 0
+    events: list[tuple[int, int]] = []
+    for birth, death in intervals:
+        events.append((birth, 1))
+        events.append((death + 1, -1))
+    events.sort()
+    live = peak = 0
+    for _, delta in events:
+        live += delta
+        peak = max(peak, live)
+    return peak

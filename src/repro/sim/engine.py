@@ -1,0 +1,210 @@
+"""Execution simulator for static cyclic schedules.
+
+Expands a schedule table into its dynamic execution over ``iterations``
+loop iterations — instance ``(v, j)`` of task ``v`` runs at global
+control steps ``j*L + CB(v) .. j*L + CE(v)`` on ``PE(v)`` — and then
+*independently* re-checks the execution model event by event:
+
+* **data availability**: every consumed value was produced and has
+  finished its store-and-forward transit before the consumer starts,
+* **processor exclusivity**: no two instances overlap on a PE,
+* **determinism**: instances of the same task never overtake each
+  other.
+
+This is a second, dynamic implementation of the legality rules that the
+static validator (:mod:`repro.schedule.validate`) encodes as
+inequalities; the property tests cross-check the two on random
+schedules.  The simulator also yields the event timeline used by the
+buffer analysis (:mod:`repro.sim.buffers`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.topology import Architecture
+from repro.errors import ReproError
+from repro.graph.csdfg import CSDFG, Node
+from repro.schedule.table import ScheduleTable
+from repro.sim.events import MessageTransfer, TaskExecution
+
+__all__ = ["SimulationError", "SimulationResult", "simulate"]
+
+
+class SimulationError(ReproError):
+    """The dynamic execution violated the machine model."""
+
+
+@dataclass
+class SimulationResult:
+    """Full dynamic trace of ``iterations`` executions of the loop.
+
+    Attributes
+    ----------
+    executions:
+        All task instances, ordered by (iteration, start).
+    messages:
+        All inter-processor transfers.
+    iterations:
+        Number of simulated loop iterations.
+    schedule_length:
+        The initiation interval ``L``.
+    """
+
+    executions: list[TaskExecution]
+    messages: list[MessageTransfer]
+    iterations: int
+    schedule_length: int
+    _by_instance: dict[tuple[Node, int], TaskExecution] = field(
+        default_factory=dict, repr=False
+    )
+
+    @property
+    def makespan(self) -> int:
+        """Last busy global control step."""
+        return max((e.finish for e in self.executions), default=0)
+
+    @property
+    def total_comm_steps(self) -> int:
+        """Sum of transfer latencies across the run."""
+        return sum(m.latency for m in self.messages)
+
+    def execution_of(self, node: Node, iteration: int) -> TaskExecution:
+        """The instance record of ``node`` at ``iteration``."""
+        try:
+            return self._by_instance[(node, iteration)]
+        except KeyError:
+            raise SimulationError(
+                f"no execution of {node!r} at iteration {iteration}"
+            ) from None
+
+    def throughput(self) -> float:
+        """Average iterations completed per control step."""
+        if self.makespan == 0:
+            return 0.0
+        return self.iterations / self.makespan
+
+    def pe_timeline(self, pe: int) -> list[TaskExecution]:
+        """All instances executed by ``pe``, by start time."""
+        return sorted(
+            (e for e in self.executions if e.pe == pe),
+            key=lambda e: e.start,
+        )
+
+
+def simulate(
+    graph: CSDFG,
+    arch: Architecture,
+    schedule: ScheduleTable,
+    iterations: int = 4,
+    *,
+    check: bool = True,
+    pipelined_pes: bool = False,
+) -> SimulationResult:
+    """Execute ``iterations`` loop iterations of ``schedule``.
+
+    With ``check=True`` (default) every model rule is re-verified
+    dynamically; :class:`SimulationError` pinpoints the first violated
+    event.  Dependences reaching before iteration 0 are assumed
+    preloaded (the loop's live-in state), mirroring the static model.
+    With ``pipelined_pes=True`` a processor conflict means two tasks
+    *issued* in the same control step (execution may overlap).
+    """
+    if iterations < 1:
+        raise SimulationError(f"iterations must be >= 1, got {iterations}")
+    L = schedule.length
+    if L < 1:
+        raise SimulationError("cannot simulate an empty schedule")
+
+    executions: list[TaskExecution] = []
+    by_instance: dict[tuple[Node, int], TaskExecution] = {}
+    for j in range(iterations):
+        for node in graph.nodes():
+            placement = schedule.placement(node)
+            exe = TaskExecution(
+                node=node,
+                iteration=j,
+                pe=placement.pe,
+                start=j * L + placement.start,
+                finish=j * L + placement.finish,
+            )
+            executions.append(exe)
+            by_instance[(node, j)] = exe
+    executions.sort(key=lambda e: (e.start, str(e.node)))
+
+    messages: list[MessageTransfer] = []
+    for edge in graph.edges():
+        src_pe = schedule.processor(edge.src)
+        dst_pe = schedule.processor(edge.dst)
+        if src_pe == dst_pe:
+            continue
+        cost = arch.comm_cost(src_pe, dst_pe, edge.volume)
+        for j in range(iterations):
+            consumer_iter = j + edge.delay
+            if consumer_iter >= iterations:
+                continue
+            producer = by_instance[(edge.src, j)]
+            messages.append(
+                MessageTransfer(
+                    src=edge.src,
+                    dst=edge.dst,
+                    src_iteration=j,
+                    dst_iteration=consumer_iter,
+                    src_pe=src_pe,
+                    dst_pe=dst_pe,
+                    volume=edge.volume,
+                    depart=producer.finish + 1,
+                    arrive=producer.finish + cost,
+                )
+            )
+
+    result = SimulationResult(
+        executions=executions,
+        messages=messages,
+        iterations=iterations,
+        schedule_length=L,
+        _by_instance=by_instance,
+    )
+    if check:
+        _check_dependences(graph, arch, result)
+        _check_resources(
+            result, num_pes=schedule.num_pes, pipelined_pes=pipelined_pes
+        )
+    return result
+
+
+def _check_dependences(
+    graph: CSDFG, arch: Architecture, result: SimulationResult
+) -> None:
+    for edge in graph.edges():
+        for j in range(result.iterations):
+            consumer_iter = j + edge.delay
+            if consumer_iter >= result.iterations:
+                continue
+            producer = result.execution_of(edge.src, j)
+            consumer = result.execution_of(edge.dst, consumer_iter)
+            comm = arch.comm_cost(producer.pe, consumer.pe, edge.volume)
+            ready = producer.finish + comm + 1
+            if consumer.start < ready:
+                raise SimulationError(
+                    f"iteration {consumer_iter}: {edge.dst!r} starts at "
+                    f"{consumer.start} but data from {edge.src!r} "
+                    f"(iteration {j}) is ready only at {ready}"
+                )
+
+
+def _check_resources(
+    result: SimulationResult, num_pes: int, pipelined_pes: bool = False
+) -> None:
+    for pe in range(num_pes):
+        timeline = result.pe_timeline(pe)
+        for a, b in zip(timeline, timeline[1:]):
+            conflict = (
+                b.start == a.start if pipelined_pes else b.start <= a.finish
+            )
+            if conflict:
+                raise SimulationError(
+                    f"pe{pe + 1}: {a.node!r}@{a.iteration} "
+                    f"(cs {a.start}-{a.finish}) overlaps "
+                    f"{b.node!r}@{b.iteration} (cs {b.start}-{b.finish})"
+                )

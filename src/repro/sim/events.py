@@ -1,0 +1,62 @@
+"""Event records produced by the schedule execution simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.csdfg import Node
+
+__all__ = ["TaskExecution", "MessageTransfer"]
+
+
+@dataclass(frozen=True)
+class TaskExecution:
+    """One dynamic instance of a task.
+
+    Attributes
+    ----------
+    node:
+        The task.
+    iteration:
+        0-based loop iteration index.
+    pe:
+        Executing processor.
+    start, finish:
+        Global control steps (1-based), ``finish - start + 1 == t``.
+    """
+
+    node: Node
+    iteration: int
+    pe: int
+    start: int
+    finish: int
+
+    @property
+    def duration(self) -> int:
+        return self.finish - self.start + 1
+
+
+@dataclass(frozen=True)
+class MessageTransfer:
+    """One inter-processor data transfer.
+
+    ``depart`` is the first control step after the producer finishes;
+    ``arrive`` is the last control step of transit (the consumer may
+    start at ``arrive + 1``).  Same-PE dependences generate no
+    transfer.
+    """
+
+    src: Node
+    dst: Node
+    src_iteration: int
+    dst_iteration: int
+    src_pe: int
+    dst_pe: int
+    volume: int
+    depart: int
+    arrive: int
+
+    @property
+    def latency(self) -> int:
+        """Transit control steps (``M`` in the paper)."""
+        return self.arrive - self.depart + 1

@@ -1,0 +1,116 @@
+"""Additional DSP / numerical kernels used by examples and ablations.
+
+Classical benchmark graphs beyond the paper's two filters:
+
+* :func:`differential_equation_solver` — the HAL second-order
+  differential-equation benchmark (Paulin & Knight), one Euler step per
+  iteration with the loop-carried state ``x, y, u``.
+* :func:`fir_filter` — transposed-form FIR; acyclic except for the
+  output accumulation chain's delayed taps.
+* :func:`all_pole_iir` — direct-form all-pole IIR filter whose single
+  accumulation cycle makes the iteration bound easy to reason about.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.graph.csdfg import CSDFG
+
+__all__ = ["differential_equation_solver", "fir_filter", "all_pole_iir"]
+
+
+def differential_equation_solver(
+    *, mul_time: int = 2, add_time: int = 1, volume: int = 1
+) -> CSDFG:
+    """The HAL benchmark: one Euler step of ``y'' + 3xy' + 3y = 0``.
+
+    Per iteration: ``x1 = x + dx``; ``u1 = u - 3*x*u*dx - 3*y*dx``;
+    ``y1 = y + u*dx`` — six multiplications, two additions, two
+    subtractions (modelled as adds), with ``x, y, u`` carried between
+    iterations.
+    """
+    g = CSDFG("diffeq")
+    muls = ["m1", "m2", "m3", "m4", "m5", "m6"]
+    for m in muls:
+        g.add_node(m, mul_time)
+    for a in ("a1", "s1", "s2", "a2"):
+        g.add_node(a, add_time)
+
+    # x1 = x + dx : a1 consumes the previous x1 (delay 1)
+    g.add_edge("a1", "a1", 1, volume)
+    # m1 = 3 * x,  m2 = u * dx,  m3 = 3 * y
+    g.add_edge("a1", "m1", 1, volume)  # x from previous iteration
+    g.add_edge("s1", "m2", 1, volume)  # u from previous iteration (s1 = u1)
+    g.add_edge("a2", "m3", 1, volume)  # y from previous iteration (a2 = y1)
+    # m4 = m1 * u,  m5 = m2 * ... chain of products
+    g.add_edge("m1", "m4", 0, volume)
+    g.add_edge("s1", "m4", 1, volume)
+    g.add_edge("m4", "m5", 0, volume)
+    g.add_edge("m3", "m6", 0, volume)
+    # u1 = u - m5 - m6 : two subtractions
+    g.add_edge("s1", "s1", 1, volume)
+    g.add_edge("m5", "s1", 0, volume)
+    g.add_edge("m6", "s2", 0, volume)
+    g.add_edge("s2", "s1", 0, volume)
+    # y1 = y + u*dx
+    g.add_edge("m2", "a2", 0, volume)
+    g.add_edge("a2", "a2", 1, volume)
+    return g
+
+
+def fir_filter(
+    taps: int = 8, *, mul_time: int = 2, add_time: int = 1, volume: int = 1
+) -> CSDFG:
+    """Transposed-form FIR filter with ``taps`` coefficient taps.
+
+    ``y = sum_k c_k * x[n-k]`` computed as a chain of adders where the
+    partial sum between adders carries one delay — the textbook
+    transposed structure, fully pipelineable.
+    """
+    if taps < 1:
+        raise WorkloadError(f"taps must be >= 1, got {taps}")
+    g = CSDFG(f"fir{taps}")
+    prev_sum = None
+    for k in range(taps):
+        m = f"m{k}"
+        g.add_node(m, mul_time)
+        if k == 0:
+            prev_sum = m
+            continue
+        a = f"a{k}"
+        g.add_node(a, add_time)
+        g.add_edge(prev_sum, a, 1, volume)  # delayed partial sum
+        g.add_edge(m, a, 0, volume)
+        prev_sum = a
+    return g
+
+
+def all_pole_iir(
+    order: int = 4, *, mul_time: int = 2, add_time: int = 1, volume: int = 1
+) -> CSDFG:
+    """Direct-form all-pole IIR: ``y = x + sum_k a_k * y[n-k]``.
+
+    ``order`` multipliers read the output ``acc`` at delays
+    ``1..order``; their products accumulate through a chain of adders
+    back into ``acc``.  The tap-1 cycle (one delay through the whole
+    mul + adder chain) dominates the iteration bound.
+    """
+    if order < 1:
+        raise WorkloadError(f"order must be >= 1, got {order}")
+    g = CSDFG(f"iir{order}")
+    g.add_node("acc", add_time)
+    chain = None  # running accumulation of the products
+    for k in range(1, order + 1):
+        m = f"m{k}"
+        g.add_node(m, mul_time)
+        g.add_edge("acc", m, k, volume)  # y[n-k]
+        if chain is None:
+            chain = m
+        else:
+            a = f"a{k}"
+            g.add_node(a, add_time)
+            g.add_edge(chain, a, 0, volume)
+            g.add_edge(m, a, 0, volume)
+            chain = a
+    g.add_edge(chain, "acc", 0, volume)
+    return g

@@ -1,0 +1,184 @@
+"""DSP filter benchmark graphs (paper Table 11 workloads).
+
+The paper evaluates a 5th-order elliptic wave filter and a lattice
+filter ("with a slow down factor of 3").  Neither graph is enumerated
+in the paper; these are reconstructions of the classical benchmarks
+from the high-level-synthesis / retiming literature (DESIGN.md §5):
+
+* :func:`elliptic_wave_filter` — the 5th-order elliptic *wave digital*
+  filter: five cascaded second-order wave-adaptor sections plus an
+  input/output stage, 34 operations (26 additions, 8 multiplications),
+  one delay element per section state.
+* :func:`lattice_filter` — a normalised lattice filter with ``stages``
+  sections; each section is two multiplications and two additions with
+  a unit-delay state, matching the structure used in the rotation-
+  scheduling papers.
+* :func:`biquad_cascade` — direct-form-II IIR biquads in cascade.
+
+Conventions follow the paper's general-time setting: additions take 1
+control step, multiplications ``mul_time`` (default 2); data volumes
+default to one word per signal sample.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.graph.csdfg import CSDFG
+
+__all__ = ["elliptic_wave_filter", "lattice_filter", "biquad_cascade"]
+
+
+def elliptic_wave_filter(*, mul_time: int = 2, add_time: int = 1, volume: int = 1) -> CSDFG:
+    """The 5th-order elliptic wave digital filter (reconstruction).
+
+    Five cascaded sections; section ``k`` combines the running signal
+    with its delayed state through an adaptor of four adders and one or
+    two multipliers, then updates the state.  Totals: 26 additions and
+    8 multiplications over 5 delay elements — the operation mix of the
+    classical benchmark.
+    """
+    if mul_time < 1 or add_time < 1:
+        raise WorkloadError("operation times must be >= 1")
+    g = CSDFG("elliptic5")
+
+    def add(name: str) -> str:
+        return g.add_node(name, add_time)
+
+    def mul(name: str) -> str:
+        return g.add_node(name, mul_time)
+
+    # input conditioning: two adders feeding the cascade
+    add("a_in1")
+    add("a_in2")
+    g.add_edge("a_in1", "a_in2", 0, volume)
+
+    prev_out = "a_in2"
+    # sections 1..5: section k has adders ak1..ak4 and multiplier mk
+    # (sections 2 and 4 carry a second multiplier, totalling 8 muls)
+    for k in range(1, 6):
+        a1, a2, a3, a4 = (f"a{k}_{i}" for i in range(1, 5))
+        m1 = f"m{k}"
+        for name in (a1, a2, a3, a4):
+            add(name)
+        mul(m1)
+        # forward path: previous output + state feed the adaptor
+        g.add_edge(prev_out, a1, 0, volume)
+        g.add_edge(a1, m1, 0, volume)
+        g.add_edge(m1, a2, 0, volume)
+        g.add_edge(a2, a3, 0, volume)
+        g.add_edge(a3, a4, 0, volume)
+        # state: a4 of iteration i feeds a1 and a2 of iteration i+1
+        g.add_edge(a4, a1, 1, volume)
+        g.add_edge(a4, a2, 1, volume)
+        if k in (2, 4):
+            m2 = f"m{k}b"
+            mul(m2)
+            g.add_edge(a2, m2, 0, volume)
+            g.add_edge(m2, a4, 0, volume)
+        prev_out = a3
+
+    # extra multiplier on the global feedback and output shaping,
+    # completing the 8-multiplier budget
+    mul("m_fb")
+    g.add_edge(prev_out, "m_fb", 0, volume)
+    g.add_edge("m_fb", "a_in1", 1, volume)
+
+    # output stage: four adders summing section taps
+    add("a_out1")
+    add("a_out2")
+    add("a_out3")
+    add("a_out4")
+    g.add_edge("a1_3", "a_out1", 0, volume)
+    g.add_edge("a3_3", "a_out1", 0, volume)
+    g.add_edge("a5_3", "a_out2", 0, volume)
+    g.add_edge("a_out1", "a_out3", 0, volume)
+    g.add_edge("a_out2", "a_out3", 0, volume)
+    g.add_edge("a_out3", "a_out4", 0, volume)
+    g.add_edge("a_out4", "a_in1", 2, volume)
+
+    assert g.num_nodes == 34, f"expected 34 operations, built {g.num_nodes}"
+    return g
+
+
+def lattice_filter(
+    stages: int = 4, *, mul_time: int = 2, add_time: int = 1, volume: int = 1
+) -> CSDFG:
+    """A normalised lattice filter with ``stages`` sections.
+
+    Each section ``k``: the forward signal ``f_{k-1}`` and the delayed
+    backward signal ``g_{k-1}`` combine through two multipliers
+    (reflection coefficient) and two adders::
+
+        f_k = f_{k-1} + K_k * z^{-1} g_{k-1}     (mul fm_k, add fa_k)
+        g_k = z^{-1} g_{k-1} + K_k * f_{k-1}     (mul gm_k, add ga_k)
+
+    The last backward signal feeds the input adder back (the filter's
+    recursive part).
+    """
+    if stages < 1:
+        raise WorkloadError(f"stages must be >= 1, got {stages}")
+    g = CSDFG(f"lattice{stages}")
+    g.add_node("in_add", add_time)
+    f_prev = "in_add"
+    g_prev = "in_add"
+    for k in range(1, stages + 1):
+        fm, fa = f"fm{k}", f"fa{k}"
+        gm, ga = f"gm{k}", f"ga{k}"
+        g.add_node(fm, mul_time)
+        g.add_node(fa, add_time)
+        g.add_node(gm, mul_time)
+        g.add_node(ga, add_time)
+        g.add_edge(g_prev, fm, 1, volume)  # z^{-1} g_{k-1} * K
+        g.add_edge(f_prev, fa, 0, volume)
+        g.add_edge(fm, fa, 0, volume)
+        g.add_edge(f_prev, gm, 0, volume)
+        g.add_edge(g_prev, ga, 1, volume)  # z^{-1} g_{k-1}
+        g.add_edge(gm, ga, 0, volume)
+        f_prev, g_prev = fa, ga
+    g.add_node("out_add", add_time)
+    g.add_edge(f_prev, "out_add", 0, volume)
+    g.add_edge(g_prev, "out_add", 0, volume)
+    g.add_edge("out_add", "in_add", 1, volume)
+    return g
+
+
+def biquad_cascade(
+    sections: int = 2, *, mul_time: int = 2, add_time: int = 1, volume: int = 1
+) -> CSDFG:
+    """Direct-form-II IIR biquad sections in cascade.
+
+    Section ``k``: ``w = x + a1*w[z^-1] + a2*w[z^-2]`` then
+    ``y = w + b1*w[z^-1] + b2*w[z^-2]`` — four multipliers and four
+    adders with one- and two-delay state edges.
+    """
+    if sections < 1:
+        raise WorkloadError(f"sections must be >= 1, got {sections}")
+    g = CSDFG(f"biquad{sections}")
+    prev = None
+    for k in range(1, sections + 1):
+        w, y = f"w{k}", f"y{k}"
+        ma1, ma2, mb1, mb2 = (f"{m}{k}" for m in ("ma1_", "ma2_", "mb1_", "mb2_"))
+        sa, sb = f"sa{k}", f"sb{k}"
+        g.add_node(w, add_time)
+        g.add_node(y, add_time)
+        g.add_node(sa, add_time)
+        g.add_node(sb, add_time)
+        for m in (ma1, ma2, mb1, mb2):
+            g.add_node(m, mul_time)
+        if prev is not None:
+            g.add_edge(prev, w, 0, volume)
+        # recursive part: w depends on its own delayed values
+        g.add_edge(w, ma1, 1, volume)
+        g.add_edge(w, ma2, 2, volume)
+        g.add_edge(ma1, sa, 0, volume)
+        g.add_edge(ma2, sa, 0, volume)
+        g.add_edge(sa, w, 0, volume)
+        # feed-forward part
+        g.add_edge(w, mb1, 1, volume)
+        g.add_edge(w, mb2, 2, volume)
+        g.add_edge(mb1, sb, 0, volume)
+        g.add_edge(mb2, sb, 0, volume)
+        g.add_edge(w, y, 0, volume)
+        g.add_edge(sb, y, 0, volume)
+        prev = y
+    return g

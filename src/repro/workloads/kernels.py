@@ -1,0 +1,150 @@
+"""Additional computational kernels as CSDFG workloads.
+
+Beyond the DSP filters, these model the loop bodies the paper's
+introduction motivates (iterative scientific/signal kernels):
+
+* :func:`fft_stage` — one radix-2 FFT butterfly stage applied per
+  iteration to a streaming block (acyclic butterflies + a block
+  recurrence).
+* :func:`wavefront` — a 1-D wavefront/stencil recurrence
+  ``x[i] = f(x[i-1], x_prev[i], x_prev[i+1])``: each point depends on
+  its left neighbour this iteration and its neighbourhood from the
+  previous iteration — heavy nearest-neighbour communication.
+* :func:`correlator` — the Leiserson–Saxe digital correlator (host,
+  comparators, adders), the classic retiming showcase.
+* :func:`volterra` — a second-order Volterra filter section: linear
+  taps plus product (kernel) terms, multiplication heavy.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.graph.csdfg import CSDFG
+
+__all__ = ["fft_stage", "wavefront", "correlator", "volterra"]
+
+
+def fft_stage(
+    points: int = 8, *, mul_time: int = 2, add_time: int = 1, volume: int = 1
+) -> CSDFG:
+    """One radix-2 butterfly stage over a ``points``-sample block.
+
+    ``points`` must be an even number >= 2.  Each butterfly is one
+    twiddle multiplication and two adders; the block output feeds the
+    next iteration's input with one delay (streaming block recurrence).
+    """
+    if points < 2 or points % 2:
+        raise WorkloadError(f"points must be even and >= 2, got {points}")
+    g = CSDFG(f"fft{points}")
+    half = points // 2
+    for b in range(half):
+        g.add_node(f"tw{b}", mul_time)
+        g.add_node(f"top{b}", add_time)
+        g.add_node(f"bot{b}", add_time)
+    for b in range(half):
+        g.add_edge(f"tw{b}", f"top{b}", 0, volume)
+        g.add_edge(f"tw{b}", f"bot{b}", 0, volume)
+        # block recurrence: outputs of this stage become next block's
+        # inputs (the twiddle of a neighbouring butterfly)
+        g.add_edge(f"top{b}", f"tw{b}", 1, volume)
+        g.add_edge(f"bot{b}", f"tw{(b + 1) % half}", 1, volume)
+    return g
+
+
+def wavefront(
+    width: int = 6, *, time: int = 1, volume: int = 2
+) -> CSDFG:
+    """1-D wavefront recurrence over ``width`` grid points.
+
+    Point ``i`` consumes point ``i-1`` of the same sweep (zero-delay)
+    and points ``i-1, i, i+1`` of the previous sweep (one delay) —
+    the dependence pattern of Gauss–Seidel-style smoothers.  Exercises
+    nearest-neighbour mapping: good schedules place adjacent points on
+    adjacent processors.
+    """
+    if width < 2:
+        raise WorkloadError(f"width must be >= 2, got {width}")
+    g = CSDFG(f"wavefront{width}")
+    names = [f"x{i}" for i in range(width)]
+    for name in names:
+        g.add_node(name, time)
+    for i in range(width):
+        if i > 0:
+            g.add_edge(names[i - 1], names[i], 0, volume)
+        g.add_edge(names[i], names[i], 1, volume)
+        if i + 1 < width:
+            g.add_edge(names[i + 1], names[i], 1, volume)
+    return g
+
+
+def correlator(
+    taps: int = 3, *, compare_time: int = 3, add_time: int = 7, volume: int = 1
+) -> CSDFG:
+    """The Leiserson–Saxe digital correlator with ``taps`` stages.
+
+    A host node streams samples through a delay chain of comparators
+    whose match bits fold back through an adder chain — the canonical
+    example where retiming halves the clock period.
+    """
+    if taps < 1:
+        raise WorkloadError(f"taps must be >= 1, got {taps}")
+    g = CSDFG(f"correlator{taps}")
+    g.add_node("host", 1)
+    prev_d = "host"
+    for k in range(1, taps + 1):
+        d = f"d{k}"
+        g.add_node(d, compare_time)
+        g.add_edge(prev_d, d, 1, volume)
+        prev_d = d
+    prev_p = None
+    for k in range(taps, 0, -1):
+        p = f"p{k}"
+        g.add_node(p, add_time)
+        g.add_edge(f"d{k}", p, 0, volume)
+        if prev_p is not None:
+            g.add_edge(prev_p, p, 0, volume)
+        prev_p = p
+    g.add_edge(prev_p, "host", 0, volume)
+    return g
+
+
+def volterra(
+    taps: int = 3, *, mul_time: int = 2, add_time: int = 1, volume: int = 1
+) -> CSDFG:
+    """Second-order Volterra filter section with ``taps`` linear taps.
+
+    ``y = sum_i h_i x[n-i] + sum_{i<=j} h_ij x[n-i] x[n-j]`` feeding an
+    output recurrence; the quadratic kernel makes it multiplication
+    dominated — a stress test for general-time scheduling.
+    """
+    if taps < 2:
+        raise WorkloadError(f"taps must be >= 2, got {taps}")
+    g = CSDFG(f"volterra{taps}")
+    g.add_node("acc", add_time)
+    chain = None
+    # linear taps
+    for i in range(taps):
+        m = f"lin{i}"
+        g.add_node(m, mul_time)
+        g.add_edge("acc", m, i + 1, volume)  # x[n-i] proxy via feedback
+        chain = _accumulate(g, chain, m, add_time, volume)
+    # quadratic kernel terms (i <= j), products of delayed samples
+    for i in range(taps):
+        for j in range(i, taps):
+            q = f"quad{i}_{j}"
+            g.add_node(q, mul_time)
+            g.add_edge("acc", q, i + j + 1, volume)
+            chain = _accumulate(g, chain, q, add_time, volume)
+    g.add_edge(chain, "acc", 0, volume)
+    return g
+
+
+def _accumulate(g: CSDFG, chain, term, add_time: int, volume: int):
+    """Fold ``term`` into the running adder chain; returns its head."""
+    if chain is None:
+        return term
+    a = f"sum_{term}"
+    g.add_node(a, add_time)
+    g.add_edge(chain, a, 0, volume)
+    g.add_edge(term, a, 0, volume)
+    return a

@@ -1,0 +1,65 @@
+"""Reproducible random workload suites for scaling studies.
+
+Wraps :mod:`repro.graph.generators` into named, seeded suites so the
+benchmarks can iterate over a stable population of graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.graph.csdfg import CSDFG
+from repro.graph.generators import layered_csdfg, random_csdfg
+
+__all__ = ["SuiteSpec", "random_suite", "layered_suite"]
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """Parameters of a generated workload population."""
+
+    count: int
+    num_nodes: int
+    seed: int = 0
+    edge_prob: float = 0.25
+    back_edge_prob: float = 0.15
+    max_time: int = 3
+    max_delay: int = 3
+    max_volume: int = 3
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise WorkloadError(f"count must be >= 1, got {self.count}")
+        if self.num_nodes < 1:
+            raise WorkloadError(f"num_nodes must be >= 1, got {self.num_nodes}")
+
+
+def random_suite(spec: SuiteSpec) -> list[CSDFG]:
+    """``spec.count`` random legal CSDFGs with consecutive seeds."""
+    return [
+        random_csdfg(
+            spec.num_nodes,
+            seed=spec.seed + i,
+            edge_prob=spec.edge_prob,
+            back_edge_prob=spec.back_edge_prob,
+            max_time=spec.max_time,
+            max_delay=spec.max_delay,
+            max_volume=spec.max_volume,
+        )
+        for i in range(spec.count)
+    ]
+
+
+def layered_suite(
+    count: int,
+    layer_sizes: tuple[int, ...] = (2, 4, 4, 2),
+    *,
+    seed: int = 0,
+) -> list[CSDFG]:
+    """``count`` layered pipeline graphs with consecutive seeds."""
+    if count < 1:
+        raise WorkloadError(f"count must be >= 1, got {count}")
+    return [
+        layered_csdfg(layer_sizes, seed=seed + i) for i in range(count)
+    ]

@@ -1,0 +1,59 @@
+"""Named workload registry.
+
+Maps short names ("figure1", "elliptic5", ...) to builder callables so
+experiment drivers and examples can resolve workloads by string.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import WorkloadError
+from repro.graph.csdfg import CSDFG
+from repro.workloads.dsp import (
+    all_pole_iir,
+    differential_equation_solver,
+    fir_filter,
+)
+from repro.workloads.filters import (
+    biquad_cascade,
+    elliptic_wave_filter,
+    lattice_filter,
+)
+from repro.workloads.kernels import correlator, fft_stage, volterra, wavefront
+from repro.workloads.paper_examples import figure1_csdfg, figure7_csdfg
+
+__all__ = ["WORKLOADS", "make_workload", "workload_names"]
+
+WORKLOADS: dict[str, Callable[[], CSDFG]] = {
+    "figure1": figure1_csdfg,
+    "figure7": figure7_csdfg,
+    "elliptic5": elliptic_wave_filter,
+    "lattice4": lattice_filter,
+    "lattice8": lambda: lattice_filter(8),
+    "biquad2": biquad_cascade,
+    "biquad4": lambda: biquad_cascade(4),
+    "diffeq": differential_equation_solver,
+    "fir8": fir_filter,
+    "iir4": all_pole_iir,
+    "fft8": fft_stage,
+    "wavefront6": wavefront,
+    "correlator3": correlator,
+    "volterra3": volterra,
+}
+
+
+def workload_names() -> list[str]:
+    """All registered workload names, sorted."""
+    return sorted(WORKLOADS)
+
+
+def make_workload(name: str) -> CSDFG:
+    """Build the named workload (fresh graph each call)."""
+    try:
+        builder = WORKLOADS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {workload_names()}"
+        ) from None
+    return builder()

@@ -1,0 +1,110 @@
+"""Integration: the full toolchain on one workload.
+
+graph -> optimize (compaction + refinement) -> codegen -> simulation ->
+buffer sizing -> serialization round trip, with pipelined and
+heterogeneous variants.
+"""
+
+import pytest
+
+from repro import (
+    CycloConfig,
+    buffer_requirements,
+    generate_program,
+    optimize,
+    simulate,
+)
+from repro.arch import Mesh2D
+from repro.retiming import apply_retiming, build_loop_code
+from repro.schedule import (
+    is_valid_schedule,
+    load_schedule,
+    save_schedule,
+)
+from repro.workloads import differential_equation_solver, figure7_csdfg
+
+CFG = CycloConfig(max_iterations=30, validate_each_step=False)
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def toolchain(self):
+        graph = figure7_csdfg()
+        arch = Mesh2D(2, 4)
+        result = optimize(graph, arch, config=CFG)
+        return graph, arch, result
+
+    def test_optimized_schedule_legal(self, toolchain):
+        graph, arch, result = toolchain
+        assert is_valid_schedule(result.graph, arch, result.schedule)
+        assert apply_retiming(graph, result.retiming).structurally_equal(
+            result.graph
+        )
+
+    def test_codegen_consistent_with_simulation(self, toolchain):
+        _, arch, result = toolchain
+        program = generate_program(result.graph, arch, result.schedule)
+        sim = simulate(result.graph, arch, result.schedule, iterations=6)
+        # messages per iteration in the program == steady-state rate of
+        # the simulation (the sim only counts transfers whose consumer
+        # falls inside the horizon, so compare against the first
+        # iteration's sends that stay in range)
+        per_iter = {}
+        for m in sim.messages:
+            per_iter.setdefault(m.src_iteration, 0)
+            per_iter[m.src_iteration] += 1
+        assert max(per_iter.values(), default=0) <= program.total_sends
+        assert program.total_computes == result.graph.num_nodes
+
+    def test_prologue_epilogue_cover_everything(self, toolchain):
+        graph, _, result = toolchain
+        code = build_loop_code(graph, result.retiming, iterations=20)
+        assert code.total_instances(graph) == 20 * graph.num_nodes
+
+    def test_buffers_and_serialization(self, toolchain, tmp_path):
+        _, arch, result = toolchain
+        buffers = buffer_requirements(
+            result.graph, arch, result.schedule, iterations=6
+        )
+        assert buffers.total_tokens > 0
+        path = tmp_path / "final.json"
+        save_schedule(result.schedule, path)
+        reloaded = load_schedule(path)
+        assert reloaded.same_placements(result.schedule)
+        assert is_valid_schedule(result.graph, arch, reloaded)
+
+
+class TestPipelinedToolchain:
+    def test_end_to_end_pipelined(self):
+        graph = differential_equation_solver()
+        arch = Mesh2D(2, 2)
+        cfg = CycloConfig(
+            pipelined_pes=True, max_iterations=20, validate_each_step=False
+        )
+        result = optimize(graph, arch, config=cfg)
+        assert is_valid_schedule(
+            result.graph, arch, result.schedule, pipelined_pes=True
+        )
+        program = generate_program(
+            result.graph, arch, result.schedule, pipelined_pes=True
+        )
+        assert program.total_computes == graph.num_nodes
+        simulate(
+            result.graph, arch, result.schedule, iterations=5, pipelined_pes=True
+        )
+
+
+class TestHeterogeneousToolchain:
+    def test_end_to_end_hetero(self):
+        graph = differential_equation_solver()
+        arch = Mesh2D(2, 2).with_time_scales([1, 1, 2, 2])
+        result = optimize(graph, arch, config=CFG)
+        assert is_valid_schedule(result.graph, arch, result.schedule)
+        program = generate_program(result.graph, arch, result.schedule)
+        # every compute op's duration reflects its PE's speed
+        for pe_prog in program.pes:
+            for op in pe_prog.computes:
+                assert op.duration == arch.execution_time(
+                    pe_prog.pe, result.graph.time(op.node)
+                )
+        simulate(result.graph, arch, result.schedule, iterations=5)

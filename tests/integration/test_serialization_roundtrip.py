@@ -1,0 +1,49 @@
+"""Integration: serialization round trips compose with scheduling.
+
+A workload written to JSON/edge-list and read back must schedule to the
+identical table; architectures round trip with their comm models.
+"""
+
+from repro.arch import Mesh2D, load_architecture, save_architecture
+from repro.core import cyclo_compact, start_up_schedule
+from repro.graph import from_edge_list, from_json, to_edge_list, to_json
+from repro.workloads import figure7_csdfg, make_workload, workload_names
+
+
+class TestGraphRoundTrips:
+    def test_schedules_identical_after_json(self):
+        g = figure7_csdfg()
+        g2 = from_json(to_json(g))
+        arch = Mesh2D(2, 4)
+        s1 = start_up_schedule(g, arch)
+        s2 = start_up_schedule(g2, arch)
+        assert s1.same_placements(s2)
+
+    def test_schedules_identical_after_edge_list(self):
+        g = figure7_csdfg()
+        g2 = from_edge_list(to_edge_list(g))
+        arch = Mesh2D(2, 4)
+        assert start_up_schedule(g, arch).same_placements(
+            start_up_schedule(g2, arch)
+        )
+
+    def test_all_workloads_round_trip(self):
+        for name in workload_names():
+            g = make_workload(name)
+            assert from_json(to_json(g)).structurally_equal(g), name
+
+
+class TestArchitectureRoundTrip:
+    def test_schedule_invariant(self, tmp_path):
+        g = figure7_csdfg()
+        arch = Mesh2D(2, 4)
+        path = tmp_path / "mesh.json"
+        save_architecture(arch, path)
+        loaded = load_architecture(path)
+        from repro.core import CycloConfig
+
+        cfg = CycloConfig(max_iterations=10, validate_each_step=False)
+        r1 = cyclo_compact(g, arch, config=cfg)
+        r2 = cyclo_compact(g, loaded, config=cfg)
+        assert r1.final_length == r2.final_length
+        assert r1.schedule.same_placements(r2.schedule)

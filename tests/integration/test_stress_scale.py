@@ -1,0 +1,40 @@
+"""Stress-scale runs: the full pipeline on graphs an order of magnitude
+beyond the paper's examples."""
+
+import math
+
+import pytest
+
+from repro.arch import Hypercube, Mesh2D
+from repro.core import CycloConfig, cyclo_compact
+from repro.graph import iteration_bound, random_csdfg
+from repro.schedule import collect_violations
+from repro.sim import simulate
+from repro.workloads import SuiteSpec, random_suite
+
+CFG = CycloConfig(max_iterations=40, validate_each_step=False)
+
+
+class TestLargeRandomGraphs:
+    @pytest.mark.parametrize("num_nodes,seed", [(60, 17), (100, 23)])
+    def test_pipeline_on_large_graph(self, num_nodes, seed):
+        graph = random_csdfg(
+            num_nodes, seed=seed, edge_prob=0.08, back_edge_prob=0.06
+        )
+        arch = Hypercube(3)
+        result = cyclo_compact(graph, arch, config=CFG)
+        assert result.final_length <= result.initial_length
+        assert result.final_length >= math.ceil(iteration_bound(graph))
+        assert collect_violations(result.graph, arch, result.schedule) == []
+        simulate(result.graph, arch, result.schedule, iterations=3)
+
+    def test_population_consistency(self):
+        graphs = random_suite(SuiteSpec(count=5, num_nodes=30, seed=99))
+        arch = Mesh2D(2, 4)
+        for graph in graphs:
+            result = cyclo_compact(graph, arch, config=CFG)
+            assert (
+                collect_violations(result.graph, arch, result.schedule) == []
+            ), graph.name
+            # compaction should genuinely engage on cyclic graphs
+            assert result.final_length <= result.initial_length

@@ -1,0 +1,66 @@
+"""Integration: the paper's Tables 1-10 (19-node graph, five 8-PE
+architectures).
+
+The 19-node graph is a reconstruction (DESIGN.md §5), so the checks are
+shape checks: start-up lengths in the published 12-15 band, compaction
+to the published 5-8 band, completely connected at least as good as
+every point-to-point topology, and the linear array no better than the
+richer topologies.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import run_grid
+from repro.arch import paper_architectures
+from repro.core import CycloConfig
+from repro.graph import iteration_bound
+from repro.workloads import figure7_csdfg
+
+CFG = CycloConfig(max_iterations=100, validate_each_step=False)
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return run_grid(figure7_csdfg(), paper_architectures(8), config=CFG)
+
+
+class TestStartupBand:
+    def test_init_lengths(self, cells):
+        for key, cell in cells.items():
+            assert 11 <= cell.init <= 17, (key, cell.init)
+
+    def test_complete_init_not_worst(self, cells):
+        assert cells["com"].init <= max(c.init for c in cells.values())
+
+
+class TestCompactionBand:
+    def test_after_band(self, cells):
+        for key, cell in cells.items():
+            assert 5 <= cell.after <= 9, (key, cell.after)
+
+    def test_substantial_compaction(self, cells):
+        # paper: every architecture compacts by roughly a factor 2
+        for key, cell in cells.items():
+            assert cell.after <= cell.init * 0.65, (key, cell.after, cell.init)
+
+    def test_bound_respected(self, cells):
+        g = figure7_csdfg()
+        floor = math.ceil(iteration_bound(g))
+        assert all(c.after >= floor for c in cells.values())
+
+
+class TestArchitectureOrdering:
+    def test_complete_is_best(self, cells):
+        best = min(c.after for c in cells.values())
+        assert cells["com"].after == best
+
+    def test_linear_is_not_best(self, cells):
+        # the linear array's diameter-7 store-and-forward is the worst
+        # environment; it must not beat every richer topology
+        others = [cells[k].after for k in ("com", "2-d", "hyp")]
+        assert cells["lin"].after >= min(others)
+
+    def test_hypercube_competitive_with_mesh(self, cells):
+        assert abs(cells["hyp"].after - cells["2-d"].after) <= 2

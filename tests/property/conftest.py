@@ -1,0 +1,54 @@
+"""Hypothesis strategies for CSDFGs, architectures and schedules."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.arch import (
+    CompletelyConnected,
+    Hypercube,
+    LinearArray,
+    Mesh2D,
+    Ring,
+    Star,
+)
+from repro.graph import random_csdfg
+
+
+@st.composite
+def csdfgs(draw, min_nodes=2, max_nodes=12, cyclic=True):
+    """Random legal CSDFGs via the library's seeded generator."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    seed = draw(st.integers(0, 10_000))
+    edge_prob = draw(st.sampled_from([0.15, 0.3, 0.5]))
+    back = draw(st.sampled_from([0.1, 0.3])) if cyclic else 0.0
+    return random_csdfg(
+        n,
+        seed=seed,
+        edge_prob=edge_prob,
+        back_edge_prob=back,
+        max_time=3,
+        max_delay=3,
+        max_volume=3,
+    )
+
+
+@st.composite
+def architectures(draw, max_pes=8):
+    """One of the library topologies with 2..max_pes processors."""
+    kind = draw(
+        st.sampled_from(["linear", "ring", "complete", "mesh", "cube", "star"])
+    )
+    if kind == "linear":
+        return LinearArray(draw(st.integers(2, max_pes)))
+    if kind == "ring":
+        return Ring(draw(st.integers(3, max_pes)))
+    if kind == "complete":
+        return CompletelyConnected(draw(st.integers(2, max_pes)))
+    if kind == "mesh":
+        rows = draw(st.integers(1, 2))
+        cols = draw(st.integers(2, max_pes // rows))
+        return Mesh2D(rows, cols)
+    if kind == "cube":
+        return Hypercube(draw(st.integers(1, 3)))
+    return Star(draw(st.integers(2, max_pes)))

@@ -1,0 +1,60 @@
+"""Property tests: architecture metric-space invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import route
+
+from .conftest import architectures
+
+
+class TestDistanceMetric:
+    @given(architectures())
+    @settings(max_examples=50, deadline=None)
+    def test_identity(self, arch):
+        assert all(arch.hops(p, p) == 0 for p in arch.processors)
+
+    @given(architectures())
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, arch):
+        for a in arch.processors:
+            for b in arch.processors:
+                assert arch.hops(a, b) == arch.hops(b, a)
+
+    @given(architectures())
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_inequality(self, arch):
+        pes = list(arch.processors)
+        for a in pes:
+            for b in pes:
+                for c in pes:
+                    assert arch.hops(a, c) <= arch.hops(a, b) + arch.hops(b, c)
+
+    @given(architectures())
+    @settings(max_examples=50, deadline=None)
+    def test_adjacent_iff_distance_one(self, arch):
+        for a in arch.processors:
+            for b in arch.neighbors(a):
+                assert arch.hops(a, b) == 1
+
+
+class TestRouting:
+    @given(architectures(), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_route_length_equals_hops(self, arch, data):
+        src = data.draw(st.integers(0, arch.num_pes - 1), label="src")
+        dst = data.draw(st.integers(0, arch.num_pes - 1), label="dst")
+        path = route(arch, src, dst)
+        assert path[0] == src and path[-1] == dst
+        assert len(path) - 1 == arch.hops(src, dst)
+        for a, b in zip(path, path[1:]):
+            assert arch.hops(a, b) == 1
+
+
+class TestCommCost:
+    @given(architectures(), st.integers(1, 9))
+    @settings(max_examples=40, deadline=None)
+    def test_store_and_forward_proportional(self, arch, volume):
+        for a in arch.processors:
+            for b in arch.processors:
+                assert arch.comm_cost(a, b, volume) == arch.hops(a, b) * volume

@@ -1,0 +1,48 @@
+"""Property tests: the exact oracle dominates every heuristic on tiny
+instances."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import CompletelyConnected, LinearArray, Mesh2D
+from repro.baselines import etf_schedule, exact_minimum_length
+from repro.core import CycloConfig, cyclo_compact, start_up_schedule
+from repro.graph import random_csdfg
+
+FAST = CycloConfig(relaxation=True, max_iterations=8, validate_each_step=False)
+
+
+def tiny_graph(seed):
+    return random_csdfg(
+        5, seed=seed, edge_prob=0.3, back_edge_prob=0.25, max_time=2,
+        max_volume=2,
+    )
+
+
+def small_arch(pick):
+    return [CompletelyConnected(2), LinearArray(3), Mesh2D(2, 2)][pick % 3]
+
+
+class TestOracleDominance:
+    @given(st.integers(0, 400), st.integers(0, 2))
+    @settings(max_examples=25, deadline=None)
+    def test_heuristics_never_beat_exact(self, seed, pick):
+        g = tiny_graph(seed)
+        arch = small_arch(pick)
+        exact, witness = exact_minimum_length(g, arch)
+        assert start_up_schedule(g, arch).length >= exact
+        assert etf_schedule(g, arch).length >= exact
+        # the witness itself is legal at exactly that length
+        from repro.schedule import is_valid_schedule
+
+        assert is_valid_schedule(g, arch, witness)
+
+    @given(st.integers(0, 400), st.integers(0, 2))
+    @settings(max_examples=15, deadline=None)
+    def test_cyclo_placement_near_oracle_on_retimed_graph(self, seed, pick):
+        g = tiny_graph(seed)
+        arch = small_arch(pick)
+        result = cyclo_compact(g, arch, config=FAST)
+        exact, _ = exact_minimum_length(result.graph, arch)
+        assert result.final_length >= exact
+        assert result.final_length - exact <= 2

@@ -1,0 +1,62 @@
+"""Property tests: refinement safety and codegen completeness."""
+
+from hypothesis import given, settings
+
+from repro.codegen import generate_program
+from repro.core import CycloConfig, cyclo_compact, optimize, refine_schedule
+from repro.retiming import apply_retiming
+from repro.schedule import collect_violations
+
+from .conftest import architectures, csdfgs
+
+FAST = CycloConfig(relaxation=True, max_iterations=8, validate_each_step=False)
+
+
+class TestRefineProperties:
+    @given(csdfgs(max_nodes=9), architectures(max_pes=5))
+    @settings(max_examples=30, deadline=None)
+    def test_refine_preserves_legality_and_never_lengthens(self, g, arch):
+        result = cyclo_compact(g, arch, config=FAST)
+        refined = refine_schedule(result.graph, arch, result.schedule)
+        assert refined.final_length <= result.final_length
+        assert collect_violations(result.graph, arch, refined.schedule) == []
+
+    @given(csdfgs(max_nodes=8), architectures(max_pes=5))
+    @settings(max_examples=20, deadline=None)
+    def test_optimize_consistency(self, g, arch):
+        res = optimize(g, arch, config=FAST, max_rounds=2)
+        assert collect_violations(res.graph, arch, res.schedule) == []
+        assert apply_retiming(g, res.retiming).structurally_equal(res.graph)
+        assert res.final_length <= res.initial_length
+
+
+class TestCodegenProperties:
+    @given(csdfgs(max_nodes=9), architectures(max_pes=5))
+    @settings(max_examples=30, deadline=None)
+    def test_program_covers_graph(self, g, arch):
+        result = cyclo_compact(g, arch, config=FAST)
+        program = generate_program(result.graph, arch, result.schedule)
+        assert program.total_computes == g.num_nodes
+        # sends and recvs pair up exactly over remote edges
+        sends = [
+            (op.src, op.dst) for p in program.pes for op in p.sends
+        ]
+        recvs = [
+            (op.src, op.dst) for p in program.pes for op in p.recvs
+        ]
+        assert sorted(map(str, sends)) == sorted(map(str, recvs))
+        remote = [
+            (e.src, e.dst)
+            for e in result.graph.edges()
+            if result.schedule.processor(e.src)
+            != result.schedule.processor(e.dst)
+        ]
+        assert sorted(map(str, remote)) == sorted(map(str, sends))
+
+    @given(csdfgs(max_nodes=8), architectures(max_pes=4))
+    @settings(max_examples=15, deadline=None)
+    def test_render_never_crashes(self, g, arch):
+        result = cyclo_compact(g, arch, config=FAST)
+        program = generate_program(result.graph, arch, result.schedule)
+        text = program.render()
+        assert "steady-state loop body" in text

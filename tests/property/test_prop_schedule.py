@@ -1,0 +1,43 @@
+"""Property tests: scheduler outputs are always legal and tight."""
+
+from hypothesis import given, settings
+
+from repro.core import start_up_schedule
+from repro.schedule import (
+    collect_violations,
+    is_valid_schedule,
+    minimum_feasible_length,
+)
+
+from .conftest import architectures, csdfgs
+
+
+class TestStartupAlwaysLegal:
+    @given(csdfgs(), architectures())
+    @settings(max_examples=60, deadline=None)
+    def test_valid_on_any_pair(self, g, arch):
+        s = start_up_schedule(g, arch)
+        assert collect_violations(g, arch, s) == []
+
+    @given(csdfgs(), architectures())
+    @settings(max_examples=40, deadline=None)
+    def test_length_is_minimal_for_placements(self, g, arch):
+        s = start_up_schedule(g, arch)
+        assert minimum_feasible_length(g, arch, s) == s.length
+
+    @given(csdfgs(), architectures())
+    @settings(max_examples=30, deadline=None)
+    def test_one_step_shorter_is_illegal_when_padded(self, g, arch):
+        s = start_up_schedule(g, arch)
+        if s.length > s.makespan:
+            shrunk = s.copy()
+            shrunk._length = s.length - 1
+            assert not is_valid_schedule(g, arch, shrunk)
+
+    @given(csdfgs(), architectures())
+    @settings(max_examples=30, deadline=None)
+    def test_every_node_placed_once_with_right_duration(self, g, arch):
+        s = start_up_schedule(g, arch)
+        assert set(s.nodes()) == set(g.nodes())
+        for v in g.nodes():
+            assert s.placement(v).duration == g.time(v)

@@ -1,0 +1,69 @@
+"""Unit tests for architecture ASCII rendering."""
+
+from repro.arch import (
+    BalancedTree,
+    Hypercube,
+    LinearArray,
+    Mesh2D,
+    Ring,
+    Torus2D,
+    render_architecture,
+    render_processor_load,
+)
+from repro.core import start_up_schedule
+from repro.workloads import figure1_csdfg, figure1_mesh
+
+
+class TestRenderArchitecture:
+    def test_mesh_grid(self):
+        text = render_architecture(Mesh2D(2, 4))
+        lines = text.splitlines()
+        assert "pe1 -- pe2 -- pe3 -- pe4" in lines[1]
+        assert "pe5" in text and "pe8" in text
+        assert "|" in text  # vertical links drawn
+
+    def test_torus_marks_wraparound(self):
+        text = render_architecture(Torus2D(3, 3))
+        assert "~" in text
+        assert "wrap-around" in text
+
+    def test_linear_chain(self):
+        text = render_architecture(LinearArray(4))
+        assert "pe1 -- pe2 -- pe3 -- pe4" in text
+        assert "(pe1)" not in text
+
+    def test_ring_closes(self):
+        text = render_architecture(Ring(5))
+        assert text.rstrip().endswith("(pe1)")
+
+    def test_hypercube_bit_labels(self):
+        text = render_architecture(Hypercube(3))
+        assert "[000]" in text and "[111]" in text
+        assert "one bit" in text
+
+    def test_generic_listing(self):
+        text = render_architecture(BalancedTree(2, 1))
+        assert "pe1 -- pe2, pe3" in text
+
+    def test_every_pe_mentioned(self):
+        for arch in (Mesh2D(2, 2), Ring(6), Hypercube(2), LinearArray(3)):
+            text = render_architecture(arch)
+            for p in arch.processors:
+                assert f"pe{p + 1}" in text, arch.name
+
+
+class TestRenderLoad:
+    def test_bars_match_busy_cells(self):
+        g, m = figure1_csdfg(), figure1_mesh()
+        s = start_up_schedule(g, m)
+        text = render_processor_load(m, s)
+        pe1 = next(l for l in text.splitlines() if "pe1" in l)
+        assert pe1.count("#") == 7  # fully busy
+        pe4 = next(l for l in text.splitlines() if "pe4" in l)
+        assert pe4.count("#") == 0
+
+    def test_task_names_listed(self):
+        g, m = figure1_csdfg(), figure1_mesh()
+        s = start_up_schedule(g, m)
+        text = render_processor_load(m, s)
+        assert "A,B,D,E,F" in text

@@ -1,0 +1,108 @@
+"""Unit tests for program extraction (code generation)."""
+
+import pytest
+
+from repro.arch import CompletelyConnected, LinearArray
+from repro.codegen import generate_program
+from repro.core import CycloConfig, cyclo_compact, start_up_schedule
+from repro.errors import ScheduleValidationError
+from repro.schedule import ScheduleTable
+from repro.workloads import figure1_csdfg, figure1_mesh
+
+
+@pytest.fixture
+def fig1_program():
+    g, m = figure1_csdfg(), figure1_mesh()
+    s = start_up_schedule(g, m)
+    return g, m, s, generate_program(g, m, s)
+
+
+class TestStructure:
+    def test_every_node_computed_once(self, fig1_program):
+        g, _, _, prog = fig1_program
+        assert prog.total_computes == g.num_nodes
+        names = [op.node for p in prog.pes for op in p.computes]
+        assert sorted(names) == sorted(g.nodes())
+
+    def test_compute_matches_placement(self, fig1_program):
+        g, _, s, prog = fig1_program
+        for pe_prog in prog.pes:
+            for op in pe_prog.computes:
+                placement = s.placement(op.node)
+                assert placement.pe == pe_prog.pe
+                assert placement.start == op.cs
+                assert placement.duration == op.duration
+
+    def test_send_recv_pairing(self, fig1_program):
+        g, _, s, prog = fig1_program
+        remote_edges = [
+            e
+            for e in g.edges()
+            if s.processor(e.src) != s.processor(e.dst)
+        ]
+        sends = [op for p in prog.pes for op in p.sends]
+        recvs = [op for p in prog.pes for op in p.recvs]
+        assert len(sends) == len(recvs) == len(remote_edges)
+        send_keys = {(op.src, op.dst) for op in sends}
+        recv_keys = {(op.src, op.dst) for op in recvs}
+        assert send_keys == recv_keys == {(e.src, e.dst) for e in remote_edges}
+
+    def test_send_timing(self, fig1_program):
+        g, m, s, prog = fig1_program
+        for p in prog.pes:
+            for op in p.sends:
+                assert op.after_cs == s.finish(op.src)
+                assert op.transit == m.comm_cost(
+                    s.processor(op.src), op.to_pe, op.volume
+                )
+
+    def test_recv_timing(self, fig1_program):
+        _, _, s, prog = fig1_program
+        for p in prog.pes:
+            for op in p.recvs:
+                assert op.by_cs == s.start(op.dst)
+
+    def test_local_edges_generate_no_messages(self):
+        from repro.graph import CSDFG
+
+        g = CSDFG("local")
+        g.add_node("u", 1)
+        g.add_node("v", 1)
+        g.add_edge("u", "v", 0, 3)
+        arch = CompletelyConnected(2)
+        s = ScheduleTable(2)
+        s.place("u", 0, 1, 1)
+        s.place("v", 0, 2, 1)
+        prog = generate_program(g, arch, s)
+        assert prog.total_sends == 0
+
+
+class TestRendering:
+    def test_render_contains_all_ops(self, fig1_program):
+        _, _, _, prog = fig1_program
+        text = prog.render()
+        assert "steady-state loop body" in text
+        assert "compute A" in text
+        assert "send" in text and "recv" in text
+        assert "pe1:" in text
+
+    def test_idle_pe_marked(self, fig1_program):
+        _, _, _, prog = fig1_program
+        text = prog.render()
+        assert "(idle)" in text  # pe3/pe4 are unused in the startup
+
+
+class TestGuards:
+    def test_rejects_illegal_schedule(self, figure1, mesh2x2):
+        bogus = ScheduleTable(mesh2x2.num_pes)
+        bogus.place("A", 0, 1, 1)
+        with pytest.raises(ScheduleValidationError):
+            generate_program(figure1, mesh2x2, bogus)
+
+    def test_compacted_schedule_program(self, figure7):
+        arch = LinearArray(8)
+        cfg = CycloConfig(max_iterations=20, validate_each_step=False)
+        result = cyclo_compact(figure7, arch, config=cfg)
+        prog = generate_program(result.graph, arch, result.schedule)
+        assert prog.length == result.final_length
+        assert prog.total_computes == 19

@@ -1,0 +1,66 @@
+"""Unit tests for communication cost models."""
+
+import pytest
+
+from repro.arch import (
+    ConstantLatencyModel,
+    StoreAndForwardModel,
+    WormholeModel,
+    ZeroCommModel,
+)
+from repro.errors import ArchitectureError
+
+
+class TestStoreAndForward:
+    def test_product(self):
+        m = StoreAndForwardModel()
+        assert m.cost(3, 4) == 12
+
+    def test_same_processor_free(self):
+        assert StoreAndForwardModel().cost(0, 100) == 0
+
+    def test_paper_example(self):
+        # Figure 1(b): B on PE1 to E on PE3 (2 hops, volume 3) -> 6
+        assert StoreAndForwardModel().cost(2, 3) == 6
+
+    def test_rejects_bad_inputs(self):
+        m = StoreAndForwardModel()
+        with pytest.raises(ArchitectureError):
+            m.cost(-1, 1)
+        with pytest.raises(ArchitectureError):
+            m.cost(1, 0)
+
+
+class TestWormhole:
+    def test_header_plus_flits(self):
+        assert WormholeModel().cost(3, 4) == 6
+
+    def test_same_processor_free(self):
+        assert WormholeModel().cost(0, 4) == 0
+
+    def test_cheaper_than_store_and_forward_multihop(self):
+        snf, wh = StoreAndForwardModel(), WormholeModel()
+        assert wh.cost(4, 5) < snf.cost(4, 5)
+
+
+class TestConstantLatency:
+    def test_flat(self):
+        m = ConstantLatencyModel(7)
+        assert m.cost(1, 10) == 7
+        assert m.cost(5, 1) == 7
+        assert m.cost(0, 1) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ArchitectureError):
+            ConstantLatencyModel(-1)
+
+
+class TestZero:
+    def test_always_free(self):
+        m = ZeroCommModel()
+        assert m.cost(5, 9) == 0
+        assert m.cost(0, 1) == 0
+
+    def test_names(self):
+        assert StoreAndForwardModel().name == "store-and-forward"
+        assert ZeroCommModel().name == "zero"

@@ -1,0 +1,39 @@
+"""Unit tests for the link-contention analysis extension."""
+
+from repro.arch import LinearArray, link_loads
+from repro.graph import CSDFG
+
+
+def chain_graph():
+    g = CSDFG("c")
+    g.add_nodes("abc")
+    g.add_edge("a", "b", 0, 2)
+    g.add_edge("b", "c", 0, 3)
+    g.add_edge("c", "a", 1, 1)
+    return g
+
+
+class TestLinkLoads:
+    def test_local_assignment_no_traffic(self):
+        g = chain_graph()
+        report = link_loads(g, LinearArray(3), {"a": 0, "b": 0, "c": 0})
+        assert report.total_traffic == 0
+        assert report.num_remote_edges == 0
+        assert report.max_load == 0
+
+    def test_spread_assignment(self):
+        g = chain_graph()
+        arch = LinearArray(3)
+        report = link_loads(g, arch, {"a": 0, "b": 1, "c": 2})
+        # a->b: 2 over link (0,1); b->c: 3 over (1,2); c->a: 1 over both
+        assert report.loads[(0, 1)] == 3
+        assert report.loads[(1, 2)] == 4
+        assert report.max_load == 4
+        assert report.total_traffic == 2 + 3 + 2
+        assert report.num_remote_edges == 3
+
+    def test_hotspots_sorted(self):
+        g = chain_graph()
+        report = link_loads(g, LinearArray(3), {"a": 0, "b": 1, "c": 2})
+        hot = report.hotspots(1)
+        assert hot == [((1, 2), 4)]

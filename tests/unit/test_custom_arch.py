@@ -1,0 +1,101 @@
+"""Unit tests for custom architectures and their serialization."""
+
+import pytest
+
+from repro.arch import (
+    ConstantLatencyModel,
+    CustomArchitecture,
+    WormholeModel,
+    from_adjacency,
+    load_architecture,
+    make_architecture,
+    paper_architectures,
+    save_architecture,
+)
+from repro.errors import ArchitectureError
+
+
+class TestCustom:
+    def test_from_adjacency(self):
+        arch = from_adjacency({0: [1, 2], 1: [2]}, name="tri")
+        assert arch.num_pes == 3
+        assert arch.diameter == 1
+
+    def test_one_directional_adjacency_symmetrised(self):
+        arch = from_adjacency({0: [1], 1: [2]})
+        assert arch.hops(2, 0) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ArchitectureError):
+            from_adjacency({})
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path):
+        arch = CustomArchitecture(4, [(0, 1), (1, 2), (2, 3), (3, 0)], name="sq")
+        path = tmp_path / "arch.json"
+        save_architecture(arch, path)
+        loaded = load_architecture(path)
+        assert loaded.num_pes == 4
+        assert loaded.links == arch.links
+        assert loaded.name == "sq"
+        assert loaded.comm_model.name == "store-and-forward"
+
+    def test_constant_latency_round_trip(self, tmp_path):
+        arch = CustomArchitecture(
+            2, [(0, 1)], comm_model=ConstantLatencyModel(5)
+        )
+        path = tmp_path / "arch.json"
+        save_architecture(arch, path)
+        loaded = load_architecture(path)
+        assert loaded.comm_cost(0, 1, 100) == 5
+
+    def test_wormhole_round_trip(self, tmp_path):
+        arch = CustomArchitecture(2, [(0, 1)], comm_model=WormholeModel())
+        path = tmp_path / "a.json"
+        save_architecture(arch, path)
+        assert load_architecture(path).comm_model.name == "wormhole"
+
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"format": "other"}')
+        with pytest.raises(ArchitectureError):
+            load_architecture(path)
+
+
+class TestRegistry:
+    def test_known_kinds(self):
+        assert make_architecture("linear", 5).num_pes == 5
+        assert make_architecture("ring", 6).num_pes == 6
+        assert make_architecture("complete", 4).diameter == 1
+        assert make_architecture("star", 5).num_pes == 5
+
+    def test_mesh_most_square(self):
+        mesh = make_architecture("mesh", 8)
+        assert {mesh.rows, mesh.cols} == {2, 4}
+        square = make_architecture("mesh", 16)
+        assert square.rows == square.cols == 4
+
+    def test_hypercube_power_of_two(self):
+        assert make_architecture("hypercube", 8).diameter == 3
+        with pytest.raises(ArchitectureError):
+            make_architecture("hypercube", 6)
+
+    def test_tree_needs_full_size(self):
+        assert make_architecture("tree", 7).num_pes == 7
+        with pytest.raises(ArchitectureError):
+            make_architecture("tree", 8)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ArchitectureError, match="unknown architecture"):
+            make_architecture("quantum", 4)
+
+    def test_paper_set(self):
+        archs = paper_architectures(8)
+        assert set(archs) == {"com", "lin", "rin", "2-d", "hyp"}
+        assert all(a.num_pes == 8 for a in archs.values())
+        assert archs["com"].diameter == 1
+        assert archs["lin"].diameter == 7
+        assert archs["rin"].diameter == 4
+        assert archs["2-d"].diameter == 4  # 2x4 mesh
+        assert archs["hyp"].diameter == 3

@@ -1,0 +1,102 @@
+"""Unit tests for the cyclo-compaction driver."""
+
+import pytest
+
+from repro.arch import CompletelyConnected, LinearArray
+from repro.core import CycloConfig, cyclo_compact, start_up_schedule
+from repro.errors import ScheduleValidationError, SchedulingError
+from repro.retiming import apply_retiming
+from repro.schedule import ScheduleTable, is_valid_schedule
+
+
+class TestFigure1:
+    def test_compacts_to_paper_or_better(self, figure1, mesh2x2):
+        result = cyclo_compact(figure1, mesh2x2)
+        assert result.initial_length == 7
+        assert result.final_length <= 5  # paper reaches 5
+
+    def test_final_schedule_valid(self, figure1, mesh2x2):
+        result = cyclo_compact(figure1, mesh2x2)
+        assert is_valid_schedule(result.graph, mesh2x2, result.schedule)
+
+    def test_never_worse_than_initial(self, figure1, mesh2x2):
+        result = cyclo_compact(figure1, mesh2x2)
+        assert result.final_length <= result.initial_length
+
+    def test_input_graph_not_mutated(self, figure1, mesh2x2):
+        snapshot = figure1.copy()
+        cyclo_compact(figure1, mesh2x2)
+        assert figure1.structurally_equal(snapshot)
+
+    def test_retiming_consistency(self, figure1, mesh2x2):
+        result = cyclo_compact(figure1, mesh2x2)
+        rebuilt = apply_retiming(figure1, result.retiming)
+        assert rebuilt.structurally_equal(result.graph)
+
+
+class TestPolicies:
+    def test_without_relaxation_monotone_trajectory(self, figure1, mesh2x2):
+        cfg = CycloConfig(relaxation=False)
+        result = cyclo_compact(figure1, mesh2x2, config=cfg)
+        lengths = result.trace.lengths
+        assert all(b <= a for a, b in zip(lengths, lengths[1:]))
+
+    def test_relaxation_keeps_best_seen(self, figure7):
+        arch = CompletelyConnected(4)
+        result = cyclo_compact(figure7, arch)
+        assert result.final_length == min(result.trace.lengths)
+
+    def test_zero_iterations_returns_startup(self, figure1, mesh2x2):
+        cfg = CycloConfig(max_iterations=0)
+        result = cyclo_compact(figure1, mesh2x2, config=cfg)
+        assert result.final_length == result.initial_length
+        assert result.trace.records == []
+
+    def test_patience_stops_early(self, figure7):
+        arch = CompletelyConnected(4)
+        cfg = CycloConfig(patience=2, max_iterations=100)
+        result = cyclo_compact(figure7, arch, config=cfg)
+        assert len(result.trace.records) < 100
+
+    def test_config_validation(self):
+        with pytest.raises(SchedulingError):
+            CycloConfig(max_iterations=-1)
+        with pytest.raises(SchedulingError):
+            CycloConfig(patience=0)
+
+
+class TestInitialSchedule:
+    def test_custom_initial_used(self, figure1, mesh2x2):
+        init = start_up_schedule(figure1, mesh2x2)
+        result = cyclo_compact(figure1, mesh2x2, initial=init)
+        assert result.initial_schedule.same_placements(init)
+        # caller's schedule not mutated
+        assert init.length == 7
+
+    def test_illegal_initial_rejected(self, figure1, mesh2x2):
+        bogus = ScheduleTable(mesh2x2.num_pes)
+        bogus.place("A", 0, 1, 1)  # missing everything else
+        with pytest.raises(ScheduleValidationError):
+            cyclo_compact(figure1, mesh2x2, initial=bogus)
+
+
+class TestTrace:
+    def test_records_per_pass(self, figure1, mesh2x2):
+        cfg = CycloConfig(max_iterations=5)
+        result = cyclo_compact(figure1, mesh2x2, config=cfg)
+        assert 1 <= len(result.trace.records) <= 5
+        first = result.trace.records[0]
+        assert first.index == 1
+        assert first.rotated == ("A",)
+
+    def test_best_so_far_monotone(self, figure7):
+        arch = LinearArray(4)
+        result = cyclo_compact(figure7, arch)
+        bests = [r.best_so_far for r in result.trace.records]
+        assert all(b <= a for a, b in zip(bests, bests[1:]))
+
+    def test_improvement_accessor(self, figure1, mesh2x2):
+        result = cyclo_compact(figure1, mesh2x2)
+        assert result.trace.improvement() == (
+            result.initial_length - result.final_length
+        )

@@ -1,0 +1,75 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ArchitectureError,
+    GraphError,
+    GraphValidationError,
+    IllegalRetimingError,
+    InfeasibleScheduleError,
+    PlacementConflictError,
+    ReproError,
+    RetimingError,
+    ScheduleError,
+    ScheduleValidationError,
+    SchedulingError,
+    UnknownProcessorError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    def test_single_base_class(self):
+        for exc_type in (
+            GraphError,
+            RetimingError,
+            ArchitectureError,
+            ScheduleError,
+            SchedulingError,
+            WorkloadError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_specialisations(self):
+        assert issubclass(GraphValidationError, GraphError)
+        assert issubclass(IllegalRetimingError, RetimingError)
+        assert issubclass(UnknownProcessorError, ArchitectureError)
+        assert issubclass(PlacementConflictError, ScheduleError)
+        assert issubclass(ScheduleValidationError, ScheduleError)
+        assert issubclass(InfeasibleScheduleError, SchedulingError)
+
+    def test_catch_all(self):
+        from repro.graph import CSDFG
+
+        with pytest.raises(ReproError):
+            CSDFG().time("ghost")
+
+
+class TestStructuredErrors:
+    def test_graph_validation_carries_issues(self):
+        err = GraphValidationError(["a", "b"])
+        assert err.issues == ["a", "b"]
+        assert "a; b" in str(err)
+
+    def test_schedule_validation_carries_violations(self):
+        err = ScheduleValidationError(["x"])
+        assert err.violations == ["x"]
+        assert "x" in str(err)
+
+    def test_library_raises_its_own_errors_only(self):
+        """A sweep of representative misuse cases: every failure is a
+        ReproError subclass, never a bare KeyError/ValueError."""
+        from repro.arch import LinearArray
+        from repro.graph import CSDFG
+        from repro.schedule import ScheduleTable
+
+        cases = [
+            lambda: CSDFG().add_node("a", 0),
+            lambda: LinearArray(2).hops(0, 9),
+            lambda: ScheduleTable(0),
+            lambda: ScheduleTable(1).remove("ghost"),
+        ]
+        for case in cases:
+            with pytest.raises(ReproError):
+                case()

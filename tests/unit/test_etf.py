@@ -1,0 +1,61 @@
+"""Unit tests for the ETF baseline scheduler."""
+
+import pytest
+
+from repro.arch import CompletelyConnected, LinearArray, Mesh2D
+from repro.baselines import etf_schedule
+from repro.errors import SchedulingError
+from repro.graph import CSDFG
+from repro.schedule import is_valid_schedule
+
+
+class TestEtf:
+    def test_always_valid(self, figure1, figure7, mesh2x2):
+        for g in (figure1, figure7):
+            for arch in (mesh2x2, LinearArray(4), CompletelyConnected(4)):
+                s = etf_schedule(g, arch)
+                assert is_valid_schedule(g, arch, s), (g.name, arch.name)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(SchedulingError):
+            etf_schedule(CSDFG(), CompletelyConnected(2))
+
+    def test_respects_comm_cost(self):
+        # chain u -> v with a heavy message: ETF keeps them co-located
+        g = CSDFG("g")
+        g.add_node("u", 1)
+        g.add_node("v", 1)
+        g.add_edge("u", "v", 0, 5)
+        arch = LinearArray(4)
+        s = etf_schedule(g, arch)
+        assert s.processor("u") == s.processor("v")
+        assert s.length == 2
+
+    def test_exploits_parallelism(self):
+        g = CSDFG("wide")
+        for n in "abcd":
+            g.add_node(n, 2)
+        arch = CompletelyConnected(4)
+        s = etf_schedule(g, arch)
+        assert s.length == 2  # all four in parallel
+
+    def test_pad_for_delayed_edges(self):
+        g = CSDFG("g")
+        g.add_node("u", 1)
+        g.add_node("v", 1)
+        g.add_edge("u", "v", 0, 1)
+        g.add_edge("v", "u", 1, 8)
+        arch = Mesh2D(2, 2)
+        s = etf_schedule(g, arch)
+        assert is_valid_schedule(g, arch, s)
+        raw = etf_schedule(g, arch, pad_for_delayed_edges=False)
+        assert raw.length == raw.makespan
+
+    def test_cyclo_beats_or_ties_etf(self, figure7):
+        from repro.core import CycloConfig, cyclo_compact
+
+        arch = Mesh2D(2, 4)
+        etf_len = etf_schedule(figure7, arch).length
+        cfg = CycloConfig(max_iterations=40, validate_each_step=False)
+        ours = cyclo_compact(figure7, arch, config=cfg).final_length
+        assert ours <= etf_len

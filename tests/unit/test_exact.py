@@ -1,0 +1,105 @@
+"""Unit tests for the exact branch-and-bound scheduler."""
+
+import pytest
+
+from repro.arch import CompletelyConnected, LinearArray
+from repro.baselines import exact_minimum_length, find_schedule_of_length
+from repro.core import cyclo_compact, start_up_schedule
+from repro.errors import SchedulingError
+from repro.graph import CSDFG
+from repro.schedule import is_valid_schedule
+from repro.workloads import figure1_csdfg, figure1_mesh
+
+
+class TestFindScheduleOfLength:
+    def test_feasible_length_yields_valid_schedule(self):
+        g, m = figure1_csdfg(), figure1_mesh()
+        s = find_schedule_of_length(g, m, 7)
+        assert s is not None
+        assert s.length == 7
+        assert is_valid_schedule(g, m, s)
+
+    def test_infeasible_length_returns_none(self):
+        g, m = figure1_csdfg(), figure1_mesh()
+        assert find_schedule_of_length(g, m, 4) is None
+
+    def test_too_large_graph_rejected(self):
+        from repro.workloads import figure7_csdfg
+
+        with pytest.raises(SchedulingError, match="nodes"):
+            find_schedule_of_length(figure7_csdfg(), CompletelyConnected(4), 10)
+
+    def test_budget_guard(self):
+        from repro.graph import random_csdfg
+
+        g = random_csdfg(10, seed=1, edge_prob=0.1, back_edge_prob=0.3)
+        with pytest.raises(SchedulingError, match="budget"):
+            find_schedule_of_length(
+                g, CompletelyConnected(4), 30, node_budget=5
+            )
+
+
+class TestExactMinimum:
+    def test_figure1_no_retiming_optimum(self):
+        # the paper's start-up schedule is placement-optimal: 7 is the
+        # best any scheduler can do without retiming the graph
+        g, m = figure1_csdfg(), figure1_mesh()
+        L, witness = exact_minimum_length(g, m)
+        assert L == 7
+        assert is_valid_schedule(g, m, witness)
+        assert start_up_schedule(g, m).length == L
+
+    def test_certifies_cyclo_final_placement(self):
+        g, m = figure1_csdfg(), figure1_mesh()
+        result = cyclo_compact(g, m)
+        L, _ = exact_minimum_length(result.graph, m)
+        assert result.final_length == L  # remapping left nothing behind
+
+    def test_single_node(self):
+        g = CSDFG("one")
+        g.add_node("a", 3)
+        g.add_edge("a", "a", 1, 1)
+        L, witness = exact_minimum_length(g, CompletelyConnected(2))
+        assert L == 3
+        assert witness.processor("a") in (0, 1)
+
+    def test_parallel_tasks(self):
+        g = CSDFG("par")
+        for n in "abcd":
+            g.add_node(n, 2)
+        L, _ = exact_minimum_length(g, CompletelyConnected(4))
+        assert L == 2
+        L2, _ = exact_minimum_length(g, CompletelyConnected(2))
+        assert L2 == 4
+
+    def test_comm_forces_serialisation(self):
+        # chain with heavy messages: splitting across the linear array
+        # costs more than serialising on one PE
+        g = CSDFG("chain")
+        g.add_node("u", 2)
+        g.add_node("v", 2)
+        g.add_edge("u", "v", 0, 5)
+        L, witness = exact_minimum_length(g, LinearArray(2))
+        assert L == 4
+        assert witness.processor("u") == witness.processor("v")
+
+    def test_heterogeneous_exact(self):
+        g = CSDFG("solo")
+        g.add_node("a", 2)
+        arch = CompletelyConnected(2).with_time_scales([3, 1])
+        L, witness = exact_minimum_length(g, arch)
+        assert L == 2
+        assert witness.processor("a") == 1  # the fast PE
+
+    def test_heuristics_never_beat_exact(self):
+        from repro.baselines import etf_schedule
+        from repro.graph import random_csdfg
+
+        for seed in range(4):
+            g = random_csdfg(
+                6, seed=seed, edge_prob=0.3, back_edge_prob=0.2, max_time=2
+            )
+            arch = LinearArray(3)
+            L, _ = exact_minimum_length(g, arch)
+            assert start_up_schedule(g, arch).length >= L
+            assert etf_schedule(g, arch).length >= L

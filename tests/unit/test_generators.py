@@ -1,0 +1,102 @@
+"""Unit tests for random/parametric CSDFG generators."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    chain_csdfg,
+    fork_join_csdfg,
+    is_legal,
+    iteration_bound,
+    layered_csdfg,
+    random_csdfg,
+    random_dag,
+    ring_csdfg,
+    validate_csdfg,
+)
+
+
+class TestRandomCsdfg:
+    def test_legal_by_construction(self):
+        for seed in range(10):
+            assert is_legal(random_csdfg(12, seed=seed))
+
+    def test_deterministic(self):
+        a = random_csdfg(10, seed=7)
+        b = random_csdfg(10, seed=7)
+        assert a.structurally_equal(b)
+
+    def test_seed_changes_graph(self):
+        a = random_csdfg(10, seed=1, edge_prob=0.5)
+        b = random_csdfg(10, seed=2, edge_prob=0.5)
+        assert not a.structurally_equal(b)
+
+    def test_node_count(self):
+        assert random_csdfg(17, seed=0).num_nodes == 17
+
+    def test_attribute_ranges(self):
+        g = random_csdfg(15, seed=3, max_time=2, max_delay=4, max_volume=5)
+        assert all(1 <= g.time(v) <= 2 for v in g.nodes())
+        assert all(0 <= e.delay <= 4 for e in g.edges())
+        assert all(1 <= e.volume <= 5 for e in g.edges())
+
+    def test_rejects_empty(self):
+        with pytest.raises(GraphError):
+            random_csdfg(0)
+
+
+class TestRandomDag:
+    def test_no_delays(self):
+        g = random_dag(12, seed=4)
+        assert all(e.delay == 0 for e in g.edges())
+        assert is_legal(g)
+
+
+class TestLayered:
+    def test_structure(self):
+        g = layered_csdfg((2, 3, 2), seed=0, feedback_edges=1)
+        assert g.num_nodes == 7
+        validate_csdfg(g, require_weakly_connected=True)
+
+    def test_every_nonroot_layer_connected(self):
+        g = layered_csdfg((1, 4, 4), seed=5)
+        for node in g.nodes():
+            if not str(node).startswith("L0"):
+                assert g.in_degree(node) >= 1
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(GraphError):
+            layered_csdfg(())
+        with pytest.raises(GraphError):
+            layered_csdfg((2, 0))
+
+
+class TestParametricShapes:
+    def test_chain_bound(self):
+        g = chain_csdfg(4, time=3, loop_delay=2)
+        assert iteration_bound(g) == Fraction(12, 2)
+
+    def test_chain_single_node(self):
+        g = chain_csdfg(1, loop_delay=1)
+        assert g.has_edge("n0", "n0")
+        assert is_legal(g)
+
+    def test_ring_shape(self):
+        g = ring_csdfg(5)
+        assert g.num_edges == 5
+        assert is_legal(g)
+
+    def test_ring_needs_two(self):
+        with pytest.raises(GraphError):
+            ring_csdfg(1)
+
+    def test_fork_join(self):
+        g = fork_join_csdfg(3, stages=2)
+        assert g.num_nodes == 2 + 3 * 2
+        validate_csdfg(g, require_weakly_connected=True)
+
+    def test_fork_join_rejects_zero_width(self):
+        with pytest.raises(GraphError):
+            fork_join_csdfg(0)

@@ -1,0 +1,73 @@
+"""Unit tests for CSDFG serialization."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    from_edge_list,
+    from_json,
+    load_json,
+    save_json,
+    to_dot,
+    to_edge_list,
+    to_json,
+)
+
+
+class TestJson:
+    def test_round_trip(self, figure1):
+        assert from_json(to_json(figure1)).structurally_equal(figure1)
+
+    def test_file_round_trip(self, figure7, tmp_path):
+        path = tmp_path / "g.json"
+        save_json(figure7, path)
+        assert load_json(path).structurally_equal(figure7)
+
+    def test_rejects_foreign_payload(self):
+        with pytest.raises(GraphError):
+            from_json({"format": "something-else"})
+
+    def test_rejects_unknown_version(self, figure1):
+        payload = to_json(figure1)
+        payload["version"] = 99
+        with pytest.raises(GraphError, match="version"):
+            from_json(payload)
+
+    def test_payload_shape(self, figure1):
+        payload = to_json(figure1)
+        assert payload["format"] == "repro-csdfg"
+        assert len(payload["nodes"]) == 6
+        assert len(payload["edges"]) == 10
+
+
+class TestDot:
+    def test_contains_nodes_and_edges(self, figure1):
+        dot = to_dot(figure1)
+        assert '"A" [label="A (1)"]' in dot
+        assert '"B" [label="B (2)"]' in dot
+        assert '"D" -> "A"' in dot
+
+    def test_delayed_edges_dashed(self, figure1):
+        dot = to_dot(figure1)
+        delayed = [l for l in dot.splitlines() if '"D" -> "A"' in l]
+        assert "dashed" in delayed[0]
+
+
+class TestEdgeList:
+    def test_round_trip(self, figure1):
+        text = to_edge_list(figure1)
+        assert from_edge_list(text).structurally_equal(figure1)
+
+    def test_implicit_nodes(self):
+        g = from_edge_list("a -> b delay=1 volume=2\n")
+        assert g.time("a") == 1
+        assert g.delay("a", "b") == 1
+        assert g.volume("a", "b") == 2
+
+    def test_comments_and_blanks(self):
+        g = from_edge_list("# header\n\nnode a 2  # trailing\na -> a delay=1\n")
+        assert g.time("a") == 2
+
+    def test_parse_error_reports_line(self):
+        with pytest.raises(GraphError, match="line 2"):
+            from_edge_list("node a 1\nthis is not parseable\n")

@@ -1,0 +1,90 @@
+"""Unit tests for the additional kernel workloads."""
+
+import pytest
+
+from repro.arch import Mesh2D, Ring
+from repro.core import CycloConfig, cyclo_compact
+from repro.errors import WorkloadError
+from repro.graph import critical_path_length, iteration_bound, validate_csdfg
+from repro.retiming import min_period_retiming
+from repro.schedule import is_valid_schedule
+from repro.workloads import correlator, fft_stage, volterra, wavefront
+
+FAST = CycloConfig(max_iterations=20, validate_each_step=False)
+
+
+class TestFftStage:
+    def test_structure(self):
+        g = fft_stage(8)
+        assert g.num_nodes == 12  # 4 butterflies x (1 mul + 2 adds)
+        validate_csdfg(g, require_weakly_connected=True)
+
+    def test_recursive(self):
+        assert iteration_bound(fft_stage(8)) > 0
+
+    def test_guards(self):
+        with pytest.raises(WorkloadError):
+            fft_stage(7)
+        with pytest.raises(WorkloadError):
+            fft_stage(0)
+
+    def test_schedulable(self):
+        g = fft_stage(8)
+        arch = Mesh2D(2, 2)
+        result = cyclo_compact(g, arch, config=FAST)
+        assert is_valid_schedule(result.graph, arch, result.schedule)
+
+
+class TestWavefront:
+    def test_dependence_pattern(self):
+        g = wavefront(5)
+        assert g.delay("x0", "x1") == 0  # same sweep, left neighbour
+        assert g.delay("x1", "x1") == 1  # previous sweep, self
+        assert g.delay("x2", "x1") == 1  # previous sweep, right neighbour
+        validate_csdfg(g, require_weakly_connected=True)
+
+    def test_width_guard(self):
+        with pytest.raises(WorkloadError):
+            wavefront(1)
+
+    def test_neighbour_friendly_on_ring(self):
+        g = wavefront(6)
+        arch = Ring(6)
+        result = cyclo_compact(g, arch, config=FAST)
+        assert result.final_length <= result.initial_length
+
+
+class TestCorrelator:
+    def test_structure(self):
+        g = correlator(3)
+        assert g.num_nodes == 7  # host + 3 comparators + 3 adders
+        validate_csdfg(g, require_weakly_connected=True)
+
+    def test_retiming_shortens_critical_path(self):
+        g = correlator(3)
+        before = critical_path_length(g)
+        period, _ = min_period_retiming(g)
+        assert period < before  # the canonical retiming win
+
+    def test_guard(self):
+        with pytest.raises(WorkloadError):
+            correlator(0)
+
+
+class TestVolterra:
+    def test_operation_mix(self):
+        g = volterra(3)
+        muls = sum(1 for v in g.nodes() if g.time(v) == 2)
+        # 3 linear + 6 quadratic (i <= j over 3 taps)
+        assert muls == 9
+        validate_csdfg(g, require_weakly_connected=True)
+
+    def test_guard(self):
+        with pytest.raises(WorkloadError):
+            volterra(1)
+
+    def test_schedulable(self):
+        g = volterra(3)
+        arch = Mesh2D(2, 2)
+        result = cyclo_compact(g, arch, config=FAST)
+        assert is_valid_schedule(result.graph, arch, result.schedule)

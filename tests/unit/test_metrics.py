@@ -1,0 +1,78 @@
+"""Unit tests for schedule metrics."""
+
+import pytest
+
+from repro.arch import CompletelyConnected, LinearArray
+from repro.graph import CSDFG
+from repro.schedule import (
+    ScheduleTable,
+    compute_metrics,
+    remote_edge_count,
+    speedup,
+    total_comm_cost,
+    utilization,
+)
+
+
+@pytest.fixture
+def pair():
+    g = CSDFG("g")
+    g.add_node("u", 2)
+    g.add_node("v", 2)
+    g.add_edge("u", "v", 0, 3)
+    t = ScheduleTable(2)
+    t.place("u", 0, 1, 2)
+    t.place("v", 1, 6, 2)
+    t.set_length(8)
+    return g, t
+
+
+class TestUtilization:
+    def test_value(self, pair):
+        _, t = pair
+        assert utilization(t) == pytest.approx(4 / 16)
+
+    def test_empty(self):
+        assert utilization(ScheduleTable(2)) == 0.0
+
+
+class TestSpeedup:
+    def test_value(self, pair):
+        g, t = pair
+        assert speedup(g, t) == pytest.approx(4 / 8)
+
+    def test_perfect_packing(self):
+        g = CSDFG("g")
+        g.add_node("a", 2)
+        g.add_node("b", 2)
+        t = ScheduleTable(2)
+        t.place("a", 0, 1, 2)
+        t.place("b", 1, 1, 2)
+        assert speedup(g, t) == pytest.approx(2.0)
+
+
+class TestComm:
+    def test_cross_pe_cost(self, pair):
+        g, t = pair
+        assert total_comm_cost(g, LinearArray(2), t) == 3
+        assert remote_edge_count(g, t) == 1
+
+    def test_same_pe_free(self, pair):
+        g, _ = pair
+        t = ScheduleTable(2)
+        t.place("u", 0, 1, 2)
+        t.place("v", 0, 3, 2)
+        assert total_comm_cost(g, LinearArray(2), t) == 0
+        assert remote_edge_count(g, t) == 0
+
+
+class TestBundle:
+    def test_compute_metrics(self, pair):
+        g, t = pair
+        m = compute_metrics(g, CompletelyConnected(2), t)
+        assert m.length == 8
+        assert m.pes_used == 2
+        assert m.comm_cost == 3
+        row = m.as_row()
+        assert row["length"] == 8
+        assert 0 < row["utilization"] < 1

@@ -1,0 +1,61 @@
+"""Unit tests for prologue/epilogue extraction."""
+
+import pytest
+
+from repro.errors import RetimingError
+from repro.retiming import Instance, build_loop_code
+
+
+class TestLoopCode:
+    def test_zero_retiming_no_prologue(self, figure1):
+        code = build_loop_code(figure1, {}, 10)
+        assert code.prologue == ()
+        assert code.epilogue == ()
+        assert code.steady_iterations == 10
+
+    def test_single_retimed_node(self, figure1):
+        code = build_loop_code(figure1, {"A": 1}, 10)
+        assert code.prologue == (Instance("A", 0),)
+        assert code.steady_iterations == 9
+        # every other node finishes one trailing instance
+        trailing = {inst.node for inst in code.epilogue}
+        assert trailing == {"B", "C", "D", "E", "F"}
+        assert all(inst.iteration == 9 for inst in code.epilogue)
+
+    def test_total_instances_invariant(self, figure7):
+        retiming = {v: i % 3 for i, v in enumerate(figure7.nodes())}
+        n = 12
+        code = build_loop_code(figure7, retiming, n)
+        assert code.total_instances(figure7) == n * figure7.num_nodes
+
+    def test_instance_coverage_exact(self, figure1):
+        n = 6
+        code = build_loop_code(figure1, {"A": 2, "B": 1}, n)
+        executed: dict = {}
+        for inst in code.prologue:
+            executed.setdefault(inst.node, set()).add(inst.iteration)
+        r = code.retiming
+        for i in range(code.steady_iterations):
+            for v in figure1.nodes():
+                executed.setdefault(v, set()).add(i + r[v])
+        for inst in code.epilogue:
+            executed.setdefault(inst.node, set()).add(inst.iteration)
+        for v in figure1.nodes():
+            assert executed[v] == set(range(n)), f"node {v} coverage"
+
+    def test_negative_retimings_normalised(self, figure1):
+        code = build_loop_code(figure1, {"B": -1}, 5)
+        assert min(code.retiming.values()) == 0
+
+    def test_prologue_respects_topology(self, figure1):
+        code = build_loop_code(figure1, {"A": 2, "B": 1}, 8)
+        first_iter = [i.node for i in code.prologue if i.iteration == 0]
+        assert first_iter.index("A") < first_iter.index("B")
+
+    def test_too_few_iterations(self, figure1):
+        with pytest.raises(RetimingError):
+            build_loop_code(figure1, {"A": 5}, 3)
+
+    def test_negative_iterations(self, figure1):
+        with pytest.raises(RetimingError):
+            build_loop_code(figure1, {}, -1)

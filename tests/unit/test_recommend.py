@@ -1,0 +1,42 @@
+"""Unit tests for architecture recommendation."""
+
+from repro.analysis import recommend_architecture
+from repro.arch import CompletelyConnected, LinearArray
+from repro.core import CycloConfig
+
+FAST = CycloConfig(max_iterations=15, validate_each_step=False)
+
+
+class TestRecommend:
+    def test_default_candidates_are_paper_set(self, figure7):
+        scores = recommend_architecture(figure7, config=FAST)
+        assert {s.key for s in scores} == {"com", "lin", "rin", "2-d", "hyp"}
+
+    def test_sorted_best_first(self, figure7):
+        scores = recommend_architecture(figure7, config=FAST)
+        keys = [s.sort_key for s in scores]
+        assert keys == sorted(keys)
+
+    def test_length_dominates_cost(self, figure7):
+        scores = recommend_architecture(figure7, config=FAST)
+        best = scores[0]
+        assert all(best.length <= s.length for s in scores)
+
+    def test_cheaper_topology_wins_ties(self, figure1):
+        # on a small workload where both machines reach the same length,
+        # the one with fewer links must rank first
+        candidates = {
+            "com": CompletelyConnected(4),
+            "lin": LinearArray(4),
+        }
+        scores = recommend_architecture(figure1, candidates, config=FAST)
+        by_key = {s.key: s for s in scores}
+        if by_key["com"].length == by_key["lin"].length:
+            assert scores[0].key == "lin"  # 3 links < 6 links
+
+    def test_custom_candidates(self, figure1):
+        candidates = {"only": CompletelyConnected(4)}
+        scores = recommend_architecture(figure1, candidates, config=FAST)
+        assert len(scores) == 1
+        assert scores[0].name == "complete4"
+        assert scores[0].links == 6

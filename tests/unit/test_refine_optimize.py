@@ -1,0 +1,110 @@
+"""Unit tests for schedule refinement and the high-level optimizer."""
+
+import pytest
+
+from repro.arch import CompletelyConnected, LinearArray, Mesh2D
+from repro.core import (
+    CycloConfig,
+    cyclo_compact,
+    optimize,
+    refine_schedule,
+    start_up_schedule,
+)
+from repro.errors import ScheduleValidationError
+from repro.retiming import apply_retiming
+from repro.schedule import ScheduleTable, is_valid_schedule
+
+FAST = CycloConfig(max_iterations=20, validate_each_step=False)
+
+
+class TestRefine:
+    def test_never_lengthens(self, figure7):
+        arch = Mesh2D(2, 4)
+        result = cyclo_compact(figure7, arch, config=FAST)
+        refined = refine_schedule(result.graph, arch, result.schedule)
+        assert refined.final_length <= refined.initial_length
+        assert is_valid_schedule(result.graph, arch, refined.schedule)
+
+    def test_input_untouched(self, figure1, mesh2x2):
+        s = start_up_schedule(figure1, mesh2x2)
+        before = s.copy()
+        refine_schedule(figure1, mesh2x2, s)
+        assert s.same_placements(before)
+
+    def test_improves_deliberately_bad_schedule(self):
+        # two independent self-looped tasks serialised on one PE of a
+        # two-PE machine: refinement must parallelise them
+        from repro.graph import CSDFG
+
+        g = CSDFG("pair")
+        for n in "ab":
+            g.add_node(n, 2)
+            g.add_edge(n, n, 1, 1)
+        arch = CompletelyConnected(2)
+        bad = ScheduleTable(2)
+        bad.place("a", 0, 1, 2)
+        bad.place("b", 0, 3, 2)
+        refined = refine_schedule(g, arch, bad)
+        assert refined.final_length == 2
+        assert refined.moves >= 1
+
+    def test_rejects_illegal_input(self, figure1, mesh2x2):
+        bogus = ScheduleTable(mesh2x2.num_pes)
+        bogus.place("A", 0, 1, 1)
+        with pytest.raises(ScheduleValidationError):
+            refine_schedule(figure1, mesh2x2, bogus)
+
+    def test_fixpoint_is_stable(self, figure7):
+        arch = CompletelyConnected(8)
+        result = cyclo_compact(figure7, arch, config=FAST)
+        once = refine_schedule(result.graph, arch, result.schedule)
+        twice = refine_schedule(result.graph, arch, once.schedule)
+        assert twice.moves == 0
+        assert twice.final_length == once.final_length
+
+    def test_pipelined_mode(self, figure1, mesh2x2):
+        cfg = CycloConfig(
+            pipelined_pes=True, max_iterations=10, validate_each_step=False
+        )
+        result = cyclo_compact(figure1, mesh2x2, config=cfg)
+        refined = refine_schedule(
+            result.graph, mesh2x2, result.schedule, pipelined_pes=True
+        )
+        assert is_valid_schedule(
+            result.graph, mesh2x2, refined.schedule, pipelined_pes=True
+        )
+
+
+class TestOptimize:
+    def test_never_worse_than_single_cyclo(self, figure7):
+        arch = LinearArray(8)
+        single = cyclo_compact(figure7, arch, config=FAST).final_length
+        multi = optimize(figure7, arch, config=FAST).final_length
+        assert multi <= single
+
+    def test_result_consistency(self, figure7):
+        arch = Mesh2D(2, 4)
+        res = optimize(figure7, arch, config=FAST)
+        assert is_valid_schedule(res.graph, arch, res.schedule)
+        assert apply_retiming(figure7, res.retiming).structurally_equal(
+            res.graph
+        )
+        assert res.final_length <= res.initial_length
+        assert res.round_lengths[-1] == res.final_length
+
+    def test_input_graph_untouched(self, figure1, mesh2x2):
+        snapshot = figure1.copy()
+        optimize(figure1, mesh2x2, config=FAST)
+        assert figure1.structurally_equal(snapshot)
+
+    def test_round_lengths_monotone(self, figure7):
+        res = optimize(figure7, CompletelyConnected(8), config=FAST)
+        assert all(
+            b <= a for a, b in zip(res.round_lengths, res.round_lengths[1:])
+        )
+
+    def test_max_rounds_respected(self, figure7):
+        res = optimize(
+            figure7, LinearArray(8), config=FAST, max_rounds=1
+        )
+        assert len(res.round_lengths) <= 2

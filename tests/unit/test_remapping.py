@@ -1,0 +1,127 @@
+"""Unit tests for the remapping phase."""
+
+from repro.core import remap_nodes, rotate_schedule, start_up_schedule
+from repro.schedule import is_valid_schedule
+
+
+def rotated_state(figure1, mesh2x2):
+    g = figure1.copy()
+    s = start_up_schedule(g, mesh2x2)
+    prev = s.length
+    rotated, old = rotate_schedule(g, s)
+    return g, s, rotated, prev
+
+
+class TestAccepts:
+    def test_relaxed_always_places(self, figure1, mesh2x2):
+        g, s, rotated, prev = rotated_state(figure1, mesh2x2)
+        outcome = remap_nodes(
+            g, mesh2x2, s, rotated, previous_length=prev, relaxation=True
+        )
+        assert outcome.accepted
+        assert set(outcome.placements) == set(rotated)
+        assert is_valid_schedule(g, mesh2x2, s)
+
+    def test_shrinks_figure1(self, figure1, mesh2x2):
+        g, s, rotated, prev = rotated_state(figure1, mesh2x2)
+        outcome = remap_nodes(
+            g, mesh2x2, s, rotated, previous_length=prev, relaxation=True
+        )
+        assert outcome.new_length < prev
+
+    def test_without_relaxation_monotone(self, figure1, mesh2x2):
+        g, s, rotated, prev = rotated_state(figure1, mesh2x2)
+        outcome = remap_nodes(
+            g, mesh2x2, s, rotated, previous_length=prev, relaxation=False
+        )
+        assert outcome.accepted
+        assert outcome.new_length <= prev
+        assert is_valid_schedule(g, mesh2x2, s)
+
+    def test_rejection_rolls_back_placements(self, figure1, mesh2x2):
+        g, s, rotated, prev = rotated_state(figure1, mesh2x2)
+        # an impossible cap forces rejection; the table must be left
+        # exactly as rotated (no stray trial placements)
+        tasks_before = set(s.nodes())
+        outcome = remap_nodes(
+            g, mesh2x2, s, rotated, previous_length=0, relaxation=False
+        )
+        assert not outcome.accepted
+        assert set(s.nodes()) == tasks_before
+
+
+class TestPlacementQuality:
+    def test_prefers_shrinking_slot(self, figure1, mesh2x2):
+        g, s, rotated, prev = rotated_state(figure1, mesh2x2)
+        remap_nodes(
+            g, mesh2x2, s, rotated, previous_length=prev, relaxation=True
+        )
+        # A must not be parked beyond the previous length when an
+        # in-range slot exists
+        assert s.finish("A") <= prev
+
+    def test_schedule_stays_valid_without_relaxation(self, figure7):
+        from repro.arch import Mesh2D
+
+        arch = Mesh2D(2, 2)
+        g = figure7.copy()
+        s = start_up_schedule(g, arch)
+        prev = s.length
+        rotated, _ = rotate_schedule(g, s)
+        outcome = remap_nodes(
+            g, arch, s, rotated, previous_length=prev, relaxation=False
+        )
+        if outcome.accepted:
+            assert is_valid_schedule(g, arch, s)
+            assert s.length <= prev
+
+
+class TestRemapStrategies:
+    def test_first_fit_valid_everywhere(self, figure7):
+        from repro.arch import Mesh2D
+        from repro.core import CycloConfig, cyclo_compact
+        from repro.schedule import is_valid_schedule
+
+        arch = Mesh2D(2, 4)
+        cfg = CycloConfig(
+            max_iterations=30,
+            validate_each_step=False,
+            remap_strategy="first-fit",
+        )
+        result = cyclo_compact(figure7, arch, config=cfg)
+        assert is_valid_schedule(result.graph, arch, result.schedule)
+        assert result.final_length <= result.initial_length
+
+    def test_implied_never_worse_in_aggregate(self, figure7):
+        from repro.arch import paper_architectures
+        from repro.core import CycloConfig, cyclo_compact
+
+        totals = {}
+        for strat in ("implied", "first-fit"):
+            cfg = CycloConfig(
+                max_iterations=40,
+                validate_each_step=False,
+                remap_strategy=strat,
+            )
+            totals[strat] = sum(
+                cyclo_compact(figure7, arch, config=cfg).final_length
+                for arch in paper_architectures(8).values()
+            )
+        assert totals["implied"] <= totals["first-fit"]
+
+    def test_unknown_strategy_rejected(self):
+        import pytest
+
+        from repro.core import CycloConfig
+        from repro.errors import SchedulingError
+
+        with pytest.raises(SchedulingError, match="remap_strategy"):
+            CycloConfig(remap_strategy="magic")
+
+    def test_first_fit_monotone_without_relaxation(self, figure1, mesh2x2):
+        from repro.core import CycloConfig, cyclo_compact
+
+        cfg = CycloConfig(relaxation=False, remap_strategy="first-fit")
+        result = cyclo_compact(figure1, mesh2x2, config=cfg)
+        lengths = result.trace.lengths
+        assert all(b <= a for a, b in zip(lengths, lengths[1:]))

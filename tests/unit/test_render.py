@@ -1,0 +1,55 @@
+"""Unit tests for schedule rendering."""
+
+from repro.schedule import ScheduleTable, render_gantt, render_summary, render_table
+
+
+def sample():
+    t = ScheduleTable(2, name="demo")
+    t.place("A", 0, 1, 1)
+    t.place("BB", 0, 2, 2)
+    t.place("C", 1, 3, 1)
+    return t
+
+
+class TestRenderTable:
+    def test_paper_layout(self):
+        out = render_table(sample())
+        lines = out.splitlines()
+        assert lines[0].startswith("cs")
+        assert "pe1" in lines[0] and "pe2" in lines[0]
+        # multi-cycle task repeats per control step (paper's "B B")
+        assert sum("BB" in line for line in lines) == 2
+
+    def test_title(self):
+        out = render_table(sample(), title="hello")
+        assert out.splitlines()[0] == "hello"
+
+    def test_empty_cells_dotted(self):
+        out = render_table(sample())
+        assert "." in out
+
+    def test_empty_schedule(self):
+        out = render_table(ScheduleTable(1))
+        assert "cs" in out
+
+
+class TestRenderGantt:
+    def test_one_row_per_pe(self):
+        out = render_gantt(sample())
+        lines = out.splitlines()
+        assert any(line.startswith("pe1") for line in lines)
+        assert any(line.startswith("pe2") for line in lines)
+
+    def test_cells_align_with_placements(self):
+        out = render_gantt(sample())
+        pe1 = next(l for l in out.splitlines() if l.startswith("pe1"))
+        assert "A" in pe1 and "BB" in pe1
+
+
+class TestSummary:
+    def test_contents(self):
+        s = render_summary(sample())
+        assert "demo" in s
+        assert "length=3" in s
+        assert "tasks=3" in s
+        assert "PEs used=2/2" in s

@@ -1,0 +1,58 @@
+"""Unit tests for the markdown report generator."""
+
+from repro.analysis import (
+    PaperComparison,
+    markdown_comparison_table,
+    markdown_grid,
+    run_cell,
+    run_grid,
+)
+from repro.arch import CompletelyConnected, LinearArray
+from repro.core import CycloConfig
+
+FAST = CycloConfig(max_iterations=10, validate_each_step=False)
+
+
+class TestPaperComparison:
+    def test_shape_match(self, figure1, mesh2x2):
+        cell, _ = run_cell(figure1, mesh2x2, config=FAST)
+        comp = PaperComparison("fig1", 7, 5, cell)
+        assert comp.matches_shape
+
+    def test_shape_mismatch_when_far(self, figure1, mesh2x2):
+        cell, _ = run_cell(figure1, mesh2x2, config=FAST)
+        comp = PaperComparison("fig1", 30, 20, cell)
+        assert not comp.matches_shape
+
+    def test_unreported_paper_values_ignored(self, figure1, mesh2x2):
+        cell, _ = run_cell(figure1, mesh2x2, config=FAST)
+        comp = PaperComparison("fig1", None, None, cell)
+        assert comp.matches_shape
+
+
+class TestMarkdownRendering:
+    def test_comparison_table(self, figure1, mesh2x2):
+        cell, _ = run_cell(figure1, mesh2x2, config=FAST)
+        text = markdown_comparison_table(
+            "Figure 1", [PaperComparison("mesh", 7, 5, cell)]
+        )
+        assert "### Figure 1" in text
+        assert "| mesh | 7 | 5 |" in text
+        assert "ok" in text
+
+    def test_missing_paper_cells_dashed(self, figure1, mesh2x2):
+        cell, _ = run_cell(figure1, mesh2x2, config=FAST)
+        text = markdown_comparison_table(
+            "X", [PaperComparison("m", None, None, cell)]
+        )
+        assert "| m | - | - |" in text
+
+    def test_grid_table(self, figure1):
+        cells = run_grid(
+            figure1,
+            {"com": CompletelyConnected(4), "lin": LinearArray(4)},
+            config=FAST,
+        )
+        text = markdown_grid("grid", cells)
+        assert "| com |" in text and "| lin |" in text
+        assert "passes to best" in text

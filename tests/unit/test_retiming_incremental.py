@@ -1,0 +1,69 @@
+"""Unit tests for the rotation primitive (node-set retiming)."""
+
+import pytest
+
+from repro.errors import IllegalRetimingError
+from repro.retiming import can_rotate, rotate_nodes, unrotate_nodes
+
+
+class TestCanRotate:
+    def test_root_with_delayed_inputs(self, figure1):
+        assert can_rotate(figure1, ["A"])
+
+    def test_zero_delay_input_blocks(self, figure1):
+        assert not can_rotate(figure1, ["B"])
+
+    def test_internal_edges_ignored(self, figure1):
+        # rotating {A, B} only needs delays on edges *entering* the set;
+        # A->B is internal
+        assert can_rotate(figure1, ["A", "B"])
+        assert not can_rotate(figure1, ["A", "E"])  # B->E, C->E enter with d=0
+
+
+class TestRotate:
+    def test_single_node(self, figure1):
+        rotate_nodes(figure1, ["A"])
+        assert figure1.delay("D", "A") == 2
+        assert figure1.delay("A", "B") == 1
+
+    def test_set_keeps_internal_edges(self, figure1):
+        rotate_nodes(figure1, ["A", "B"])
+        assert figure1.delay("A", "B") == 0  # internal, untouched
+        assert figure1.delay("D", "A") == 2  # entering
+        assert figure1.delay("B", "D") == 1  # leaving
+        assert figure1.delay("B", "E") == 1  # leaving
+
+    def test_illegal_rotation_leaves_graph_untouched(self, figure1):
+        before = figure1.copy()
+        with pytest.raises(IllegalRetimingError):
+            rotate_nodes(figure1, ["B"])
+        assert figure1.structurally_equal(before)
+
+    def test_amount(self, figure1):
+        rotate_nodes(figure1, ["A"], amount=2)
+        assert figure1.delay("D", "A") == 1
+        assert figure1.delay("A", "C") == 2
+
+    def test_negative_amount_rejected(self, figure1):
+        with pytest.raises(IllegalRetimingError):
+            rotate_nodes(figure1, ["A"], amount=-1)
+
+
+class TestUnrotate:
+    def test_round_trip(self, figure1):
+        before = figure1.copy()
+        rotate_nodes(figure1, ["A"])
+        unrotate_nodes(figure1, ["A"])
+        assert figure1.structurally_equal(before)
+
+    def test_set_round_trip(self, figure7):
+        before = figure7.copy()
+        roots = figure7.roots()
+        rotate_nodes(figure7, roots)
+        unrotate_nodes(figure7, roots)
+        assert figure7.structurally_equal(before)
+
+    def test_illegal_unrotate(self, figure1):
+        # unrotating A draws from leaving edges A->B (d=0): illegal
+        with pytest.raises(IllegalRetimingError):
+            unrotate_nodes(figure1, ["A"])

@@ -1,0 +1,73 @@
+"""Unit tests for routing paths."""
+
+import pytest
+
+from repro.arch import (
+    Hypercube,
+    LinearArray,
+    Mesh2D,
+    Ring,
+    ecube_route,
+    route,
+    shortest_path,
+    xy_route,
+)
+
+
+def assert_valid_path(arch, path, src, dst):
+    assert path[0] == src and path[-1] == dst
+    for a, b in zip(path, path[1:]):
+        assert arch.hops(a, b) == 1, f"{a}->{b} not a link"
+
+
+class TestShortestPath:
+    def test_length_matches_hops(self):
+        arch = Ring(8)
+        for src in range(8):
+            for dst in range(8):
+                path = shortest_path(arch, src, dst)
+                assert len(path) - 1 == arch.hops(src, dst)
+                assert_valid_path(arch, path, src, dst)
+
+    def test_trivial(self):
+        arch = LinearArray(3)
+        assert shortest_path(arch, 1, 1) == [1]
+
+
+class TestXYRoute:
+    def test_matches_manhattan(self):
+        mesh = Mesh2D(3, 4)
+        for src in mesh.processors:
+            for dst in mesh.processors:
+                path = xy_route(mesh, src, dst)
+                assert len(path) - 1 == mesh.hops(src, dst)
+                assert_valid_path(mesh, path, src, dst)
+
+    def test_column_first(self):
+        mesh = Mesh2D(2, 2)
+        # 0 -> 3: move along the row (column dimension) first
+        assert xy_route(mesh, 0, 3) == [0, 1, 3]
+
+
+class TestEcubeRoute:
+    def test_matches_hamming(self):
+        cube = Hypercube(4)
+        for src in (0, 5, 9, 15):
+            for dst in cube.processors:
+                path = ecube_route(cube, src, dst)
+                assert len(path) - 1 == cube.hops(src, dst)
+                assert_valid_path(cube, path, src, dst)
+
+    def test_lsb_first(self):
+        cube = Hypercube(3)
+        assert ecube_route(cube, 0, 3) == [0, 1, 3]
+
+
+class TestDispatch:
+    def test_route_picks_specialised(self):
+        mesh = Mesh2D(2, 3)
+        cube = Hypercube(3)
+        ring = Ring(5)
+        assert route(mesh, 0, 5) == xy_route(mesh, 0, 5)
+        assert route(cube, 1, 6) == ecube_route(cube, 1, 6)
+        assert len(route(ring, 0, 2)) - 1 == ring.hops(0, 2)

@@ -1,0 +1,64 @@
+"""Unit tests for schedule serialization."""
+
+import pytest
+
+from repro.core import CycloConfig, cyclo_compact, start_up_schedule
+from repro.errors import ScheduleError
+from repro.schedule import (
+    ScheduleTable,
+    load_schedule,
+    save_schedule,
+    schedule_from_json,
+    schedule_to_json,
+)
+
+
+class TestJsonRoundTrip:
+    def test_startup_schedule(self, figure1, mesh2x2):
+        s = start_up_schedule(figure1, mesh2x2)
+        back = schedule_from_json(schedule_to_json(s))
+        assert back.same_placements(s)
+        assert back.length == s.length
+
+    def test_file_round_trip(self, figure7, tmp_path):
+        from repro.arch import Mesh2D
+
+        arch = Mesh2D(2, 4)
+        cfg = CycloConfig(max_iterations=10, validate_each_step=False)
+        result = cyclo_compact(figure7, arch, config=cfg)
+        path = tmp_path / "sched.json"
+        save_schedule(result.schedule, path)
+        loaded = load_schedule(path)
+        assert loaded.same_placements(result.schedule)
+
+    def test_occupancy_preserved(self, tmp_path):
+        t = ScheduleTable(2, name="piped")
+        t.place("a", 0, 1, 3, occupancy=1)
+        t.place("b", 0, 2, 3, occupancy=1)
+        path = tmp_path / "p.json"
+        save_schedule(t, path)
+        loaded = load_schedule(path)
+        assert loaded.placement("a").occupancy == 1
+        assert loaded.placement("b").finish == 4
+
+    def test_padding_preserved(self, figure1, mesh2x2):
+        s = start_up_schedule(figure1, mesh2x2)
+        s.set_length(s.length + 3)
+        back = schedule_from_json(schedule_to_json(s))
+        assert back.length == s.length
+
+    def test_rejects_foreign_payload(self):
+        with pytest.raises(ScheduleError):
+            schedule_from_json({"format": "other"})
+
+    def test_rejects_bad_version(self, figure1, mesh2x2):
+        payload = schedule_to_json(start_up_schedule(figure1, mesh2x2))
+        payload["version"] = 42
+        with pytest.raises(ScheduleError, match="version"):
+            schedule_from_json(payload)
+
+    def test_placements_sorted_deterministically(self, figure1, mesh2x2):
+        s = start_up_schedule(figure1, mesh2x2)
+        p1 = schedule_to_json(s)
+        p2 = schedule_to_json(s.copy())
+        assert p1 == p2

@@ -1,0 +1,75 @@
+"""Unit tests for edge buffer analysis."""
+
+from repro.arch import CompletelyConnected, LinearArray
+from repro.core import cyclo_compact, start_up_schedule
+from repro.graph import CSDFG
+from repro.schedule import ScheduleTable
+from repro.sim import buffer_requirements, simulate
+
+
+def two_node(delay, volume=1):
+    g = CSDFG("g")
+    g.add_node("u", 1)
+    g.add_node("v", 1)
+    g.add_edge("u", "v", delay, volume)
+    g.add_edge("v", "u", max(1, 3 - delay), 1)
+    return g
+
+
+class TestBufferSizing:
+    def test_zero_delay_local_edge_single_token(self):
+        g = two_node(0)
+        arch = CompletelyConnected(2)
+        s = ScheduleTable(2)
+        s.place("u", 0, 1, 1)
+        s.place("v", 0, 2, 1)
+        report = buffer_requirements(g, arch, s, iterations=6)
+        assert report.per_edge[("u", "v")] == 1
+
+    def test_delayed_edge_holds_initial_tokens(self):
+        g = two_node(2)
+        arch = CompletelyConnected(2)
+        s = ScheduleTable(2)
+        s.place("u", 0, 1, 1)
+        s.place("v", 0, 2, 1)
+        report = buffer_requirements(g, arch, s, iterations=8)
+        # two preloaded tokens plus the in-flight one
+        assert report.per_edge[("u", "v")] >= 2
+
+    def test_totals_weighted_by_volume(self):
+        g = two_node(1, volume=4)
+        arch = CompletelyConnected(2)
+        s = ScheduleTable(2)
+        s.place("u", 0, 1, 1)
+        s.place("v", 1, 1, 1)
+        s.set_length(6)
+        report = buffer_requirements(g, arch, s, iterations=8)
+        uv = report.per_edge[("u", "v")]
+        vu = report.per_edge[("v", "u")]
+        assert report.total_tokens == uv + vu
+        assert report.total_words == uv * 4 + vu * 1
+
+    def test_reuses_existing_simulation(self, figure1, mesh2x2):
+        s = start_up_schedule(figure1, mesh2x2)
+        sim = simulate(figure1, mesh2x2, s, iterations=6, check=False)
+        r1 = buffer_requirements(figure1, mesh2x2, s, result=sim)
+        r2 = buffer_requirements(figure1, mesh2x2, s, iterations=6)
+        assert r1.per_edge == r2.per_edge
+
+    def test_compaction_may_need_more_buffering(self, figure1, mesh2x2):
+        # pipelining overlaps iterations: buffers never shrink below the
+        # sequential schedule's needs
+        startup = start_up_schedule(figure1, mesh2x2)
+        before = buffer_requirements(figure1, mesh2x2, startup, iterations=8)
+        result = cyclo_compact(figure1, mesh2x2)
+        after = buffer_requirements(
+            result.graph, mesh2x2, result.schedule, iterations=8
+        )
+        assert after.total_tokens >= 1
+        assert before.total_tokens >= 1
+
+    def test_every_edge_reported(self, figure7):
+        arch = LinearArray(8)
+        s = start_up_schedule(figure7, arch)
+        report = buffer_requirements(figure7, arch, s, iterations=5)
+        assert set(report.per_edge) == {e.key for e in figure7.edges()}

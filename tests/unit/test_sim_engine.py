@@ -1,0 +1,128 @@
+"""Unit tests for the execution simulator."""
+
+import pytest
+
+from repro.arch import CompletelyConnected, LinearArray
+from repro.core import cyclo_compact, start_up_schedule
+from repro.graph import CSDFG
+from repro.schedule import ScheduleTable
+from repro.sim import SimulationError, simulate
+from repro.workloads import figure1_csdfg, figure1_mesh
+
+
+class TestExpansion:
+    def test_instance_counts(self, figure1, mesh2x2):
+        s = start_up_schedule(figure1, mesh2x2)
+        sim = simulate(figure1, mesh2x2, s, iterations=5)
+        assert len(sim.executions) == 5 * figure1.num_nodes
+        assert sim.iterations == 5
+        assert sim.schedule_length == s.length
+
+    def test_instance_timing(self, figure1, mesh2x2):
+        s = start_up_schedule(figure1, mesh2x2)
+        sim = simulate(figure1, mesh2x2, s, iterations=3)
+        e = sim.execution_of("B", 2)
+        assert e.start == 2 * s.length + s.start("B")
+        assert e.duration == 2
+
+    def test_makespan(self, figure1, mesh2x2):
+        s = start_up_schedule(figure1, mesh2x2)
+        sim = simulate(figure1, mesh2x2, s, iterations=4)
+        assert sim.makespan == 3 * s.length + s.makespan
+
+    def test_throughput_approaches_rate(self, figure1, mesh2x2):
+        s = start_up_schedule(figure1, mesh2x2)
+        sim = simulate(figure1, mesh2x2, s, iterations=50)
+        assert sim.throughput() == pytest.approx(1 / s.length, rel=0.05)
+
+    def test_unknown_instance_raises(self, figure1, mesh2x2):
+        s = start_up_schedule(figure1, mesh2x2)
+        sim = simulate(figure1, mesh2x2, s, iterations=2)
+        with pytest.raises(SimulationError):
+            sim.execution_of("B", 7)
+
+    def test_bad_iterations(self, figure1, mesh2x2):
+        s = start_up_schedule(figure1, mesh2x2)
+        with pytest.raises(SimulationError):
+            simulate(figure1, mesh2x2, s, iterations=0)
+
+
+class TestMessages:
+    def test_local_schedule_no_messages(self):
+        g = CSDFG("g")
+        g.add_node("u", 1)
+        g.add_node("v", 1)
+        g.add_edge("u", "v", 0, 2)
+        arch = LinearArray(2)
+        s = ScheduleTable(2)
+        s.place("u", 0, 1, 1)
+        s.place("v", 0, 2, 1)
+        sim = simulate(g, arch, s, iterations=3)
+        assert sim.messages == []
+        assert sim.total_comm_steps == 0
+
+    def test_remote_message_latency(self):
+        g = CSDFG("g")
+        g.add_node("u", 1)
+        g.add_node("v", 1)
+        g.add_edge("u", "v", 1, 3)
+        arch = LinearArray(3)
+        s = ScheduleTable(3)
+        s.place("u", 0, 1, 1)
+        s.place("v", 2, 1, 1)
+        s.set_length(7)  # CB(v)+L=8 >= CE(u)+6+1=8
+        sim = simulate(g, arch, s, iterations=3)
+        # iterations 0 and 1 produce for 1 and 2 (iter 2 produces for 3,
+        # beyond the horizon)
+        assert len(sim.messages) == 2
+        m = sim.messages[0]
+        assert m.latency == 6  # 2 hops x volume 3
+        assert m.depart == 2 and m.arrive == 7
+
+    def test_cross_iteration_pairing(self, figure1, mesh2x2):
+        result = cyclo_compact(figure1, mesh2x2)
+        sim = simulate(result.graph, mesh2x2, result.schedule, iterations=6)
+        for m in sim.messages:
+            assert m.dst_iteration == m.src_iteration + result.graph.delay(
+                m.src, m.dst
+            )
+
+
+class TestDynamicChecks:
+    def test_valid_schedules_simulate_clean(self, figure7):
+        arch = CompletelyConnected(8)
+        result = cyclo_compact(figure7, arch)
+        simulate(result.graph, arch, result.schedule, iterations=8)
+
+    def test_violated_dependence_detected(self):
+        g = CSDFG("g")
+        g.add_node("u", 1)
+        g.add_node("v", 1)
+        g.add_edge("u", "v", 1, 3)
+        arch = LinearArray(3)
+        s = ScheduleTable(3)
+        s.place("u", 0, 1, 1)
+        s.place("v", 2, 1, 1)
+        s.set_length(5)  # too short: needs 7
+        with pytest.raises(SimulationError, match="ready only at"):
+            simulate(g, arch, s, iterations=3)
+
+    def test_check_can_be_disabled(self):
+        g = CSDFG("g")
+        g.add_node("u", 1)
+        g.add_node("v", 1)
+        g.add_edge("u", "v", 1, 3)
+        arch = LinearArray(3)
+        s = ScheduleTable(3)
+        s.place("u", 0, 1, 1)
+        s.place("v", 2, 1, 1)
+        s.set_length(5)
+        sim = simulate(g, arch, s, iterations=3, check=False)
+        assert sim.executions
+
+    def test_pe_timeline_sorted(self, figure1, mesh2x2):
+        s = start_up_schedule(figure1, mesh2x2)
+        sim = simulate(figure1, mesh2x2, s, iterations=3)
+        timeline = sim.pe_timeline(0)
+        starts = [e.start for e in timeline]
+        assert starts == sorted(starts)

@@ -1,0 +1,46 @@
+"""Unit tests for the parameter-sweep drivers."""
+
+import math
+
+from repro.analysis import pe_count_sweep, slowdown_sweep, volume_sweep
+from repro.core import CycloConfig
+from repro.workloads import figure7_csdfg, lattice_filter
+
+FAST = CycloConfig(max_iterations=15, validate_each_step=False)
+
+
+class TestPeCountSweep:
+    def test_points_and_bound(self, figure7):
+        points = pe_count_sweep(
+            figure7, "complete", [2, 4, 8], config=FAST
+        )
+        assert [p.x for p in points] == [2, 4, 8]
+        for p in points:
+            assert p.after <= p.init
+            assert p.after >= math.ceil(p.bound)
+
+    def test_more_pes_help_in_aggregate(self, figure7):
+        points = pe_count_sweep(figure7, "complete", [1, 8], config=FAST)
+        assert points[-1].after <= points[0].after
+
+
+class TestVolumeSweep:
+    def test_heavier_comm_never_helps_in_aggregate(self):
+        graph = lattice_filter(6)
+        points = volume_sweep(graph, "linear", 8, [1, 4], config=FAST)
+        assert points[1].after >= points[0].after - 1  # heuristic slack
+
+    def test_bound_volume_invariant(self):
+        graph = lattice_filter(4)
+        points = volume_sweep(graph, "mesh", 4, [1, 3], config=FAST)
+        assert points[0].bound == points[1].bound  # volumes don't move it
+
+
+class TestSlowdownSweep:
+    def test_bound_divides(self, figure7):
+        points = slowdown_sweep(figure7, "complete", 8, [1, 2], config=FAST)
+        assert points[1].bound == points[0].bound / 2
+
+    def test_improvement_tracked(self, figure7):
+        points = slowdown_sweep(figure7, "mesh", 8, [1], config=FAST)
+        assert points[0].improvement == points[0].init - points[0].after

@@ -1,0 +1,166 @@
+"""Unit tests for the concrete topology families (paper Figure 5)."""
+
+import pytest
+
+from repro.arch import (
+    BalancedTree,
+    CompletelyConnected,
+    Hypercube,
+    LinearArray,
+    Mesh2D,
+    Ring,
+    Star,
+    Torus2D,
+)
+from repro.errors import ArchitectureError, UnknownProcessorError
+
+
+class TestLinearArray:
+    def test_distance_is_abs_difference(self):
+        arch = LinearArray(6)
+        for i in range(6):
+            for j in range(6):
+                assert arch.hops(i, j) == abs(i - j)
+
+    def test_link_count(self):
+        assert len(LinearArray(8).links) == 7
+
+    def test_degrees(self):
+        arch = LinearArray(5)
+        assert arch.degree(0) == 1
+        assert arch.degree(2) == 2
+
+    def test_diameter(self):
+        assert LinearArray(8).diameter == 7
+
+
+class TestRing:
+    def test_distance_wraps(self):
+        arch = Ring(8)
+        for i in range(8):
+            for j in range(8):
+                assert arch.hops(i, j) == min((i - j) % 8, (j - i) % 8)
+
+    def test_all_degree_two(self):
+        arch = Ring(6)
+        assert all(arch.degree(p) == 2 for p in arch.processors)
+
+    def test_diameter_half(self):
+        assert Ring(8).diameter == 4
+        assert Ring(7).diameter == 3
+
+    def test_too_small(self):
+        with pytest.raises(ArchitectureError):
+            Ring(2)
+
+
+class TestCompletelyConnected:
+    def test_unit_distances(self):
+        arch = CompletelyConnected(8)
+        assert arch.diameter == 1
+        assert arch.hops(3, 7) == 1
+
+    def test_link_count(self):
+        assert len(CompletelyConnected(8).links) == 28
+
+
+class TestMesh2D:
+    def test_manhattan_distance(self):
+        arch = Mesh2D(3, 4)
+        for a in range(12):
+            for b in range(12):
+                (r0, c0), (r1, c1) = arch.coordinates(a), arch.coordinates(b)
+                assert arch.hops(a, b) == abs(r0 - r1) + abs(c0 - c1)
+
+    def test_degrees(self):
+        arch = Mesh2D(3, 3)
+        center = arch.pe_at(1, 1)
+        corner = arch.pe_at(0, 0)
+        edge = arch.pe_at(0, 1)
+        assert arch.degree(center) == 4
+        assert arch.degree(corner) == 2
+        assert arch.degree(edge) == 3
+
+    def test_paper_2x2(self):
+        arch = Mesh2D(2, 2)
+        assert arch.num_pes == 4
+        assert arch.diameter == 2  # diagonal
+
+    def test_coordinates_round_trip(self):
+        arch = Mesh2D(2, 4)
+        for pe in arch.processors:
+            assert arch.pe_at(*arch.coordinates(pe)) == pe
+
+    def test_bad_coordinates(self):
+        with pytest.raises(UnknownProcessorError):
+            Mesh2D(2, 2).pe_at(2, 0)
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ArchitectureError):
+            Mesh2D(0, 3)
+
+
+class TestTorus2D:
+    def test_wraparound_shortens(self):
+        mesh = Mesh2D(3, 3)
+        torus = Torus2D(3, 3)
+        assert torus.hops(0, 2) == 1  # wraps in the row
+        assert mesh.hops(0, 2) == 2
+
+    def test_regular_degree_four(self):
+        arch = Torus2D(3, 4)
+        assert all(arch.degree(p) == 4 for p in arch.processors)
+
+    def test_too_small(self):
+        with pytest.raises(ArchitectureError):
+            Torus2D(2, 4)
+
+
+class TestHypercube:
+    def test_hamming_distance(self):
+        arch = Hypercube(3)
+        for a in range(8):
+            for b in range(8):
+                assert arch.hops(a, b) == bin(a ^ b).count("1")
+
+    def test_sizes(self):
+        assert Hypercube(0).num_pes == 1
+        assert Hypercube(3).num_pes == 8
+        assert Hypercube(4).num_pes == 16
+
+    def test_diameter_is_dimension(self):
+        assert Hypercube(4).diameter == 4
+
+    def test_bit_label(self):
+        assert Hypercube(3).bit_label(5) == "101"
+
+    def test_rejects_huge(self):
+        with pytest.raises(ArchitectureError):
+            Hypercube(20)
+
+
+class TestStarTree:
+    def test_star_distances(self):
+        arch = Star(5)
+        assert arch.hops(0, 3) == 1
+        assert arch.hops(1, 4) == 2
+        assert arch.hub == 0
+
+    def test_star_too_small(self):
+        with pytest.raises(ArchitectureError):
+            Star(1)
+
+    def test_tree_size(self):
+        arch = BalancedTree(2, 2)
+        assert arch.num_pes == 7
+        assert arch.root == 0
+
+    def test_tree_parent(self):
+        arch = BalancedTree(2, 2)
+        assert arch.parent(0) is None
+        assert arch.parent(1) == 0
+        assert arch.parent(6) == 2
+
+    def test_tree_leaf_to_leaf(self):
+        arch = BalancedTree(2, 2)
+        assert arch.hops(3, 6) == 4  # up to root, down again

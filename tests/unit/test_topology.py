@@ -1,0 +1,100 @@
+"""Unit tests for the Architecture base class."""
+
+import numpy as np
+import pytest
+
+from repro.arch import Architecture, ZeroCommModel
+from repro.errors import ArchitectureError, UnknownProcessorError
+
+
+def path3():
+    return Architecture(3, [(0, 1), (1, 2)], name="path3")
+
+
+class TestConstruction:
+    def test_basic(self):
+        arch = path3()
+        assert arch.num_pes == 3
+        assert arch.links == ((0, 1), (1, 2))
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(ArchitectureError, match="not connected"):
+            Architecture(3, [(0, 1)])
+
+    def test_rejects_self_link(self):
+        with pytest.raises(ArchitectureError, match="self-link"):
+            Architecture(2, [(0, 0), (0, 1)])
+
+    def test_rejects_out_of_range_link(self):
+        with pytest.raises(UnknownProcessorError):
+            Architecture(2, [(0, 5)])
+
+    def test_rejects_zero_pes(self):
+        with pytest.raises(ArchitectureError):
+            Architecture(0, [])
+
+    def test_single_pe_no_links(self):
+        arch = Architecture(1, [])
+        assert arch.diameter == 0
+        assert arch.hops(0, 0) == 0
+
+    def test_duplicate_links_collapse(self):
+        arch = Architecture(2, [(0, 1), (1, 0)])
+        assert arch.links == ((0, 1),)
+
+
+class TestDistances:
+    def test_hops(self):
+        arch = path3()
+        assert arch.hops(0, 2) == 2
+        assert arch.hops(2, 0) == 2
+        assert arch.hops(1, 1) == 0
+
+    def test_distance_matrix_readonly(self):
+        arch = path3()
+        with pytest.raises(ValueError):
+            arch.distance_matrix[0, 0] = 5
+
+    def test_matrix_symmetric(self):
+        arch = path3()
+        assert np.array_equal(arch.distance_matrix, arch.distance_matrix.T)
+
+    def test_diameter_and_average(self):
+        arch = path3()
+        assert arch.diameter == 2
+        assert arch.average_distance == pytest.approx((1 + 2 + 1 + 1 + 2 + 1) / 6)
+
+    def test_neighbors_and_degree(self):
+        arch = path3()
+        assert arch.neighbors(1) == (0, 2)
+        assert arch.degree(0) == 1
+
+    def test_unknown_pe_raises(self):
+        with pytest.raises(UnknownProcessorError):
+            path3().hops(0, 9)
+
+
+class TestCommCost:
+    def test_store_and_forward_default(self):
+        arch = path3()
+        assert arch.comm_cost(0, 2, 3) == 6
+        assert arch.comm_cost(1, 1, 3) == 0
+
+    def test_with_comm_model(self):
+        arch = path3().with_comm_model(ZeroCommModel())
+        assert arch.comm_cost(0, 2, 3) == 0
+        assert arch.name == "path3"
+        # original unchanged
+        assert path3().comm_cost(0, 2, 3) == 6
+
+
+class TestNetworkx:
+    def test_isomorphism(self):
+        a = Architecture(3, [(0, 1), (1, 2)])
+        b = Architecture(3, [(2, 1), (1, 0)])
+        assert a.is_isomorphic_to(b)
+
+    def test_to_networkx(self):
+        g = path3().to_networkx()
+        assert g.number_of_nodes() == 3
+        assert g.number_of_edges() == 2

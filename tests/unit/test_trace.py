@@ -1,0 +1,51 @@
+"""Unit tests for compaction trace bookkeeping."""
+
+from repro.core import CompactionTrace, IterationRecord
+
+
+def record(index, length, best, accepted=True):
+    return IterationRecord(
+        index=index,
+        rotated=("A",),
+        accepted=accepted,
+        length_after=length,
+        best_so_far=best,
+    )
+
+
+class TestCompactionTrace:
+    def test_lengths_prefixed_by_initial(self):
+        trace = CompactionTrace(initial_length=10)
+        trace.records.append(record(1, 9, 9))
+        trace.records.append(record(2, 11, 9))
+        assert trace.lengths == [10, 9, 11]
+
+    def test_best_length(self):
+        trace = CompactionTrace(initial_length=10)
+        trace.records.append(record(1, 12, 10))
+        trace.records.append(record(2, 7, 7))
+        assert trace.best_length == 7
+
+    def test_passes_to_best(self):
+        trace = CompactionTrace(initial_length=10)
+        trace.records.append(record(1, 9, 9))
+        trace.records.append(record(2, 8, 8))
+        trace.records.append(record(3, 8, 8))
+        assert trace.passes_to_best == 2
+
+    def test_passes_to_best_when_never_improved(self):
+        trace = CompactionTrace(initial_length=5)
+        trace.records.append(record(1, 6, 5))
+        assert trace.best_length == 5
+        assert trace.passes_to_best == 0
+
+    def test_improvement(self):
+        trace = CompactionTrace(initial_length=10)
+        trace.records.append(record(1, 6, 6))
+        assert trace.improvement() == 4
+
+    def test_empty_trace(self):
+        trace = CompactionTrace(initial_length=4)
+        assert trace.lengths == [4]
+        assert trace.best_length == 4
+        assert trace.improvement() == 0

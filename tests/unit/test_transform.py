@@ -1,0 +1,129 @@
+"""Unit tests for graph transformations."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    is_legal,
+    iteration_bound,
+    merge_parallel_edges,
+    reverse,
+    scale_times,
+    scale_volumes,
+    slowdown,
+    unfold,
+    validate_csdfg,
+)
+
+
+class TestSlowdown:
+    def test_delays_scaled(self, figure1):
+        g = slowdown(figure1, 3)
+        assert g.delay("D", "A") == 9
+        assert g.delay("F", "E") == 3
+        assert g.delay("A", "B") == 0
+
+    def test_legality_preserved(self, figure7):
+        validate_csdfg(slowdown(figure7, 4))
+
+    def test_iteration_bound_divided(self, tiny_loop):
+        base = iteration_bound(tiny_loop)
+        assert iteration_bound(slowdown(tiny_loop, 2)) == base / 2
+
+    def test_identity_factor(self, figure1):
+        assert slowdown(figure1, 1).structurally_equal(figure1)
+
+    def test_invalid_factor(self, figure1):
+        with pytest.raises(GraphError):
+            slowdown(figure1, 0)
+
+    def test_original_untouched(self, figure1):
+        slowdown(figure1, 2)
+        assert figure1.delay("D", "A") == 3
+
+
+class TestUnfold:
+    def test_node_count(self, figure1):
+        g = unfold(figure1, 3)
+        assert g.num_nodes == 18
+
+    def test_edge_count_preserved_per_copy(self, figure1):
+        g = unfold(figure1, 2)
+        # each original edge contributes exactly `factor` edges
+        assert g.num_edges == 20
+
+    def test_delay_distribution(self, tiny_loop):
+        # b -> a with d=1 unfolded by 2: b#0 -> a#1 (d0), b#1 -> a#0 (d1)
+        g = unfold(tiny_loop, 2)
+        assert g.delay("b#0", "a#1") == 0
+        assert g.delay("b#1", "a#0") == 1
+
+    def test_total_delay_preserved(self, figure1):
+        factor = 3
+        g = unfold(figure1, factor)
+        assert sum(e.delay for e in g.edges()) == sum(
+            e.delay for e in figure1.edges()
+        )
+
+    def test_legality_preserved(self, figure7):
+        validate_csdfg(unfold(figure7, 3))
+
+    def test_iteration_bound_scales(self, tiny_loop):
+        # unfolding by f multiplies the per-schedule-iteration bound by f
+        assert iteration_bound(unfold(tiny_loop, 3)) == 3 * iteration_bound(
+            tiny_loop
+        )
+
+    def test_custom_labels(self, tiny_loop):
+        g = unfold(tiny_loop, 2, label=lambda v, i: (v, i))
+        assert ("a", 0) in g
+
+    def test_invalid_factor(self, tiny_loop):
+        with pytest.raises(GraphError):
+            unfold(tiny_loop, 0)
+
+
+class TestMergeParallelEdges:
+    def test_merges_min_delay_max_volume(self):
+        merged = merge_parallel_edges(
+            [("a", "b", 2, 1), ("a", "b", 1, 3), ("b", "c", 0, 1)]
+        )
+        assert ("a", "b", 1, 3) in merged
+        assert ("b", "c", 0, 1) in merged
+        assert len(merged) == 2
+
+    def test_preserves_order(self):
+        merged = merge_parallel_edges([("x", "y", 0, 1), ("a", "b", 0, 1)])
+        assert merged[0][:2] == ("x", "y")
+
+
+class TestReverseAndScaling:
+    def test_reverse_edges(self, figure1):
+        r = reverse(figure1)
+        assert r.has_edge("B", "A")
+        assert r.delay("A", "D") == 3
+        assert r.num_edges == figure1.num_edges
+
+    def test_double_reverse_identity(self, figure7):
+        assert reverse(reverse(figure7)).structurally_equal(figure7)
+
+    def test_scale_times(self, figure1):
+        g = scale_times(figure1, 2)
+        assert g.time("B") == 4
+        assert g.time("A") == 2
+
+    def test_scale_volumes(self, figure1):
+        g = scale_volumes(figure1, 3)
+        assert g.volume("D", "A") == 9
+        assert g.delay("D", "A") == 3
+
+    def test_scale_rejects_zero(self, figure1):
+        with pytest.raises(GraphError):
+            scale_times(figure1, 0)
+        with pytest.raises(GraphError):
+            scale_volumes(figure1, 0)
+
+    def test_reverse_keeps_legality(self, figure7):
+        assert is_legal(reverse(figure7))

@@ -1,0 +1,38 @@
+"""Unit tests for the unfolding-based scheduling study."""
+
+from fractions import Fraction
+
+from repro.analysis import unfolding_study
+from repro.arch import CompletelyConnected
+from repro.core import CycloConfig
+from repro.graph import chain_csdfg, iteration_bound
+
+
+class TestUnfoldingStudy:
+    def test_points_respect_bound(self, figure1):
+        arch = CompletelyConnected(6)
+        points = unfolding_study(figure1, arch, factors=(1, 2))
+        for p in points:
+            assert p.effective >= p.bound
+            assert p.effective == Fraction(p.length, p.factor)
+
+    def test_fractional_bound_approachable(self):
+        # chain of 3 unit tasks over 2 delays: bound 3/2 — a factor-2
+        # unfolding can realise it exactly on a wide machine
+        g = chain_csdfg(3, time=1, loop_delay=2)
+        assert iteration_bound(g) == Fraction(3, 2)
+        arch = CompletelyConnected(6)
+        cfg = CycloConfig(max_iterations=40, validate_each_step=False)
+        points = unfolding_study(g, arch, factors=(1, 2), config=cfg)
+        f1, f2 = points
+        assert f1.effective >= 2  # integer lengths cannot express 1.5
+        assert f2.effective < f1.effective  # unfolding strictly helps
+
+    def test_factor_one_matches_plain_cyclo(self, figure1):
+        from repro.core import cyclo_compact
+
+        arch = CompletelyConnected(4)
+        cfg = CycloConfig(max_iterations=20, validate_each_step=False)
+        points = unfolding_study(figure1, arch, factors=(1,), config=cfg)
+        direct = cyclo_compact(figure1, arch, config=cfg)
+        assert points[0].length == direct.final_length

@@ -1,0 +1,166 @@
+"""Unit tests for the bundled workload graphs."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph import is_legal, iteration_bound, validate_csdfg
+from repro.workloads import (
+    FIGURE1_NODE_TIMES,
+    FIGURE7_NODE_TIMES,
+    SuiteSpec,
+    all_pole_iir,
+    biquad_cascade,
+    differential_equation_solver,
+    elliptic_wave_filter,
+    figure1_csdfg,
+    figure7_csdfg,
+    fir_filter,
+    lattice_filter,
+    layered_suite,
+    make_workload,
+    random_suite,
+    workload_names,
+)
+
+
+class TestFigure1:
+    def test_exact_transcription(self):
+        g = figure1_csdfg()
+        assert g.num_nodes == 6
+        assert g.num_edges == 10
+        assert {v: g.time(v) for v in g.nodes()} == FIGURE1_NODE_TIMES
+        assert g.delay("D", "A") == 3
+        assert g.delay("F", "E") == 1
+        assert g.volume("B", "E") == 2
+        assert g.volume("D", "F") == 2
+        assert g.volume("D", "A") == 3
+
+    def test_legal(self):
+        validate_csdfg(figure1_csdfg(), require_weakly_connected=True)
+
+
+class TestFigure7:
+    def test_shape(self):
+        g = figure7_csdfg()
+        assert g.num_nodes == 19
+        assert {v: g.time(v) for v in g.nodes()} == FIGURE7_NODE_TIMES
+        assert sum(1 for v in g.nodes() if g.time(v) == 2) == 5
+
+    def test_legal_and_cyclic(self):
+        g = figure7_csdfg()
+        validate_csdfg(g, require_weakly_connected=True)
+        assert iteration_bound(g) > 0
+
+
+class TestFilters:
+    def test_elliptic_operation_mix(self):
+        g = elliptic_wave_filter()
+        assert g.num_nodes == 34
+        muls = [v for v in g.nodes() if g.time(v) == 2]
+        adds = [v for v in g.nodes() if g.time(v) == 1]
+        assert len(muls) == 8
+        assert len(adds) == 26
+        validate_csdfg(g, require_weakly_connected=True)
+
+    def test_elliptic_custom_times(self):
+        g = elliptic_wave_filter(mul_time=5, add_time=2)
+        assert max(g.time(v) for v in g.nodes()) == 5
+        assert min(g.time(v) for v in g.nodes()) == 2
+
+    def test_elliptic_is_recursive(self):
+        assert iteration_bound(elliptic_wave_filter()) > 0
+
+    def test_lattice_structure(self):
+        g = lattice_filter(4)
+        assert g.num_nodes == 4 * 4 + 2
+        validate_csdfg(g, require_weakly_connected=True)
+        assert iteration_bound(g) > 0
+
+    def test_lattice_stage_scaling(self):
+        assert lattice_filter(8).num_nodes == 8 * 4 + 2
+
+    def test_lattice_rejects_zero_stages(self):
+        with pytest.raises(WorkloadError):
+            lattice_filter(0)
+
+    def test_biquad(self):
+        g = biquad_cascade(3)
+        assert g.num_nodes == 3 * 8
+        validate_csdfg(g, require_weakly_connected=True)
+        assert iteration_bound(g) > 0
+
+    def test_filter_time_guard(self):
+        with pytest.raises(WorkloadError):
+            elliptic_wave_filter(mul_time=0)
+
+
+class TestDsp:
+    def test_diffeq_legal(self):
+        g = differential_equation_solver()
+        validate_csdfg(g, require_weakly_connected=True)
+        assert g.num_nodes == 10
+        assert iteration_bound(g) > 0
+
+    def test_fir_pipelined(self):
+        g = fir_filter(8)
+        validate_csdfg(g, require_weakly_connected=True)
+        # transposed FIR: every partial-sum chain edge carries a delay
+        chain_edges = [
+            e
+            for e in g.edges()
+            if e.dst.startswith("a") and not e.src == f"m{int(e.dst[1:])}"
+        ]
+        assert chain_edges
+        assert all(e.delay == 1 for e in chain_edges)
+
+    def test_iir_bound(self):
+        g = all_pole_iir(4)
+        assert is_legal(g)
+        assert iteration_bound(g) >= 3  # tap-1 cycle: mul 2 + adders
+
+    def test_guards(self):
+        with pytest.raises(WorkloadError):
+            fir_filter(0)
+        with pytest.raises(WorkloadError):
+            all_pole_iir(0)
+        with pytest.raises(WorkloadError):
+            biquad_cascade(0)
+
+
+class TestRegistry:
+    def test_names_sorted(self):
+        names = workload_names()
+        assert names == sorted(names)
+        assert "figure1" in names and "elliptic5" in names
+
+    def test_make_workload_fresh_instances(self):
+        a, b = make_workload("figure1"), make_workload("figure1")
+        assert a is not b
+        assert a.structurally_equal(b)
+
+    def test_every_registered_workload_is_legal(self):
+        for name in workload_names():
+            assert is_legal(make_workload(name)), name
+
+    def test_unknown_name(self):
+        with pytest.raises(WorkloadError, match="unknown workload"):
+            make_workload("nope")
+
+
+class TestSuites:
+    def test_random_suite(self):
+        graphs = random_suite(SuiteSpec(count=4, num_nodes=10, seed=3))
+        assert len(graphs) == 4
+        assert all(is_legal(g) for g in graphs)
+        assert not graphs[0].structurally_equal(graphs[1])
+
+    def test_layered_suite(self):
+        graphs = layered_suite(3)
+        assert len(graphs) == 3
+        assert all(is_legal(g) for g in graphs)
+
+    def test_spec_guards(self):
+        with pytest.raises(WorkloadError):
+            SuiteSpec(count=0, num_nodes=5)
+        with pytest.raises(WorkloadError):
+            layered_suite(0)
