@@ -6,10 +6,13 @@ the paper's examples converge within a handful of passes, and the claim
 checked here is that the best schedule arrives within O(|V|) rotations.
 """
 
-from _report import write_report
+import json
+
+from _report import OUT_DIR, write_report
 
 from repro.analysis import convergence_study
 from repro.arch import paper_architectures
+from repro.core import CompactionTrace
 from repro.graph import slowdown
 from repro.workloads import elliptic_wave_filter, figure1_csdfg, figure7_csdfg
 
@@ -26,6 +29,15 @@ def test_bench_convergence_figure1(benchmark):
         "convergence_figure1",
         f"lengths: {list(report.lengths)}\n"
         f"best {report.best} reached at pass {report.passes_to_best}",
+    )
+    # archive the raw trajectory via the shared trace serialisation and
+    # pin the JSON round-trip on a real optimiser run
+    trace_path = OUT_DIR / "convergence_figure1_trace.json"
+    trace_path.write_text(report.trace.to_json(indent=2) + "\n")
+    loaded = CompactionTrace.from_json(trace_path.read_text())
+    assert loaded.to_dict() == report.trace.to_dict()
+    assert json.loads(trace_path.read_text())["initial_length"] == (
+        report.lengths[0]
     )
 
 

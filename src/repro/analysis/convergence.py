@@ -3,11 +3,12 @@ convergence" claim)."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.arch.topology import Architecture
 from repro.core.config import CycloConfig
 from repro.core.cyclo import cyclo_compact
+from repro.core.trace import CompactionTrace
 from repro.graph.csdfg import CSDFG
 
 __all__ = ["ConvergenceReport", "convergence_study"]
@@ -18,7 +19,9 @@ class ConvergenceReport:
     """Length trajectory of one optimisation run.
 
     ``lengths[k]`` is the schedule length after pass ``k`` (index 0 is
-    the start-up schedule).
+    the start-up schedule).  ``trace`` is the raw optimiser trace the
+    trajectory was derived from; serialise it with
+    :meth:`~repro.core.trace.CompactionTrace.to_dict` to archive a run.
     """
 
     workload: str
@@ -26,6 +29,9 @@ class ConvergenceReport:
     lengths: tuple[int, ...]
     best: int
     passes_to_best: int
+    trace: CompactionTrace | None = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def normalized(self) -> tuple[float, ...]:
@@ -51,4 +57,5 @@ def convergence_study(
         lengths=lengths,
         best=result.final_length,
         passes_to_best=result.trace.passes_to_best,
+        trace=result.trace,
     )

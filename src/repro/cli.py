@@ -20,6 +20,17 @@ Commands
 ``experiment``
     Regenerate one of the paper's experiments (``figure1``,
     ``tables19``, ``table11``) on stdout.
+``profile``
+    Run the optimiser N times on a (workload, architecture) pair and
+    print the per-phase time/percentage breakdown.
+
+Observability
+-------------
+``schedule``, ``simulate`` and ``report`` accept ``--trace FILE``
+(write a Chrome trace-event JSON viewable in ``chrome://tracing`` /
+https://ui.perfetto.dev) and ``--profile`` (print the per-phase time
+breakdown and collected metrics after the run); see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -35,6 +46,16 @@ from repro.codegen import generate_program
 from repro.core import CycloConfig, cyclo_compact, optimize
 from repro.errors import ReproError
 from repro.graph import critical_path_length, iteration_bound, slowdown
+from repro.obs import (
+    InMemorySink,
+    format_breakdown,
+    install_sink,
+    metrics,
+    metrics_report,
+    phase_breakdown,
+    remove_sink,
+    write_chrome_trace,
+)
 from repro.schedule import compute_metrics, render_gantt, render_table
 from repro.sim import buffer_requirements, simulate
 from repro.workloads import make_workload, workload_names
@@ -57,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sched = sub.add_parser("schedule", help="schedule a workload")
     _add_pair_args(p_sched)
+    _add_obs_args(p_sched)
     p_sched.add_argument(
         "--no-relax",
         action="store_true",
@@ -89,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sim = sub.add_parser("simulate", help="simulate a compacted schedule")
     _add_pair_args(p_sim)
+    _add_obs_args(p_sim)
     p_sim.add_argument(
         "--loops", type=int, default=6, help="loop iterations to execute"
     )
@@ -105,6 +128,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument(
         "--skip-table11", action="store_true", help="omit the filter study"
     )
+    _add_obs_args(p_rep)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="profile the optimiser per phase on a (workload, arch) pair",
+    )
+    _add_pair_args(p_prof)
+    p_prof.add_argument(
+        "--runs", type=int, default=3, help="optimiser runs to aggregate"
+    )
+    p_prof.add_argument(
+        "--iterations", type=int, default=None, help="compaction passes (z)"
+    )
+    p_prof.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="also write a Chrome trace-event JSON of the profiled runs",
+    )
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper experiment")
     p_exp.add_argument("name", choices=["figure1", "tables19", "table11"])
@@ -115,7 +155,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _add_pair_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--workload", required=True, choices=workload_names())
+    parser.add_argument(
+        "workload_pos",
+        nargs="?",
+        default=None,
+        metavar="workload",
+        help="workload name (alternative to --workload)",
+    )
+    parser.add_argument("--workload", choices=workload_names())
     parser.add_argument(
         "--arch",
         default="mesh",
@@ -128,6 +175,57 @@ def _add_pair_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a Chrome trace-event JSON (chrome://tracing, Perfetto)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-phase time breakdown and metrics after the run",
+    )
+
+
+class _ObsSession:
+    """Scope of one instrumented CLI command.
+
+    Installs an in-memory sink (turning the library's instrumentation
+    on), and on :meth:`finish` writes the Chrome trace and/or prints
+    the profile report as requested by the flags.
+    """
+
+    def __init__(self, trace_path: str | None, profile: bool) -> None:
+        self.trace_path = trace_path
+        self.profile = profile
+        self.sink = InMemorySink()
+        metrics.reset()
+        install_sink(self.sink)
+
+    def finish(self, *, sim=None) -> None:
+        remove_sink(self.sink)
+        if self.trace_path:
+            path = write_chrome_trace(
+                self.trace_path, self.sink.events, sim=sim
+            )
+            print(f"trace written to {path}")
+        if self.profile:
+            print()
+            print(format_breakdown(phase_breakdown(self.sink.events)))
+            print()
+            print(metrics_report(metrics.snapshot()))
+
+
+def _obs_session(args: argparse.Namespace) -> _ObsSession | None:
+    trace_path = getattr(args, "trace", None)
+    profile = getattr(args, "profile", False)
+    if trace_path is None and not profile:
+        return None
+    return _ObsSession(trace_path, profile)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -135,6 +233,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         return _dispatch(args)
     except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:  # unwritable --trace / --out paths etc.
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except BrokenPipeError:  # e.g. `python -m repro ... | head`
@@ -156,6 +257,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_report(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -183,7 +286,17 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _make_pair(args: argparse.Namespace):
-    graph = make_workload(args.workload)
+    name = args.workload or args.workload_pos
+    if name is None:
+        raise ReproError(
+            "no workload given (positional or --workload); "
+            f"known: {', '.join(workload_names())}"
+        )
+    if name not in workload_names():
+        raise ReproError(
+            f"unknown workload {name!r}; known: {', '.join(workload_names())}"
+        )
+    graph = make_workload(name)
     if args.slowdown > 1:
         graph = slowdown(graph, args.slowdown)
     arch = make_architecture(args.arch, args.pes)
@@ -198,10 +311,28 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         pipelined_pes=args.pipelined,
         validate_each_step=False,
     )
-    if args.refine:
-        result = optimize(graph, arch, config=cfg)
-    else:
-        result = cyclo_compact(graph, arch, config=cfg)
+    session = _obs_session(args)
+    try:
+        if args.refine:
+            result = optimize(graph, arch, config=cfg)
+        else:
+            result = cyclo_compact(graph, arch, config=cfg)
+        if session is not None:
+            # an explicit final legality check, so every traced run
+            # records a validate phase alongside startup/rotate/remap
+            from repro.schedule import collect_violations
+
+            final_violations = collect_violations(
+                result.graph, arch, result.schedule,
+                pipelined_pes=args.pipelined,
+            )
+            if final_violations:  # pragma: no cover - defensive
+                print("warning: final schedule is illegal:", file=sys.stderr)
+                for violation in final_violations:
+                    print(f"  {violation}", file=sys.stderr)
+    finally:
+        if session is not None:
+            session.finish()
     bounds = schedule_bounds(graph, arch)
     print(f"{graph.name} on {arch.name}: "
           f"{result.initial_length} -> {result.final_length} control steps "
@@ -219,11 +350,16 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     graph, arch = _make_pair(args)
     cfg = CycloConfig(max_iterations=40, validate_each_step=False)
-    result = cyclo_compact(graph, arch, config=cfg)
-    sim = simulate(result.graph, arch, result.schedule, args.loops)
-    buffers = buffer_requirements(
-        result.graph, arch, result.schedule, result=sim
-    )
+    session = _obs_session(args)
+    try:
+        result = cyclo_compact(graph, arch, config=cfg)
+        sim = simulate(result.graph, arch, result.schedule, args.loops)
+        buffers = buffer_requirements(
+            result.graph, arch, result.schedule, result=sim
+        )
+    finally:
+        if session is not None:
+            session.finish(sim=sim if "sim" in locals() else None)
     print(f"simulated {sim.iterations} iterations of {graph.name} "
           f"on {arch.name} (L = {sim.schedule_length})")
     print(f"  makespan:        {sim.makespan} control steps")
@@ -232,7 +368,28 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           f"({sim.total_comm_steps} transit control steps)")
     print(f"  buffer tokens:   {buffers.total_tokens} "
           f"({buffers.total_words} words)")
+    _print_load_summary(sim)
     return 0
+
+
+def _print_load_summary(sim) -> None:
+    """Per-PE utilisation and per-link traffic (load-imbalance view)."""
+    busy = sim.pe_busy_steps()
+    utilisation = sim.pe_utilisation()
+    makespan = sim.makespan
+    print("per-PE utilisation:")
+    for pe in sorted(busy):
+        bar = "#" * round(utilisation[pe] * 20)
+        print(f"  pe{pe + 1}:  {busy[pe]:4d}/{makespan} cs busy  "
+              f"({utilisation[pe] * 100:5.1f}%)  |{bar:<20}|")
+    traffic = sim.link_traffic()
+    if traffic:
+        print("per-link traffic:")
+        for (src, dst), t in traffic.items():
+            print(f"  pe{src + 1}->pe{dst + 1}:  {t.messages:3d} messages, "
+                  f"{t.volume:3d} words, {t.transit_steps:3d} transit cs")
+    else:
+        print("per-link traffic: none (all dependences local)")
 
 
 def _cmd_codegen(args: argparse.Namespace) -> int:
@@ -249,10 +406,15 @@ def _cmd_codegen(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis import generate_full_report
 
-    text = generate_full_report(
-        compaction_passes=args.iterations,
-        include_table11=not args.skip_table11,
-    )
+    session = _obs_session(args)
+    try:
+        text = generate_full_report(
+            compaction_passes=args.iterations,
+            include_table11=not args.skip_table11,
+        )
+    finally:
+        if session is not None:
+            session.finish()
     if args.out:
         from pathlib import Path
 
@@ -304,6 +466,36 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             )
             rows.append((name, label, cells))
     print(format_table11(rows))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    graph, arch = _make_pair(args)
+    if args.runs < 1:
+        raise ReproError(f"--runs must be >= 1, got {args.runs}")
+    cfg = CycloConfig(
+        max_iterations=args.iterations, validate_each_step=True
+    )
+    sink = InMemorySink()
+    metrics.reset()
+    install_sink(sink)
+    try:
+        lengths = []
+        for _ in range(args.runs):
+            result = cyclo_compact(graph, arch, config=cfg)
+            lengths.append((result.initial_length, result.final_length))
+    finally:
+        remove_sink(sink)
+    print(f"profiled {args.runs} run(s) of cyclo_compact: "
+          f"{graph.name} on {arch.name} "
+          f"({lengths[0][0]} -> {lengths[0][1]} control steps)")
+    print()
+    print(format_breakdown(phase_breakdown(sink.events)))
+    print()
+    print(metrics_report(metrics.snapshot()))
+    if args.trace:
+        path = write_chrome_trace(args.trace, sink.events)
+        print(f"\ntrace written to {path}")
     return 0
 
 

@@ -28,6 +28,7 @@ from repro.core.rotation import rotate_schedule, undo_rotation
 from repro.core.startup import start_up_schedule
 from repro.core.trace import CompactionTrace, IterationRecord
 from repro.errors import ScheduleValidationError, SchedulingError
+from repro.obs import metrics, span
 from repro.graph.csdfg import CSDFG, Node
 from repro.schedule.table import ScheduleTable
 from repro.schedule.validate import collect_violations
@@ -91,6 +92,22 @@ def cyclo_compact(
     The input graph is copied, never mutated.
     """
     cfg = config if config is not None else CycloConfig()
+    with span("cyclo_compact", workload=graph.name, arch=arch.name) as sp:
+        result = _cyclo_compact(graph, arch, cfg, initial)
+        sp.add(
+            initial_length=result.initial_length,
+            final_length=result.final_length,
+            passes=len(result.trace.records),
+        )
+    return result
+
+
+def _cyclo_compact(
+    graph: CSDFG,
+    arch: Architecture,
+    cfg: CycloConfig,
+    initial: ScheduleTable | None,
+) -> CycloResult:
     working = graph.copy()
     if initial is None:
         schedule = start_up_schedule(
@@ -117,68 +134,78 @@ def cyclo_compact(
     stall = 0
 
     for index in range(1, cfg.iterations_for(working.num_nodes) + 1):
-        previous_length = schedule.length
-        rotated, old_placements = rotate_schedule(working, schedule)
-        for node in rotated:
-            retiming[node] += 1
-        outcome = remap_nodes(
-            working,
-            arch,
-            schedule,
-            rotated,
-            previous_length=previous_length,
-            relaxation=cfg.relaxation,
-            pipelined_pes=cfg.pipelined_pes,
-            strategy=cfg.remap_strategy,
-        )
-        if not outcome.accepted:
-            undo_rotation(
-                working, schedule, rotated, old_placements, previous_length
-            )
+        with span("pass", index=index) as pass_span:
+            metrics.inc("cyclo.passes")
+            previous_length = schedule.length
+            with span("rotate", index=index):
+                rotated, old_placements = rotate_schedule(working, schedule)
             for node in rotated:
-                retiming[node] -= 1
+                retiming[node] += 1
+            with span("remap", index=index, nodes=len(rotated)):
+                outcome = remap_nodes(
+                    working,
+                    arch,
+                    schedule,
+                    rotated,
+                    previous_length=previous_length,
+                    relaxation=cfg.relaxation,
+                    pipelined_pes=cfg.pipelined_pes,
+                    strategy=cfg.remap_strategy,
+                )
+            if not outcome.accepted:
+                metrics.inc("cyclo.rejected")
+                metrics.inc("cyclo.rollbacks")
+                undo_rotation(
+                    working, schedule, rotated, old_placements, previous_length
+                )
+                for node in rotated:
+                    retiming[node] -= 1
+                trace.records.append(
+                    IterationRecord(
+                        index=index,
+                        rotated=tuple(rotated),
+                        accepted=False,
+                        length_after=schedule.length,
+                        best_so_far=best_schedule.length,
+                    )
+                )
+                pass_span.add(accepted=False, length=schedule.length)
+                # a rejected pass would repeat identically: stop here
+                break
+
+            metrics.inc("cyclo.accepted")
+            if cfg.validate_each_step:
+                violations = collect_violations(
+                    working, arch, schedule, pipelined_pes=cfg.pipelined_pes
+                )
+                if violations:  # pragma: no cover - internal invariant
+                    raise SchedulingError(
+                        "cyclo-compaction produced an illegal intermediate "
+                        "schedule: " + "; ".join(violations)
+                    )
+
+            improved = schedule.length < best_schedule.length
+            if improved:
+                metrics.inc("cyclo.improved")
+                best_schedule = schedule.copy()
+                best_graph = working.copy()
+                best_retiming = dict(retiming)
+                stall = 0
+            else:
+                stall += 1
+
             trace.records.append(
                 IterationRecord(
                     index=index,
                     rotated=tuple(rotated),
-                    accepted=False,
+                    accepted=True,
                     length_after=schedule.length,
                     best_so_far=best_schedule.length,
                 )
             )
-            # a rejected pass would repeat identically: stop here
-            break
-
-        if cfg.validate_each_step:
-            violations = collect_violations(
-                working, arch, schedule, pipelined_pes=cfg.pipelined_pes
-            )
-            if violations:  # pragma: no cover - internal invariant
-                raise SchedulingError(
-                    "cyclo-compaction produced an illegal intermediate "
-                    "schedule: " + "; ".join(violations)
-                )
-
-        improved = schedule.length < best_schedule.length
-        if improved:
-            best_schedule = schedule.copy()
-            best_graph = working.copy()
-            best_retiming = dict(retiming)
-            stall = 0
-        else:
-            stall += 1
-
-        trace.records.append(
-            IterationRecord(
-                index=index,
-                rotated=tuple(rotated),
-                accepted=True,
-                length_after=schedule.length,
-                best_so_far=best_schedule.length,
-            )
-        )
-        if cfg.patience is not None and stall >= cfg.patience:
-            break
+            pass_span.add(accepted=True, length=schedule.length)
+            if cfg.patience is not None and stall >= cfg.patience:
+                break
 
     return CycloResult(
         schedule=best_schedule,

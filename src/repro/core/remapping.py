@@ -33,6 +33,7 @@ from repro.core.psl import projected_schedule_length
 from repro.errors import InfeasibleScheduleError
 from repro.graph.csdfg import CSDFG, Node
 from repro.graph.validation import topological_order_zero_delay
+from repro.obs import metrics
 from repro.schedule.table import ScheduleTable
 
 __all__ = ["RemapOutcome", "remap_nodes"]
@@ -82,6 +83,7 @@ def remap_nodes(
     placed: list[Node] = []
     outcome = RemapOutcome(accepted=True, new_length=previous_length)
     cap = None if relaxation else previous_length
+    metrics.inc("remap.nodes", len(ordered))
 
     for node in ordered:
         spot = _find_spot(
@@ -94,6 +96,7 @@ def remap_nodes(
             strategy=strategy,
         )
         if spot is None:
+            metrics.inc("remap.unplaceable_nodes")
             _rollback(schedule, placed)
             return RemapOutcome(accepted=False, new_length=previous_length)
         pe, cb, duration = spot
@@ -172,9 +175,12 @@ def _find_spot(
 
     first_fit = strategy == "first-fit"
     best: tuple[int, int, int, int, int] | None = None
+    pes_scanned = 0
+    slots_scanned = 0
     # key: (implied, ce, cb, pe) for "implied"; (cb, ce, pe) lifted into
     # the same tuple shape for "first-fit"
     for pe in arch.processors:
+        pes_scanned += 1
         duration = arch.execution_time(pe, base_time)
         occupancy = 1 if pipelined_pes else duration
         # self-loop: L >= ceil(duration / d), placement-independent
@@ -194,6 +200,7 @@ def _find_spot(
         horizon = cap if cap is not None else max(tail, floor) + duration
         cb = schedule.earliest_slot(pe, floor, occupancy, horizon=horizon)
         while cb is not None:
+            slots_scanned += 1
             ce = cb + duration - 1
             implied = _implied_length(
                 arch, pe, cb, ce, in_constraints, out_constraints
@@ -213,6 +220,8 @@ def _find_spot(
                         # slot on this PE can score better
                         break
             cb = schedule.earliest_slot(pe, cb + 1, occupancy, horizon=horizon)
+    metrics.inc("remap.candidate_pes", pes_scanned)
+    metrics.inc("remap.candidate_slots", slots_scanned)
     if best is None:
         return None
     if first_fit:

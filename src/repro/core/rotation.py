@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.arch.topology import Architecture
 from repro.graph.csdfg import CSDFG, Node
+from repro.obs import metrics
 from repro.retiming.incremental import rotate_nodes, unrotate_nodes
 from repro.schedule.table import Placement, ScheduleTable
 
@@ -41,6 +42,8 @@ def rotate_schedule(
     rotate_nodes(graph, rotated)  # raises before any mutation if illegal
     old_placements = [schedule.remove(node) for node in rotated]
     schedule.shift_all(-1)
+    metrics.inc("rotation.rotations")
+    metrics.inc("rotation.nodes_rotated", len(rotated))
     return rotated, old_placements
 
 

@@ -24,6 +24,7 @@ from repro.core.priority import PriorityFn, paper_priority
 from repro.core.psl import projected_schedule_length
 from repro.errors import SchedulingError
 from repro.graph.csdfg import CSDFG, Node
+from repro.obs import metrics, span
 from repro.graph.validation import topological_order_zero_delay
 from repro.schedule.table import ScheduleTable
 
@@ -64,57 +65,80 @@ def start_up_schedule(
     # verifies legality (zero-delay subgraph acyclic) as a side effect
     topological_order_zero_delay(graph)
 
-    alap = mobility_map(graph)
-    schedule = ScheduleTable(arch.num_pes, name=f"{graph.name}@{arch.name}:startup")
-    finish: dict[Node, int] = {}
-
-    pending_preds: dict[Node, int] = {
-        v: sum(1 for e in graph.in_edges(v) if e.delay == 0) for v in graph.nodes()
-    }
-    ready: list[Node] = [v for v, k in pending_preds.items() if k == 0]
-    remaining = graph.num_nodes
-
-    # any legal schedule fits in total work plus total possible comm
-    max_comm = arch.diameter * sum(e.volume for e in graph.edges())
-    cs_limit = graph.total_work() + max_comm + 1
-
-    cs = 1
-    while remaining > 0:
-        if cs > cs_limit:
-            raise SchedulingError(
-                f"start-up scheduling did not converge by cs {cs_limit}"
-            )
-        ready.sort(
-            key=lambda v: (-priority(graph, alap, finish, v, cs), str(v))
+    with span(
+        "startup", workload=graph.name, arch=arch.name
+    ) as startup_span:
+        alap = mobility_map(graph)
+        schedule = ScheduleTable(
+            arch.num_pes, name=f"{graph.name}@{arch.name}:startup"
         )
-        deferred: list[Node] = []
-        newly_ready: list[Node] = []
-        for node in ready:
-            choice = _best_processor(
-                graph, arch, schedule, finish, node, cs, pipelined_pes
-            )
-            if choice is None:
-                deferred.append(node)
-                continue
-            pe, duration = choice
-            occupancy = 1 if pipelined_pes else duration
-            placement = schedule.place(node, pe, cs, duration, occupancy)
-            finish[node] = placement.finish
-            remaining -= 1
-            for e in graph.out_edges(node):
-                if e.delay == 0:
-                    pending_preds[e.dst] -= 1
-                    if pending_preds[e.dst] == 0:
-                        newly_ready.append(e.dst)
-        ready = deferred + newly_ready
-        cs += 1
+        finish: dict[Node, int] = {}
 
-    schedule.trim()
-    if pad_for_delayed_edges:
-        schedule.set_length(
-            projected_schedule_length(
-                graph, arch, schedule, pipelined_pes=pipelined_pes
+        pending_preds: dict[Node, int] = {
+            v: sum(1 for e in graph.in_edges(v) if e.delay == 0)
+            for v in graph.nodes()
+        }
+        ready: list[Node] = [v for v, k in pending_preds.items() if k == 0]
+        remaining = graph.num_nodes
+
+        # any legal schedule fits in total work plus total possible comm
+        max_comm = arch.diameter * sum(e.volume for e in graph.edges())
+        cs_limit = graph.total_work() + max_comm + 1
+
+        pf_evaluations = 0
+        placements_made = 0
+        deferrals = 0
+
+        cs = 1
+        while remaining > 0:
+            if cs > cs_limit:
+                raise SchedulingError(
+                    f"start-up scheduling did not converge by cs {cs_limit}"
+                )
+            pf_evaluations += len(ready)
+            ready.sort(
+                key=lambda v: (-priority(graph, alap, finish, v, cs), str(v))
             )
+            deferred: list[Node] = []
+            newly_ready: list[Node] = []
+            for node in ready:
+                choice = _best_processor(
+                    graph, arch, schedule, finish, node, cs, pipelined_pes
+                )
+                if choice is None:
+                    deferred.append(node)
+                    deferrals += 1
+                    continue
+                pe, duration = choice
+                occupancy = 1 if pipelined_pes else duration
+                placement = schedule.place(node, pe, cs, duration, occupancy)
+                finish[node] = placement.finish
+                remaining -= 1
+                placements_made += 1
+                for e in graph.out_edges(node):
+                    if e.delay == 0:
+                        pending_preds[e.dst] -= 1
+                        if pending_preds[e.dst] == 0:
+                            newly_ready.append(e.dst)
+            ready = deferred + newly_ready
+            cs += 1
+
+        schedule.trim()
+        if pad_for_delayed_edges:
+            schedule.set_length(
+                projected_schedule_length(
+                    graph, arch, schedule, pipelined_pes=pipelined_pes
+                )
+            )
+        metrics.inc("startup.placements", placements_made)
+        metrics.inc("startup.deferrals", deferrals)
+        metrics.inc("startup.pf_evaluations", pf_evaluations)
+        metrics.inc("startup.control_steps", cs - 1)
+        startup_span.add(
+            length=schedule.length,
+            placements=placements_made,
+            deferrals=deferrals,
+            pf_evaluations=pf_evaluations,
         )
     return schedule
 

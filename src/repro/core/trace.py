@@ -1,12 +1,15 @@
 """Execution traces of the cyclo-compaction optimiser.
 
 Each rotation+remapping pass appends an :class:`IterationRecord`; the
-full :class:`CompactionTrace` feeds the convergence benchmarks and the
-examples' progress printouts.
+full :class:`CompactionTrace` feeds the convergence benchmarks, the
+examples' progress printouts, and the observability exporters
+(:mod:`repro.obs`) via the :meth:`CompactionTrace.to_dict` /
+:meth:`CompactionTrace.from_dict` round-trip.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from repro.graph.csdfg import Node
@@ -57,14 +60,70 @@ class CompactionTrace:
 
     @property
     def passes_to_best(self) -> int:
-        """Index of the first pass reaching the best length (0 == the
-        initial schedule was never improved)."""
+        """1-based index of the first pass reaching the best length.
+
+        **Convention**: the result is 0 exactly when the optimiser
+        never *strictly* improved on the initial schedule — both when
+        every pass was worse and when some passes merely tied the
+        initial length (a tie is not an improvement, so convergence is
+        credited to pass 0, the start-up schedule).  A non-zero result
+        therefore always denotes a pass that shortened the schedule
+        below ``initial_length``.
+        """
         best = self.best_length
+        if best == self.initial_length:
+            return 0
         for record in self.records:
             if record.length_after == best:
                 return record.index
-        return 0
+        return 0  # pragma: no cover - best always comes from a record
 
     def improvement(self) -> int:
         """Control steps shaved off the initial schedule."""
         return self.initial_length - self.best_length
+
+    def to_dict(self) -> dict:
+        """Plain-data form (JSON-safe for string/number node labels).
+
+        The inverse is :meth:`from_dict`; the pair is the single
+        serialisation shared by the convergence benchmarks and the
+        observability trace exporters.
+        """
+        return {
+            "initial_length": self.initial_length,
+            "records": [
+                {
+                    "index": r.index,
+                    "rotated": list(r.rotated),
+                    "accepted": r.accepted,
+                    "length_after": r.length_after,
+                    "best_so_far": r.best_so_far,
+                }
+                for r in self.records
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CompactionTrace":
+        """Rebuild a trace from :meth:`to_dict` output."""
+        trace = cls(initial_length=data["initial_length"])
+        for r in data["records"]:
+            trace.records.append(
+                IterationRecord(
+                    index=r["index"],
+                    rotated=tuple(r["rotated"]),
+                    accepted=r["accepted"],
+                    length_after=r["length_after"],
+                    best_so_far=r["best_so_far"],
+                )
+            )
+        return trace
+
+    def to_json(self, **dumps_kwargs) -> str:
+        """JSON text of :meth:`to_dict` (``dumps_kwargs`` pass through)."""
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CompactionTrace":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))

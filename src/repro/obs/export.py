@@ -1,0 +1,176 @@
+"""Exporters: Chrome trace-event JSON and plain-text metrics reports.
+
+:func:`chrome_trace_events` turns recorded span events (and optionally
+a simulated execution) into the Chrome trace-event format that both
+``chrome://tracing`` and https://ui.perfetto.dev render natively:
+
+* **optimiser spans** (pid 1) — one complete-event (``"ph": "X"``) per
+  span, nested slices on a single track, timestamps in real
+  microseconds;
+* **simulated schedule** (pid 2) — one track per processing element,
+  one slice per task instance, with one *control step* mapped to
+  :data:`CS_US` microseconds so the discrete schedule is visible on the
+  same timeline;
+* **interconnect** (pid 3) — one track per directed PE pair, one slice
+  per message transfer (depart → arrive).
+
+The module is intentionally free of ``repro`` imports: the simulated
+execution is duck-typed (anything with ``executions`` / ``messages``
+sequences works), so exporters can never create import cycles with the
+instrumented packages.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = [
+    "CS_US",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "metrics_report",
+]
+
+CS_US = 1000  # one simulated control step rendered as 1 ms
+
+
+def _meta(pid: int, name: str, *, tid: int | None = None) -> dict:
+    event = {
+        "name": "process_name" if tid is None else "thread_name",
+        "ph": "M",
+        "ts": 0,
+        "pid": pid,
+        "tid": 0 if tid is None else tid,
+        "args": {"name": name},
+    }
+    return event
+
+
+def chrome_trace_events(
+    span_events: Sequence[dict],
+    *,
+    sim=None,
+) -> list[dict]:
+    """Build the ``traceEvents`` list.
+
+    Parameters
+    ----------
+    span_events:
+        Events collected by a sink (non-span events are ignored).
+    sim:
+        Optional simulated execution (``repro.sim.SimulationResult`` or
+        anything shaped like it) rendered as additional timelines.
+    """
+    events: list[dict] = []
+    spans = [e for e in span_events if e.get("type") == "span"]
+    if spans:
+        base = min(e["start_ns"] for e in spans)
+        events.append(_meta(1, "optimiser"))
+        events.append(_meta(1, "spans", tid=1))
+        for e in spans:
+            events.append(
+                {
+                    "name": e["name"],
+                    "cat": "optimiser",
+                    "ph": "X",
+                    "ts": (e["start_ns"] - base) / 1000.0,
+                    "dur": e["dur_ns"] / 1000.0,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": dict(e.get("attrs") or {}),
+                }
+            )
+    if sim is not None:
+        events.extend(_simulation_events(sim))
+    return events
+
+
+def _simulation_events(sim) -> list[dict]:
+    events: list[dict] = [_meta(2, "simulated schedule")]
+    pes = sorted({e.pe for e in sim.executions})
+    for pe in pes:
+        events.append(_meta(2, f"pe{pe + 1}", tid=pe + 1))
+    for e in sim.executions:
+        events.append(
+            {
+                "name": f"{e.node}@{e.iteration}",
+                "cat": "task",
+                "ph": "X",
+                "ts": (e.start - 1) * CS_US,
+                "dur": (e.finish - e.start + 1) * CS_US,
+                "pid": 2,
+                "tid": e.pe + 1,
+                "args": {"iteration": e.iteration, "node": str(e.node)},
+            }
+        )
+    links = sorted({(m.src_pe, m.dst_pe) for m in sim.messages})
+    if links:
+        events.append(_meta(3, "interconnect"))
+        tid_of = {}
+        for i, (s, d) in enumerate(links, start=1):
+            tid_of[(s, d)] = i
+            events.append(_meta(3, f"pe{s + 1}->pe{d + 1}", tid=i))
+        for m in sim.messages:
+            events.append(
+                {
+                    "name": f"{m.src}->{m.dst}@{m.src_iteration}",
+                    "cat": "message",
+                    "ph": "X",
+                    "ts": (m.depart - 1) * CS_US,
+                    "dur": max(m.arrive - m.depart + 1, 1) * CS_US,
+                    "pid": 3,
+                    "tid": tid_of[(m.src_pe, m.dst_pe)],
+                    "args": {"volume": m.volume},
+                }
+            )
+    return events
+
+
+def write_chrome_trace(
+    path: str | Path,
+    span_events: Sequence[dict],
+    *,
+    sim=None,
+) -> Path:
+    """Write a Chrome trace-event JSON file; returns the path."""
+    target = Path(path)
+    payload = {
+        "traceEvents": chrome_trace_events(span_events, sim=sim),
+        "displayTimeUnit": "ms",
+    }
+    target.write_text(json.dumps(payload, default=str))
+    return target
+
+
+def metrics_report(snapshot: dict, *, title: str = "metrics") -> str:
+    """Render a registry snapshot (:func:`repro.obs.metrics.snapshot`)
+    as a markdown report."""
+    lines = [f"## {title}", ""]
+    counters: dict = snapshot.get("counters", {})
+    gauges: dict = snapshot.get("gauges", {})
+    histograms: dict = snapshot.get("histograms", {})
+    if counters:
+        lines += ["| counter | value |", "|---|---:|"]
+        lines += [f"| {k} | {v} |" for k, v in counters.items()]
+        lines.append("")
+    if gauges:
+        lines += ["| gauge | value | max |", "|---|---:|---:|"]
+        lines += [
+            f"| {k} | {g['value']} | {g['max']} |" for k, g in gauges.items()
+        ]
+        lines.append("")
+    if histograms:
+        lines += [
+            "| histogram | count | mean | min | max |",
+            "|---|---:|---:|---:|---:|",
+        ]
+        lines += [
+            f"| {k} | {h['count']} | {h['mean']:.3g} | {h['min']} | {h['max']} |"
+            for k, h in histograms.items()
+        ]
+        lines.append("")
+    if len(lines) == 2:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines).rstrip()

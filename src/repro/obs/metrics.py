@@ -1,0 +1,166 @@
+"""The process-wide metrics registry: counters, gauges, histograms.
+
+Instrumented code calls the module-level helpers (:func:`inc`,
+:func:`set_gauge`, :func:`observe`); each is a no-op unless a sink is
+installed (see :mod:`repro.obs.runtime`), so the registry stays empty —
+and the hot paths stay unmeasurably close to seed speed — during normal
+library use.  Tests and the CLI read the registry directly via
+:data:`REGISTRY` / :func:`snapshot` and reset it between runs.
+"""
+
+from __future__ import annotations
+
+from repro.obs import runtime
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "inc",
+    "set_gauge",
+    "observe",
+    "snapshot",
+    "reset",
+]
+
+
+class Counter:
+    """Monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-written value (also tracks the maximum ever set)."""
+
+    __slots__ = ("value", "max_value")
+
+    def __init__(self) -> None:
+        self.value: float = 0
+        self.max_value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+
+class Histogram:
+    """Streaming summary statistics (count / sum / min / max / mean)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total: float = 0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms, created on first touch."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self.counters[name]
+        except KeyError:
+            c = self.counters[name] = Counter()
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self.gauges[name]
+        except KeyError:
+            g = self.gauges[name] = Gauge()
+            return g
+
+    def histogram(self, name: str) -> Histogram:
+        try:
+            return self.histograms[name]
+        except KeyError:
+            h = self.histograms[name] = Histogram()
+            return h
+
+    def snapshot(self) -> dict:
+        """Plain-data view of every instrument (JSON-safe)."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "gauges": {
+                k: {"value": g.value, "max": g.max_value}
+                for k, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                k: h.summary() for k, h in sorted(self.histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (between runs / between tests)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+
+REGISTRY = MetricsRegistry()
+
+
+def inc(name: str, n: int = 1) -> None:
+    """Increment counter ``name`` — no-op while observability is off."""
+    if runtime._enabled:
+        REGISTRY.counter(name).inc(n)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` — no-op while observability is off."""
+    if runtime._enabled:
+        REGISTRY.gauge(name).set(value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record ``value`` in histogram ``name`` — no-op while off."""
+    if runtime._enabled:
+        REGISTRY.histogram(name).observe(value)
+
+
+def snapshot() -> dict:
+    """Snapshot of the global registry."""
+    return REGISTRY.snapshot()
+
+
+def reset() -> None:
+    """Reset the global registry."""
+    REGISTRY.reset()

@@ -1,0 +1,84 @@
+"""Process-wide observability state: the sink registry.
+
+Observability is **off by default**: with no sink installed every
+instrumentation call in the library (``span(...)``, ``metrics.inc(...)``)
+degenerates to a single flag check, so tier-1 timings are unaffected.
+Installing a sink flips the flag; everything the instrumented code
+emits — span events, metric updates — flows to every installed sink.
+
+The registry is deliberately module-global (one process, one pipeline
+run) and not thread-safe: the optimiser is single-threaded and the
+instrumentation inherits that assumption.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "enabled",
+    "install_sink",
+    "remove_sink",
+    "remove_all_sinks",
+    "installed_sinks",
+    "emit",
+    "sink_installed",
+]
+
+_sinks: list = []
+_enabled: bool = False  # cached `bool(_sinks)`, read on every hot-path call
+
+
+def enabled() -> bool:
+    """True when at least one sink is installed (instrumentation live)."""
+    return _enabled
+
+
+def install_sink(sink) -> None:
+    """Register ``sink`` (any :class:`~repro.obs.sinks.EventSink`)."""
+    global _enabled
+    if sink not in _sinks:
+        _sinks.append(sink)
+    _enabled = True
+
+
+def remove_sink(sink) -> None:
+    """Unregister ``sink``; unknown sinks are ignored."""
+    global _enabled
+    try:
+        _sinks.remove(sink)
+    except ValueError:
+        pass
+    _enabled = bool(_sinks)
+
+
+def remove_all_sinks() -> None:
+    """Drop every installed sink (test isolation helper)."""
+    global _enabled
+    _sinks.clear()
+    _enabled = False
+
+
+def installed_sinks() -> tuple:
+    """The currently installed sinks (snapshot)."""
+    return tuple(_sinks)
+
+
+def emit(event: dict) -> None:
+    """Deliver ``event`` to every installed sink."""
+    for sink in _sinks:
+        sink.emit(event)
+
+
+@contextmanager
+def sink_installed(sink) -> Iterator:
+    """Scope-install ``sink``; removed (and closed) on exit."""
+    install_sink(sink)
+    try:
+        yield sink
+    finally:
+        remove_sink(sink)
+        close = getattr(sink, "close", None)
+        if close is not None:
+            close()

@@ -1,0 +1,79 @@
+"""Event sinks: where instrumentation events go when observability is on.
+
+A sink is anything with an ``emit(event: dict)`` method (see
+:class:`EventSink`); two implementations cover the common cases:
+
+* :class:`InMemorySink` — collect events in a list (profiling,
+  exporters, tests),
+* :class:`NDJSONSink` — stream events as newline-delimited JSON to a
+  file (post-mortem analysis with ``jq``/pandas).
+
+Events are flat dicts.  The instrumentation layer currently emits one
+shape, ``{"type": "span", "name", "start_ns", "dur_ns", "depth",
+"attrs"}``, but sinks must tolerate (and preserve) any dict so future
+event kinds stream through unchanged.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Protocol, runtime_checkable
+
+__all__ = ["EventSink", "InMemorySink", "NDJSONSink"]
+
+
+@runtime_checkable
+class EventSink(Protocol):
+    """Anything that can receive instrumentation events."""
+
+    def emit(self, event: dict) -> None:
+        """Receive one event (must not mutate it)."""
+        ...  # pragma: no cover - protocol body
+
+
+class InMemorySink:
+    """Buffer events in memory (``.events`` is the list, in order)."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def spans(self) -> list[dict]:
+        """Only the span events (the common consumer filter)."""
+        return [e for e in self.events if e.get("type") == "span"]
+
+    def close(self) -> None:  # symmetric with NDJSONSink
+        pass
+
+
+class NDJSONSink:
+    """Stream events to ``path`` as one JSON object per line.
+
+    The file is opened lazily on the first event and flushed per line,
+    so a crashed run still leaves a readable prefix.  Non-JSON-safe
+    attribute values are stringified rather than dropped.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh: io.TextIOWrapper | None = None
+        self.count = 0
+
+    def emit(self, event: dict) -> None:
+        if self._fh is None:
+            self._fh = open(self.path, "w")
+        json.dump(event, self._fh, default=str, separators=(",", ":"))
+        self._fh.write("\n")
+        self._fh.flush()
+        self.count += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None

@@ -1,0 +1,99 @@
+"""Hierarchical wall-time spans (context-manager API).
+
+Usage::
+
+    from repro.obs import span
+
+    with span("remap", pass_index=3) as sp:
+        ...
+        sp.add(slots_scanned=n)   # attach counters discovered mid-span
+
+With no sink installed :func:`span` returns a shared no-op handle —
+the only cost at an instrumented call site is one flag check — so the
+library's hot paths are safe to annotate densely.  With a sink
+installed, each span emits one event **on exit**::
+
+    {"type": "span", "name": str, "start_ns": int, "dur_ns": int,
+     "depth": int, "attrs": dict}
+
+``start_ns`` comes from :func:`time.perf_counter_ns` (monotonic;
+meaningful only relative to other spans of the same process), ``depth``
+is the nesting level at entry (0 == top level).  Exporters rebuild the
+hierarchy from (start, duration, depth) — see :mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter_ns
+
+from repro.obs import runtime
+
+__all__ = ["span", "Span", "NO_OP_SPAN"]
+
+_depth = 0
+
+
+class Span:
+    """A live span: times its ``with`` block and emits on exit."""
+
+    __slots__ = ("name", "attrs", "start_ns", "dur_ns", "depth")
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start_ns = 0
+        self.dur_ns = 0
+        self.depth = 0
+
+    def add(self, **attrs) -> None:
+        """Merge extra attributes into the span."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        global _depth
+        self.depth = _depth
+        _depth += 1
+        self.start_ns = perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _depth
+        self.dur_ns = perf_counter_ns() - self.start_ns
+        _depth = self.depth
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        runtime.emit(
+            {
+                "type": "span",
+                "name": self.name,
+                "start_ns": self.start_ns,
+                "dur_ns": self.dur_ns,
+                "depth": self.depth,
+                "attrs": self.attrs,
+            }
+        )
+
+
+class _NoopSpan:
+    """Shared do-nothing handle returned while observability is off."""
+
+    __slots__ = ()
+
+    def add(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NO_OP_SPAN = _NoopSpan()
+
+
+def span(name: str, **attrs):
+    """Open a span named ``name`` (no-op unless a sink is installed)."""
+    if not runtime._enabled:
+        return NO_OP_SPAN
+    return Span(name, attrs)

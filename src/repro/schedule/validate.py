@@ -27,6 +27,7 @@ from __future__ import annotations
 from repro.arch.topology import Architecture
 from repro.errors import ScheduleValidationError
 from repro.graph.csdfg import CSDFG
+from repro.obs import metrics, span
 from repro.schedule.table import ScheduleTable
 
 __all__ = [
@@ -51,6 +52,23 @@ def collect_violations(
     precedence/communication rules are unchanged (latency is still
     ``t(v)``).
     """
+    with span("validate", nodes=graph.num_nodes) as validate_span:
+        violations = _collect_violations(
+            graph, arch, schedule, pipelined_pes=pipelined_pes
+        )
+        metrics.inc("validate.calls")
+        metrics.inc("validate.violations", len(violations))
+        validate_span.add(violations=len(violations))
+    return violations
+
+
+def _collect_violations(
+    graph: CSDFG,
+    arch: Architecture,
+    schedule: ScheduleTable,
+    *,
+    pipelined_pes: bool = False,
+) -> list[str]:
     violations: list[str] = []
 
     # completeness ------------------------------------------------------
@@ -181,7 +199,10 @@ def minimum_feasible_length(
             need = -(-slack_needed // edge.delay)  # ceil division
             if need > required:
                 required = need
+    # the internal checker, not collect_violations: the probe check is
+    # an implementation detail of PSL, not a "validate" phase of its
+    # caller, so it must not emit a validate span inside remap spans
     probe.set_length(max(required, probe.makespan, 1))
-    if collect_violations(graph, arch, probe, pipelined_pes=pipelined_pes):
+    if _collect_violations(graph, arch, probe, pipelined_pes=pipelined_pes):
         return None
     return probe.length

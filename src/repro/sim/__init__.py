@@ -7,13 +7,19 @@ from repro.sim.contention import (
     ContentionReport,
     simulate_contended,
 )
-from repro.sim.engine import SimulationError, SimulationResult, simulate
+from repro.sim.engine import (
+    LinkTraffic,
+    SimulationError,
+    SimulationResult,
+    simulate,
+)
 from repro.sim.events import MessageTransfer, TaskExecution
 
 __all__ = [
     "BufferReport",
     "ContendedMessage",
     "ContentionReport",
+    "LinkTraffic",
     "MessageTransfer",
     "SimulationError",
     "SimulationResult",

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.arch.topology import Architecture
 from repro.graph.csdfg import CSDFG
+from repro.obs import metrics
 from repro.schedule.table import ScheduleTable
 from repro.sim.engine import SimulationResult, simulate
 
@@ -83,6 +84,12 @@ def buffer_requirements(
     total_words = sum(
         per_edge[e.key] * e.volume for e in graph.edges()
     )
+    if metrics.runtime.enabled():
+        # buffer high-water marks, per edge and aggregate
+        for (src, dst), peak in per_edge.items():
+            metrics.set_gauge(f"sim.buffer.{src}->{dst}.high_water", peak)
+        metrics.set_gauge("sim.buffer.total_tokens", total_tokens)
+        metrics.set_gauge("sim.buffer.total_words", total_words)
     return BufferReport(
         per_edge=per_edge,
         total_tokens=total_tokens,

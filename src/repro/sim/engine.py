@@ -25,14 +25,29 @@ from dataclasses import dataclass, field
 from repro.arch.topology import Architecture
 from repro.errors import ReproError
 from repro.graph.csdfg import CSDFG, Node
+from repro.obs import metrics, span
 from repro.schedule.table import ScheduleTable
 from repro.sim.events import MessageTransfer, TaskExecution
 
-__all__ = ["SimulationError", "SimulationResult", "simulate"]
+__all__ = ["LinkTraffic", "SimulationError", "SimulationResult", "simulate"]
 
 
 class SimulationError(ReproError):
     """The dynamic execution violated the machine model."""
+
+
+@dataclass(frozen=True)
+class LinkTraffic:
+    """Aggregate traffic of one directed PE pair across a run.
+
+    ``transit_steps`` sums the store-and-forward latency of every
+    message (the hop-volume total: for the default comm model each
+    message contributes ``hops * volume`` control steps).
+    """
+
+    messages: int
+    volume: int
+    transit_steps: int
 
 
 @dataclass
@@ -55,6 +70,7 @@ class SimulationResult:
     messages: list[MessageTransfer]
     iterations: int
     schedule_length: int
+    num_pes: int = 0
     _by_instance: dict[tuple[Node, int], TaskExecution] = field(
         default_factory=dict, repr=False
     )
@@ -91,6 +107,40 @@ class SimulationResult:
             key=lambda e: e.start,
         )
 
+    def pe_busy_steps(self) -> dict[int, int]:
+        """Busy control steps per processor (0 for idle PEs)."""
+        pes = range(self.num_pes) if self.num_pes else sorted(
+            {e.pe for e in self.executions}
+        )
+        busy = {pe: 0 for pe in pes}
+        for e in self.executions:
+            busy[e.pe] = busy.get(e.pe, 0) + e.duration
+        return busy
+
+    def pe_utilisation(self) -> dict[int, float]:
+        """Busy fraction of the makespan per processor."""
+        horizon = self.makespan
+        if horizon == 0:
+            return {pe: 0.0 for pe in self.pe_busy_steps()}
+        return {
+            pe: busy / horizon for pe, busy in self.pe_busy_steps().items()
+        }
+
+    def link_traffic(self) -> dict[tuple[int, int], LinkTraffic]:
+        """Aggregate per-link (directed PE pair) message traffic."""
+        acc: dict[tuple[int, int], list[int]] = {}
+        for m in self.messages:
+            entry = acc.setdefault((m.src_pe, m.dst_pe), [0, 0, 0])
+            entry[0] += 1
+            entry[1] += m.volume
+            entry[2] += m.latency
+        return {
+            link: LinkTraffic(
+                messages=e[0], volume=e[1], transit_steps=e[2]
+            )
+            for link, e in sorted(acc.items())
+        }
+
 
 def simulate(
     graph: CSDFG,
@@ -116,6 +166,26 @@ def simulate(
     if L < 1:
         raise SimulationError("cannot simulate an empty schedule")
 
+    with span(
+        "simulate", workload=graph.name, arch=arch.name, iterations=iterations
+    ):
+        result = _expand(graph, arch, schedule, iterations, L)
+        if check:
+            _check_dependences(graph, arch, result)
+            _check_resources(
+                result, num_pes=schedule.num_pes, pipelined_pes=pipelined_pes
+            )
+        _emit_metrics(result)
+    return result
+
+
+def _expand(
+    graph: CSDFG,
+    arch: Architecture,
+    schedule: ScheduleTable,
+    iterations: int,
+    L: int,
+) -> SimulationResult:
     executions: list[TaskExecution] = []
     by_instance: dict[tuple[Node, int], TaskExecution] = {}
     for j in range(iterations):
@@ -158,19 +228,36 @@ def simulate(
                 )
             )
 
-    result = SimulationResult(
+    return SimulationResult(
         executions=executions,
         messages=messages,
         iterations=iterations,
         schedule_length=L,
+        num_pes=schedule.num_pes,
         _by_instance=by_instance,
     )
-    if check:
-        _check_dependences(graph, arch, result)
-        _check_resources(
-            result, num_pes=schedule.num_pes, pipelined_pes=pipelined_pes
-        )
-    return result
+
+
+def _emit_metrics(result: SimulationResult) -> None:
+    """Publish the run's resource accounting to the metrics registry
+    (no-op while observability is off)."""
+    if not metrics.runtime.enabled():
+        return
+    makespan = result.makespan
+    for pe, busy in result.pe_busy_steps().items():
+        metrics.set_gauge(f"sim.pe{pe + 1}.busy_steps", busy)
+        metrics.set_gauge(f"sim.pe{pe + 1}.idle_steps", makespan - busy)
+        if makespan:
+            metrics.set_gauge(
+                f"sim.pe{pe + 1}.utilisation", round(busy / makespan, 4)
+            )
+    metrics.inc("sim.messages", len(result.messages))
+    metrics.inc("sim.transit_steps", result.total_comm_steps)
+    for (src, dst), traffic in result.link_traffic().items():
+        link = f"sim.link.pe{src + 1}->pe{dst + 1}"
+        metrics.set_gauge(f"{link}.messages", traffic.messages)
+        metrics.set_gauge(f"{link}.volume", traffic.volume)
+        metrics.set_gauge(f"{link}.transit_steps", traffic.transit_steps)
 
 
 def _check_dependences(

@@ -6,7 +6,17 @@ import pytest
 
 from repro.arch import CompletelyConnected, LinearArray, Mesh2D
 from repro.graph import CSDFG
+from repro.obs import metrics, remove_all_sinks
 from repro.workloads import figure1_csdfg, figure1_mesh, figure7_csdfg
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    """Observability state is process-global: make sure no test leaks
+    sinks or metrics into the next one."""
+    yield
+    remove_all_sinks()
+    metrics.reset()
 
 
 @pytest.fixture

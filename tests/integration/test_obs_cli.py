@@ -1,0 +1,132 @@
+"""Integration tests: the observability CLI surface end to end."""
+
+import json
+
+from repro.cli import main
+
+
+class TestScheduleTrace:
+    def test_trace_file_is_a_parseable_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(
+            ["schedule", "figure1", "--arch", "ring", "--trace", str(out)]
+        ) == 0
+        assert "trace written to" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        events = payload["traceEvents"]
+        assert events
+        for e in events:
+            assert {"ph", "ts", "pid", "tid"} <= set(e)
+        names = [e["name"] for e in events if e["ph"] == "X"]
+        # one span per optimiser phase ...
+        for phase in ("startup", "rotate", "remap", "validate"):
+            assert phase in names, f"missing {phase} span"
+        # ... and one span per compaction pass
+        passes = [
+            e for e in events if e["ph"] == "X" and e["name"] == "pass"
+        ]
+        assert passes
+        assert {p["args"]["index"] for p in passes} == set(
+            range(1, len(passes) + 1)
+        )
+
+    def test_positional_and_flag_workload_agree(self, capsys):
+        assert main(["schedule", "figure1", "--arch", "mesh",
+                     "--pes", "4", "--render", "none"]) == 0
+        positional = capsys.readouterr().out
+        assert main(["schedule", "--workload", "figure1", "--arch", "mesh",
+                     "--pes", "4", "--render", "none"]) == 0
+        flag = capsys.readouterr().out
+        assert positional == flag
+
+    def test_unknown_positional_workload_errors(self, capsys):
+        assert main(["schedule", "nonsense"]) == 1
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_missing_workload_errors(self, capsys):
+        assert main(["schedule"]) == 1
+        assert "no workload given" in capsys.readouterr().err
+
+
+class TestScheduleProfileFlag:
+    def test_profile_prints_breakdown_and_metrics(self, capsys):
+        assert main(["schedule", "figure1", "--arch", "mesh", "--pes", "4",
+                     "--profile", "--render", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "remap" in out
+        assert "## metrics" in out
+        assert "cyclo.passes" in out
+
+    def test_observability_off_after_run(self):
+        from repro.obs import enabled
+
+        assert main(["schedule", "figure1", "--arch", "mesh", "--pes", "4",
+                     "--profile", "--render", "none"]) == 0
+        assert not enabled()
+
+
+class TestSimulateObservability:
+    def test_load_summary_always_printed(self, capsys):
+        assert main(["simulate", "figure1", "--arch", "mesh", "--pes", "4",
+                     "--loops", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "per-PE utilisation:" in out
+        assert "per-link traffic:" in out
+        assert "pe1:" in out
+
+    def test_trace_includes_simulation_tracks(self, tmp_path, capsys):
+        out = tmp_path / "sim.json"
+        assert main(["simulate", "figure1", "--arch", "mesh", "--pes", "4",
+                     "--trace", str(out)]) == 0
+        events = json.loads(out.read_text())["traceEvents"]
+        pids = {e["pid"] for e in events}
+        assert {1, 2} <= pids  # optimiser spans + simulated schedule
+        sim_names = [
+            e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["pid"] == 2
+        ]
+        assert "pe1" in sim_names
+
+    def test_profile_metrics_include_simulator_load(self, capsys):
+        assert main(["simulate", "figure1", "--arch", "mesh", "--pes", "4",
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "sim.pe1.busy_steps" in out
+        assert "sim.buffer.total_tokens" in out
+
+
+class TestProfileCommand:
+    def test_breakdown_sums_to_about_100(self, capsys):
+        assert main(["profile", "figure1", "--arch", "mesh", "--pes", "4",
+                     "--runs", "2", "--iterations", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "profiled 2 run(s)" in out
+        total_line = [
+            line for line in out.splitlines() if line.startswith("total")
+        ][0]
+        percent = float(total_line.rstrip("%").split()[-1])
+        assert 99.0 <= percent <= 100.5
+        assert "startup" in out and "remap" in out
+
+    def test_rejects_bad_runs(self, capsys):
+        assert main(["profile", "figure1", "--runs", "0"]) == 1
+        assert "--runs" in capsys.readouterr().err
+
+    def test_profile_with_trace_file(self, tmp_path, capsys):
+        out = tmp_path / "prof.json"
+        assert main(["profile", "figure1", "--arch", "mesh", "--pes", "4",
+                     "--runs", "1", "--iterations", "5",
+                     "--trace", str(out)]) == 0
+        events = json.loads(out.read_text())["traceEvents"]
+        assert any(e.get("name") == "cyclo_compact" for e in events)
+
+
+class TestReportProfileFlag:
+    def test_report_accepts_obs_flags(self, tmp_path, capsys):
+        trace = tmp_path / "report.json"
+        assert main(["report", "--iterations", "5", "--skip-table11",
+                     "--trace", str(trace), "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "# Reproduction report" in out
+        assert "phase" in out
+        assert trace.exists()

@@ -1,0 +1,145 @@
+"""Unit tests for the exporters and the phase-breakdown profiler."""
+
+import json
+
+from repro.arch import CompletelyConnected
+from repro.graph import CSDFG
+from repro.obs import (
+    InMemorySink,
+    chrome_trace_events,
+    format_breakdown,
+    metrics,
+    metrics_report,
+    phase_breakdown,
+    sink_installed,
+    span,
+    write_chrome_trace,
+)
+from repro.schedule import ScheduleTable
+from repro.sim import simulate
+
+
+def _record_optimiser_like_spans():
+    sink = InMemorySink()
+    with sink_installed(sink):
+        with span("cyclo_compact"):
+            with span("startup"):
+                pass
+            for i in range(2):
+                with span("pass", index=i + 1):
+                    with span("rotate"):
+                        pass
+                    with span("remap") as sp:
+                        sp.add(nodes=2)
+                    with span("validate"):
+                        pass
+    return sink
+
+
+def _tiny_sim():
+    g = CSDFG("tiny")
+    g.add_node("a", 1)
+    g.add_node("b", 1)
+    g.add_edge("a", "b", 0, 1)
+    g.add_edge("b", "a", 1, 1)
+    arch = CompletelyConnected(2)
+    s = ScheduleTable(2)
+    s.place("a", 0, 1, 1)
+    s.place("b", 1, 3, 1)
+    s.set_length(4)
+    return simulate(g, arch, s, 3)
+
+
+class TestChromeTraceSchema:
+    def test_every_event_has_required_keys(self):
+        sink = _record_optimiser_like_spans()
+        events = chrome_trace_events(sink.events, sim=_tiny_sim())
+        assert events
+        for e in events:
+            assert {"ph", "ts", "pid", "tid"} <= set(e)
+
+    def test_span_events_are_complete_events(self):
+        sink = _record_optimiser_like_spans()
+        events = chrome_trace_events(sink.events)
+        slices = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in slices} == {
+            "cyclo_compact", "startup", "pass", "rotate", "remap", "validate",
+        }
+        for e in slices:
+            assert e["pid"] == 1
+            assert e["ts"] >= 0
+            assert e["dur"] >= 0
+
+    def test_timestamps_rebased_to_zero(self):
+        sink = _record_optimiser_like_spans()
+        events = chrome_trace_events(sink.events)
+        slices = [e for e in events if e["ph"] == "X"]
+        assert min(e["ts"] for e in slices) == 0
+
+    def test_simulation_tracks(self):
+        events = chrome_trace_events([], sim=_tiny_sim())
+        task_slices = [
+            e for e in events if e["ph"] == "X" and e["pid"] == 2
+        ]
+        assert len(task_slices) == 6  # 2 nodes x 3 iterations
+        assert {e["tid"] for e in task_slices} == {1, 2}  # one per PE
+        message_slices = [
+            e for e in events if e["ph"] == "X" and e["pid"] == 3
+        ]
+        assert message_slices  # a->b crosses PEs
+        thread_names = [
+            e["args"]["name"] for e in events if e["ph"] == "M"
+        ]
+        assert "pe1" in thread_names
+        assert any("->" in name for name in thread_names)
+
+    def test_write_chrome_trace_round_trip(self, tmp_path):
+        sink = _record_optimiser_like_spans()
+        path = write_chrome_trace(tmp_path / "trace.json", sink.events)
+        payload = json.loads(path.read_text())
+        assert "traceEvents" in payload
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_empty_recording_gives_empty_trace(self):
+        assert chrome_trace_events([]) == []
+
+
+class TestPhaseBreakdown:
+    def test_rows_sum_to_about_100_percent(self):
+        sink = _record_optimiser_like_spans()
+        rows = phase_breakdown(sink.events)
+        assert {r.phase for r in rows} >= {
+            "startup", "rotate", "remap", "validate",
+        }
+        total = sum(r.percent for r in rows)
+        assert 99.0 <= total <= 100.5
+
+    def test_other_row_accounts_for_gaps(self):
+        sink = _record_optimiser_like_spans()
+        rows = phase_breakdown(sink.events)
+        assert rows[-1].phase == "other"
+        assert rows[-1].calls == 0
+
+    def test_empty_events(self):
+        assert phase_breakdown([]) == []
+        assert format_breakdown([]) == "(no spans recorded)"
+
+    def test_format_breakdown_table(self):
+        sink = _record_optimiser_like_spans()
+        text = format_breakdown(phase_breakdown(sink.events))
+        assert "phase" in text and "%" in text
+        assert "remap" in text and "total" in text
+
+
+class TestMetricsReport:
+    def test_renders_all_instrument_kinds(self):
+        with sink_installed(InMemorySink()):
+            metrics.inc("c1", 3)
+            metrics.set_gauge("g1", 0.5)
+            metrics.observe("h1", 2)
+        text = metrics_report(metrics.snapshot())
+        assert "| c1 | 3 |" in text
+        assert "g1" in text and "h1" in text
+
+    def test_empty_snapshot(self):
+        assert "(no metrics recorded)" in metrics_report(metrics.snapshot())

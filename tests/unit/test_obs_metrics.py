@@ -1,0 +1,89 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+from repro.obs import InMemorySink, metrics, sink_installed
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.counter("a").inc(4)
+        assert reg.counter("a").value == 5
+
+    def test_gauge_tracks_max(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("load")
+        g.set(3)
+        g.set(9)
+        g.set(2)
+        assert g.value == 2
+        assert g.max_value == 9
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in (2, 8, 5):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 15
+        assert h.min == 2 and h.max == 8
+        assert h.mean == 5.0
+
+    def test_empty_histogram_mean(self):
+        assert MetricsRegistry().histogram("x").mean == 0.0
+
+
+class TestRegistry:
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(2)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 1}
+        assert snap["gauges"] == {"g": {"value": 1.5, "max": 1.5}}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1)
+        reg.histogram("h").observe(1)
+        reg.reset()
+        assert reg.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestGlobalHelpers:
+    def test_noop_while_disabled(self):
+        metrics.inc("never")
+        metrics.set_gauge("never.g", 1)
+        metrics.observe("never.h", 1)
+        assert metrics.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_records_while_a_sink_is_installed(self):
+        with sink_installed(InMemorySink()):
+            metrics.inc("live", 2)
+            metrics.set_gauge("live.g", 7)
+            metrics.observe("live.h", 3)
+        snap = metrics.snapshot()
+        assert snap["counters"]["live"] == 2
+        assert snap["gauges"]["live.g"]["value"] == 7
+        assert snap["histograms"]["live.h"]["count"] == 1
+
+    def test_registry_reset_between_tests(self):
+        # the autouse fixture in conftest.py must have wiped whatever
+        # the previous test recorded into the global registry
+        assert metrics.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }

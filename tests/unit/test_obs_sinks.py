@@ -1,0 +1,113 @@
+"""Unit tests for event sinks (repro.obs.sinks / runtime)."""
+
+import json
+
+from repro.obs import (
+    EventSink,
+    InMemorySink,
+    NDJSONSink,
+    emit,
+    enabled,
+    install_sink,
+    installed_sinks,
+    remove_all_sinks,
+    remove_sink,
+    sink_installed,
+    span,
+)
+
+
+class TestRuntime:
+    def test_install_enables_remove_disables(self):
+        sink = InMemorySink()
+        assert not enabled()
+        install_sink(sink)
+        assert enabled()
+        assert sink in installed_sinks()
+        remove_sink(sink)
+        assert not enabled()
+
+    def test_double_install_is_idempotent(self):
+        sink = InMemorySink()
+        install_sink(sink)
+        install_sink(sink)
+        assert installed_sinks().count(sink) == 1
+        remove_sink(sink)
+
+    def test_remove_unknown_sink_is_harmless(self):
+        remove_sink(InMemorySink())
+        assert not enabled()
+
+    def test_fanout_to_multiple_sinks(self):
+        a, b = InMemorySink(), InMemorySink()
+        install_sink(a)
+        install_sink(b)
+        emit({"type": "test"})
+        remove_all_sinks()
+        assert a.events == [{"type": "test"}]
+        assert b.events == [{"type": "test"}]
+
+    def test_sink_installed_scopes_and_closes(self):
+        sink = InMemorySink()
+        with sink_installed(sink):
+            assert enabled()
+        assert not enabled()
+
+
+class TestInMemorySink:
+    def test_satisfies_protocol(self):
+        assert isinstance(InMemorySink(), EventSink)
+
+    def test_spans_filter(self):
+        sink = InMemorySink()
+        sink.emit({"type": "span", "name": "a"})
+        sink.emit({"type": "other"})
+        assert [e["name"] for e in sink.spans()] == ["a"]
+
+    def test_clear(self):
+        sink = InMemorySink()
+        sink.emit({"type": "x"})
+        sink.clear()
+        assert sink.events == []
+
+
+class TestNDJSONSink:
+    def test_satisfies_protocol(self, tmp_path):
+        assert isinstance(NDJSONSink(str(tmp_path / "x.ndjson")), EventSink)
+
+    def test_writes_valid_ndjson(self, tmp_path):
+        path = tmp_path / "events.ndjson"
+        sink = NDJSONSink(str(path))
+        with sink_installed(sink):
+            with span("alpha", k=1):
+                with span("beta"):
+                    pass
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        events = [json.loads(line) for line in lines]  # every line parses
+        assert {e["name"] for e in events} == {"alpha", "beta"}
+        for e in events:
+            assert e["type"] == "span"
+            assert isinstance(e["start_ns"], int)
+            assert isinstance(e["dur_ns"], int)
+
+    def test_no_file_until_first_event(self, tmp_path):
+        path = tmp_path / "empty.ndjson"
+        sink = NDJSONSink(str(path))
+        sink.close()
+        assert not path.exists()
+
+    def test_non_json_values_are_stringified(self, tmp_path):
+        path = tmp_path / "odd.ndjson"
+        sink = NDJSONSink(str(path))
+        sink.emit({"type": "span", "attrs": {"obj": object()}})
+        sink.close()
+        (line,) = path.read_text().splitlines()
+        assert "object object" in json.loads(line)["attrs"]["obj"]
+
+    def test_count_tracks_emitted_events(self, tmp_path):
+        sink = NDJSONSink(str(tmp_path / "c.ndjson"))
+        for i in range(3):
+            sink.emit({"i": i})
+        sink.close()
+        assert sink.count == 3

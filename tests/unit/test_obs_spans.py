@@ -1,0 +1,100 @@
+"""Unit tests for hierarchical spans (repro.obs.spans)."""
+
+import time
+
+from repro.obs import (
+    NO_OP_SPAN,
+    InMemorySink,
+    enabled,
+    sink_installed,
+    span,
+)
+
+
+class TestDisabledPath:
+    def test_disabled_by_default(self):
+        assert not enabled()
+
+    def test_span_is_shared_noop_without_sink(self):
+        sp = span("anything", key="value")
+        assert sp is NO_OP_SPAN
+        assert span("other") is sp  # no allocation per call
+
+    def test_noop_span_contextmanager_and_add(self):
+        with span("nope") as sp:
+            sp.add(counter=3)  # must be accepted and dropped
+
+
+class TestLiveSpans:
+    def test_emits_one_event_per_span(self):
+        sink = InMemorySink()
+        with sink_installed(sink):
+            with span("outer"):
+                with span("inner"):
+                    pass
+        names = [e["name"] for e in sink.spans()]
+        # children exit (and emit) before their parents
+        assert names == ["inner", "outer"]
+
+    def test_nesting_depth(self):
+        sink = InMemorySink()
+        with sink_installed(sink):
+            with span("a"):
+                with span("b"):
+                    with span("c"):
+                        pass
+                with span("b2"):
+                    pass
+        depth = {e["name"]: e["depth"] for e in sink.spans()}
+        assert depth == {"a": 0, "b": 1, "c": 2, "b2": 1}
+
+    def test_timing_monotonicity_and_containment(self):
+        sink = InMemorySink()
+        with sink_installed(sink):
+            with span("outer"):
+                time.sleep(0.001)
+                with span("inner"):
+                    time.sleep(0.001)
+                time.sleep(0.001)
+        by_name = {e["name"]: e for e in sink.spans()}
+        outer, inner = by_name["outer"], by_name["inner"]
+        assert outer["dur_ns"] > 0 and inner["dur_ns"] > 0
+        # the child's interval lies within the parent's
+        assert inner["start_ns"] >= outer["start_ns"]
+        assert (inner["start_ns"] + inner["dur_ns"]
+                <= outer["start_ns"] + outer["dur_ns"])
+        # and the parent strictly contains the child's duration
+        assert outer["dur_ns"] >= inner["dur_ns"]
+
+    def test_sequential_spans_do_not_overlap(self):
+        sink = InMemorySink()
+        with sink_installed(sink):
+            with span("first"):
+                pass
+            with span("second"):
+                pass
+        first, second = sink.spans()
+        assert first["name"] == "first"
+        assert second["start_ns"] >= first["start_ns"] + first["dur_ns"]
+
+    def test_attrs_at_open_and_via_add(self):
+        sink = InMemorySink()
+        with sink_installed(sink):
+            with span("work", kind="test") as sp:
+                sp.add(items=7)
+        (event,) = sink.spans()
+        assert event["attrs"] == {"kind": "test", "items": 7}
+
+    def test_exception_recorded_and_depth_restored(self):
+        sink = InMemorySink()
+        with sink_installed(sink):
+            try:
+                with span("boom"):
+                    raise ValueError("x")
+            except ValueError:
+                pass
+            with span("after"):
+                pass
+        boom, after = sink.spans()
+        assert boom["attrs"]["error"] == "ValueError"
+        assert after["depth"] == 0

@@ -1,0 +1,48 @@
+"""`repro.obs` must stay dependency-free.
+
+The instrumentation layer is imported by every hot module in the
+library; it must never pull in numpy/networkx (or anything else beyond
+the standard library), and therefore needs no optional-dependency
+group in pyproject.toml.  This test walks the import statements of
+every module in the package and pins that property.
+"""
+
+import ast
+import sys
+from pathlib import Path
+
+import repro.obs
+
+OBS_DIR = Path(repro.obs.__file__).parent
+
+
+def _imported_top_levels(path: Path) -> set[str]:
+    tree = ast.parse(path.read_text())
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            names.update(alias.name.split(".")[0] for alias in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module:
+                names.add(node.module.split(".")[0])
+    return names
+
+
+def test_obs_modules_import_only_stdlib_and_repro():
+    stdlib = set(sys.stdlib_module_names)
+    modules = sorted(OBS_DIR.glob("*.py"))
+    assert modules, "repro.obs has no modules?"
+    for module in modules:
+        for name in _imported_top_levels(module):
+            assert name == "repro" or name in stdlib, (
+                f"{module.name} imports non-stdlib module {name!r}; "
+                "repro.obs must stay zero-dependency"
+            )
+
+
+def test_obs_importable_without_third_party_side_effects():
+    # the package (already imported) exposes its public API regardless
+    # of whether numpy/networkx are importable
+    for attr in ("span", "InMemorySink", "NDJSONSink", "metrics",
+                 "write_chrome_trace", "phase_breakdown"):
+        assert hasattr(repro.obs, attr)

@@ -49,3 +49,76 @@ class TestCompactionTrace:
         assert trace.lengths == [4]
         assert trace.best_length == 4
         assert trace.improvement() == 0
+
+
+class TestPassesToBestConvention:
+    """Regression-pin the documented convention: 0 means "never
+    strictly improved", including when passes merely tie the initial
+    length."""
+
+    def test_zero_when_all_passes_are_worse(self):
+        trace = CompactionTrace(initial_length=5)
+        trace.records.append(record(1, 6, 5))
+        trace.records.append(record(2, 7, 5))
+        assert trace.passes_to_best == 0
+
+    def test_zero_when_a_pass_ties_the_initial_length(self):
+        # a tie is not an improvement: convergence is credited to the
+        # start-up schedule (pass 0), not to the tying pass
+        trace = CompactionTrace(initial_length=5)
+        trace.records.append(record(1, 5, 5))
+        trace.records.append(record(2, 6, 5))
+        assert trace.best_length == 5
+        assert trace.passes_to_best == 0
+
+    def test_zero_on_empty_trace(self):
+        assert CompactionTrace(initial_length=9).passes_to_best == 0
+
+    def test_first_strictly_improving_pass_wins(self):
+        trace = CompactionTrace(initial_length=5)
+        trace.records.append(record(1, 5, 5))
+        trace.records.append(record(2, 4, 4))
+        trace.records.append(record(3, 4, 4))
+        assert trace.passes_to_best == 2
+
+    def test_rejected_pass_does_not_count_as_improvement(self):
+        trace = CompactionTrace(initial_length=5)
+        trace.records.append(record(1, 5, 5, accepted=False))
+        assert trace.passes_to_best == 0
+
+
+class TestSerialization:
+    def _trace(self):
+        trace = CompactionTrace(initial_length=10)
+        trace.records.append(record(1, 9, 9))
+        trace.records.append(record(2, 11, 9, accepted=False))
+        return trace
+
+    def test_to_dict_shape(self):
+        data = self._trace().to_dict()
+        assert data["initial_length"] == 10
+        assert len(data["records"]) == 2
+        assert data["records"][0] == {
+            "index": 1,
+            "rotated": ["A"],
+            "accepted": True,
+            "length_after": 9,
+            "best_so_far": 9,
+        }
+
+    def test_dict_round_trip(self):
+        trace = self._trace()
+        clone = CompactionTrace.from_dict(trace.to_dict())
+        assert clone == trace
+        assert clone.lengths == trace.lengths
+        assert clone.passes_to_best == trace.passes_to_best
+
+    def test_json_round_trip(self):
+        trace = self._trace()
+        clone = CompactionTrace.from_json(trace.to_json())
+        assert clone == trace
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        json.dumps(self._trace().to_dict())
