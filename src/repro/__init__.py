@@ -17,7 +17,9 @@ Packages: :mod:`repro.graph` (CSDFG substrate), :mod:`repro.arch`
 (topologies + communication models), :mod:`repro.schedule` (tables +
 validator), :mod:`repro.retiming`, :mod:`repro.core` (the paper's
 algorithms), :mod:`repro.baselines`, :mod:`repro.workloads`,
-:mod:`repro.analysis`.
+:mod:`repro.analysis`, :mod:`repro.obs` (tracing/metrics),
+:mod:`repro.resilience` (fault injection, schedule repair,
+checkpoint/resume, chaos harness).
 """
 
 from repro.arch import (

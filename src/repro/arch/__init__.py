@@ -22,6 +22,7 @@ from repro.arch.custom import (
     load_architecture,
     save_architecture,
 )
+from repro.arch.degraded import DegradedTopology
 from repro.arch.hypercube import Hypercube
 from repro.arch.linear import LinearArray
 from repro.arch.mesh import Mesh2D
@@ -46,6 +47,7 @@ __all__ = [
     "CompletelyConnected",
     "ConstantLatencyModel",
     "CustomArchitecture",
+    "DegradedTopology",
     "Hypercube",
     "LinearArray",
     "LinkLoadReport",

@@ -123,9 +123,16 @@ class Architecture:
     # queries
     # ------------------------------------------------------------------
     @property
-    def processors(self) -> range:
-        """Iterable of PE ids (0-based)."""
+    def processors(self) -> Sequence[int]:
+        """Iterable of *usable* PE ids (0-based).  Degraded topologies
+        override this to yield surviving processors only."""
         return range(self.num_pes)
+
+    def is_alive(self, pe: int) -> bool:
+        """Whether ``pe`` may execute tasks (always true on a healthy
+        machine; degraded topologies report failed PEs)."""
+        self._check_pe(pe)
+        return True
 
     @property
     def links(self) -> tuple[tuple[int, int], ...]:

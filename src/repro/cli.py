@@ -23,6 +23,14 @@ Commands
 ``profile``
     Run the optimiser N times on a (workload, architecture) pair and
     print the per-phase time/percentage breakdown.
+``faults inject|repair|campaign``
+    Resilience drivers (``docs/resilience.md``): execute a schedule
+    under a seeded fault campaign, repair a schedule after explicit
+    PE/link failures, or run the randomized chaos harness.
+
+Unknown workload or architecture names exit with a one-line error
+listing the registered names (they are resolved by the registries, not
+by argparse choices).
 
 Observability
 -------------
@@ -74,7 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list workloads and architecture kinds")
 
     p_info = sub.add_parser("info", help="describe one workload")
-    p_info.add_argument("workload", choices=workload_names())
+    p_info.add_argument("workload", help="workload name (see `repro list`)")
 
     p_sched = sub.add_parser("schedule", help="schedule a workload")
     _add_pair_args(p_sched)
@@ -151,6 +159,79 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument(
         "--iterations", type=int, default=80, help="compaction passes per cell"
     )
+
+    p_faults = sub.add_parser(
+        "faults", help="fault injection, schedule repair, chaos harness"
+    )
+    faults_sub = p_faults.add_subparsers(dest="faults_command", required=True)
+
+    p_inject = faults_sub.add_parser(
+        "inject", help="execute a compacted schedule under a fault campaign"
+    )
+    _add_pair_args(p_inject)
+    p_inject.add_argument(
+        "--loops", type=int, default=6, help="loop iterations to execute"
+    )
+    p_inject.add_argument(
+        "--seed", type=int, default=0, help="random campaign seed"
+    )
+    p_inject.add_argument(
+        "--faults", type=int, default=1, dest="num_faults",
+        help="faults in the random campaign",
+    )
+    p_inject.add_argument(
+        "--transient", type=float, default=0.0, metavar="FRACTION",
+        help="fraction of faults that heal (0..1)",
+    )
+    p_inject.add_argument(
+        "--campaign", default=None, metavar="FILE",
+        help="JSON campaign file (overrides the random campaign flags)",
+    )
+
+    p_repair = faults_sub.add_parser(
+        "repair", help="repair a compacted schedule after explicit failures"
+    )
+    _add_pair_args(p_repair)
+    p_repair.add_argument(
+        "--kill-pe", type=int, action="append", default=[], metavar="N",
+        help="fail processor N (1-based, as rendered; repeatable)",
+    )
+    p_repair.add_argument(
+        "--cut-link", action="append", default=[], metavar="A-B",
+        help="fail the link between PEs A and B (1-based; repeatable)",
+    )
+    p_repair.add_argument(
+        "--max-regression", type=float, default=1.5,
+        help="local-repair length budget before full re-optimisation",
+    )
+    p_repair.add_argument(
+        "--render",
+        choices=["table", "none"],
+        default="table",
+        help="render the repaired schedule",
+    )
+
+    p_chaos = faults_sub.add_parser(
+        "campaign", help="run the randomized chaos harness"
+    )
+    p_chaos.add_argument(
+        "--trials", type=int, default=50, help="seeded trials to run"
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=0, help="campaign seed"
+    )
+    p_chaos.add_argument("--pes", type=int, default=8, help="processor count")
+    p_chaos.add_argument(
+        "--max-faults", type=int, default=3, help="faults per trial (upper)"
+    )
+    p_chaos.add_argument(
+        "--transient", type=float, default=0.25, metavar="FRACTION",
+        help="fraction of faults that heal (0..1)",
+    )
+    p_chaos.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop launching trials after this long (CI smoke mode)",
+    )
     return parser
 
 
@@ -162,12 +243,13 @@ def _add_pair_args(parser: argparse.ArgumentParser) -> None:
         metavar="workload",
         help="workload name (alternative to --workload)",
     )
-    parser.add_argument("--workload", choices=workload_names())
+    parser.add_argument(
+        "--workload", help="workload name (see `repro list`)"
+    )
     parser.add_argument(
         "--arch",
         default="mesh",
-        choices=sorted(ARCHITECTURE_KINDS),
-        help="architecture kind",
+        help="architecture kind (see `repro list`)",
     )
     parser.add_argument("--pes", type=int, default=8, help="processor count")
     parser.add_argument(
@@ -259,6 +341,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_experiment(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -497,6 +581,108 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         path = write_chrome_trace(args.trace, sink.events)
         print(f"\ntrace written to {path}")
     return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    if args.faults_command == "inject":
+        return _cmd_faults_inject(args)
+    if args.faults_command == "repair":
+        return _cmd_faults_repair(args)
+    return _cmd_faults_campaign(args)
+
+
+def _compacted(args: argparse.Namespace):
+    graph, arch = _make_pair(args)
+    cfg = CycloConfig(max_iterations=40, validate_each_step=False)
+    return arch, cyclo_compact(graph, arch, config=cfg)
+
+
+def _cmd_faults_inject(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.resilience import (
+        FaultCampaign,
+        random_campaign,
+        simulate_with_faults,
+    )
+
+    arch, result = _compacted(args)
+    if args.campaign:
+        campaign = FaultCampaign.from_json(Path(args.campaign).read_text())
+    else:
+        campaign = random_campaign(
+            arch,
+            seed=args.seed,
+            num_faults=args.num_faults,
+            horizon=max(1, result.schedule.length * max(1, args.loops - 1)),
+            transient_fraction=args.transient,
+        )
+    print(campaign.describe())
+    sim = simulate_with_faults(
+        result.graph, arch, result.schedule, args.loops, campaign
+    )
+    print(sim.describe())
+    return 0
+
+
+def _cmd_faults_repair(args: argparse.Namespace) -> int:
+    from repro.resilience import LinkFault, PEFault, repair_schedule
+
+    faults = []
+    for pe in args.kill_pe:
+        if pe < 1:
+            raise ReproError(f"--kill-pe is 1-based, got {pe}")
+        faults.append(PEFault(pe - 1))
+    for spec in args.cut_link:
+        parts = spec.replace(",", "-").split("-")
+        try:
+            a, b = (int(p) for p in parts)
+        except ValueError:
+            raise ReproError(
+                f"--cut-link expects A-B (two 1-based PE ids), got {spec!r}"
+            ) from None
+        if a < 1 or b < 1:
+            raise ReproError(f"--cut-link is 1-based, got {spec!r}")
+        faults.append(LinkFault(a - 1, b - 1))
+    if not faults:
+        raise ReproError(
+            "nothing to repair: pass --kill-pe N and/or --cut-link A-B"
+        )
+
+    arch, result = _compacted(args)
+    for fault in faults:
+        print(fault.describe())
+    rep = repair_schedule(
+        result.graph,
+        arch,
+        result.schedule,
+        faults,
+        max_regression=args.max_regression,
+    )
+    print(
+        f"repair ({rep.strategy}): {rep.original_length} -> "
+        f"{rep.repaired_length} control steps "
+        f"({rep.regression:.2f}x) on {rep.degraded.num_alive} surviving "
+        f"PE(s), moved {len(rep.moved)} task(s)"
+    )
+    if args.render == "table":
+        print(render_table(rep.schedule, title="repaired schedule:"))
+    return 0
+
+
+def _cmd_faults_campaign(args: argparse.Namespace) -> int:
+    from repro.resilience import run_chaos_campaign
+
+    report = run_chaos_campaign(
+        trials=args.trials,
+        seed=args.seed,
+        num_pes=args.pes,
+        max_faults=args.max_faults,
+        transient_fraction=args.transient,
+        time_budget_seconds=args.time_budget,
+    )
+    print(report.describe())
+    return 0 if report.invariant_holds else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -41,6 +41,20 @@ class CycloConfig:
         ``"first-fit"`` reproduces the paper's procedure literally:
         earliest available slot at or after the anticipation function's
         value, minimised across processors.
+    deadline_seconds:
+        Wall-clock budget for the compaction loop.  When it runs out
+        the optimiser stops *between* passes and returns the best legal
+        schedule found so far (``stop_reason == "deadline"``); the
+        passes already done are never lost.  ``None`` disables the
+        deadline.  The pass budget itself is ``max_iterations``.
+    recover_on_error:
+        When true, an exception thrown inside a compaction pass does
+        not propagate: the optimiser stops and returns the best legal
+        schedule seen before the failing pass
+        (``stop_reason == "error"``).  The best-schedule bookkeeping
+        only ever copies validated tables, so the returned schedule is
+        unaffected by whatever state the failing pass left behind.
+        Default false: internal invariant violations stay loud.
     """
 
     relaxation: bool = True
@@ -49,6 +63,8 @@ class CycloConfig:
     validate_each_step: bool = True
     pipelined_pes: bool = False
     remap_strategy: str = "implied"
+    deadline_seconds: float | None = None
+    recover_on_error: bool = False
 
     def __post_init__(self) -> None:
         if self.max_iterations is not None and self.max_iterations < 0:
@@ -62,9 +78,31 @@ class CycloConfig:
                 f"remap_strategy must be 'implied' or 'first-fit', got "
                 f"{self.remap_strategy!r}"
             )
+        if self.deadline_seconds is not None and self.deadline_seconds < 0:
+            raise SchedulingError(
+                f"deadline_seconds must be >= 0, got {self.deadline_seconds}"
+            )
 
     def iterations_for(self, num_nodes: int) -> int:
         """Resolve ``max_iterations`` for a graph of ``num_nodes``."""
         if self.max_iterations is not None:
             return self.max_iterations
         return 3 * max(1, num_nodes)
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot (used by compaction checkpoints)."""
+        return {
+            "relaxation": self.relaxation,
+            "max_iterations": self.max_iterations,
+            "patience": self.patience,
+            "validate_each_step": self.validate_each_step,
+            "pipelined_pes": self.pipelined_pes,
+            "remap_strategy": self.remap_strategy,
+            "deadline_seconds": self.deadline_seconds,
+            "recover_on_error": self.recover_on_error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CycloConfig":
+        """Inverse of :meth:`to_dict` (unknown keys are rejected)."""
+        return cls(**data)

@@ -15,11 +15,22 @@ lengthen the schedule (Theorem 4.4: lengths are monotonically
 non-increasing); since a rolled-back pass would repeat identically, the
 driver stops there.  *Remapping with relaxation* lets intermediate
 schedules grow and relies on the best-seen bookkeeping.
+
+Hardened budgets (``repro.resilience``): the loop honours a wall-clock
+``deadline_seconds`` and, with ``recover_on_error``, an exception
+inside a pass — instead of propagating — stops the loop and returns
+the best legal schedule found before it.  Both paths go through the
+same best-schedule bookkeeping, so budget exhaustion can never hand
+back a half-mutated table.  The final *working* state (schedule,
+retimed graph, retiming, stall counter) rides along on the result so
+:mod:`repro.resilience.checkpoint` can serialize an interrupted run
+and resume it exactly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 from repro.arch.topology import Architecture
 from repro.core.config import CycloConfig
@@ -54,6 +65,17 @@ class CycloResult:
         The start-up schedule the optimisation began from.
     trace:
         Per-pass records (lengths, rotated sets, accept/reject).
+    stop_reason:
+        Why the loop ended: ``"completed"`` (pass budget spent),
+        ``"converged"`` (a monotone pass was rejected),
+        ``"patience"`` (no improvement streak), ``"deadline"``
+        (wall-clock budget exhausted) or ``"error"`` (a pass raised and
+        ``recover_on_error`` was set).
+    final_schedule / final_graph / final_retiming / final_stall:
+        The *working* optimiser state when the loop stopped — what a
+        checkpoint must capture to resume the run exactly (the best-*
+        fields alone are not enough: the working schedule may be longer
+        than the best one).
     """
 
     schedule: ScheduleTable
@@ -61,6 +83,11 @@ class CycloResult:
     retiming: dict[Node, int]
     initial_schedule: ScheduleTable
     trace: CompactionTrace
+    stop_reason: str = "completed"
+    final_schedule: ScheduleTable | None = None
+    final_graph: CSDFG | None = None
+    final_retiming: dict[Node, int] = field(default_factory=dict)
+    final_stall: int = 0
 
     @property
     def initial_length(self) -> int:
@@ -69,6 +96,23 @@ class CycloResult:
     @property
     def final_length(self) -> int:
         return self.schedule.length
+
+
+@dataclass
+class _LoopState:
+    """Mutable optimiser state threaded through the pass loop (and
+    restored verbatim by a checkpoint resume)."""
+
+    working: CSDFG
+    schedule: ScheduleTable
+    retiming: dict[Node, int]
+    best_schedule: ScheduleTable
+    best_graph: CSDFG
+    best_retiming: dict[Node, int]
+    initial_schedule: ScheduleTable
+    trace: CompactionTrace
+    stall: int = 0
+    next_index: int = 1
 
 
 def cyclo_compact(
@@ -93,21 +137,23 @@ def cyclo_compact(
     """
     cfg = config if config is not None else CycloConfig()
     with span("cyclo_compact", workload=graph.name, arch=arch.name) as sp:
-        result = _cyclo_compact(graph, arch, cfg, initial)
+        state = _initial_state(graph, arch, cfg, initial)
+        result = _run_passes(state, graph, arch, cfg)
         sp.add(
             initial_length=result.initial_length,
             final_length=result.final_length,
             passes=len(result.trace.records),
+            stop_reason=result.stop_reason,
         )
     return result
 
 
-def _cyclo_compact(
+def _initial_state(
     graph: CSDFG,
     arch: Architecture,
     cfg: CycloConfig,
     initial: ScheduleTable | None,
-) -> CycloResult:
+) -> _LoopState:
     working = graph.copy()
     if initial is None:
         schedule = start_up_schedule(
@@ -122,95 +168,142 @@ def _cyclo_compact(
                 ["initial schedule is illegal"] + violations
             )
         schedule = initial.copy()
+    retiming = {v: 0 for v in working.nodes()}
+    return _LoopState(
+        working=working,
+        schedule=schedule,
+        retiming=retiming,
+        best_schedule=schedule.copy(),
+        best_graph=working.copy(),
+        best_retiming=dict(retiming),
+        initial_schedule=schedule.copy(),
+        trace=CompactionTrace(initial_length=schedule.length),
+    )
 
-    initial_schedule = schedule.copy()
-    retiming: dict[Node, int] = {v: 0 for v in working.nodes()}
 
-    best_schedule = schedule.copy()
-    best_graph = working.copy()
-    best_retiming = dict(retiming)
+def _run_passes(
+    state: _LoopState,
+    graph: CSDFG,
+    arch: Architecture,
+    cfg: CycloConfig,
+) -> CycloResult:
+    """Drive passes ``state.next_index .. z``, honouring every budget."""
+    started = time.monotonic()
+    stop_reason = "completed"
+    total = cfg.iterations_for(state.working.num_nodes)
 
-    trace = CompactionTrace(initial_length=schedule.length)
-    stall = 0
+    for index in range(state.next_index, total + 1):
+        if (
+            cfg.deadline_seconds is not None
+            and time.monotonic() - started >= cfg.deadline_seconds
+        ):
+            metrics.inc("cyclo.deadline_stops")
+            stop_reason = "deadline"
+            break
+        try:
+            outcome_reason = _one_pass(state, arch, cfg, index)
+        except Exception:
+            if not cfg.recover_on_error:
+                raise
+            # the working table may be half-mutated; the best-* fields
+            # are clean validated copies, which is what we return
+            metrics.inc("cyclo.recovered_errors")
+            stop_reason = "error"
+            break
+        state.next_index = index + 1
+        if outcome_reason is not None:
+            stop_reason = outcome_reason
+            break
 
-    for index in range(1, cfg.iterations_for(working.num_nodes) + 1):
-        with span("pass", index=index) as pass_span:
-            metrics.inc("cyclo.passes")
-            previous_length = schedule.length
-            with span("rotate", index=index):
-                rotated, old_placements = rotate_schedule(working, schedule)
+    return CycloResult(
+        schedule=state.best_schedule,
+        graph=state.best_graph,
+        retiming=state.best_retiming,
+        initial_schedule=state.initial_schedule,
+        trace=state.trace,
+        stop_reason=stop_reason,
+        final_schedule=state.schedule,
+        final_graph=state.working,
+        final_retiming=dict(state.retiming),
+        final_stall=state.stall,
+    )
+
+
+def _one_pass(
+    state: _LoopState, arch: Architecture, cfg: CycloConfig, index: int
+) -> str | None:
+    """One rotate+remap pass; a stop reason string ends the loop."""
+    working, schedule, retiming = state.working, state.schedule, state.retiming
+    with span("pass", index=index) as pass_span:
+        metrics.inc("cyclo.passes")
+        previous_length = schedule.length
+        with span("rotate", index=index):
+            rotated, old_placements = rotate_schedule(working, schedule)
+        for node in rotated:
+            retiming[node] += 1
+        with span("remap", index=index, nodes=len(rotated)):
+            outcome = remap_nodes(
+                working,
+                arch,
+                schedule,
+                rotated,
+                previous_length=previous_length,
+                relaxation=cfg.relaxation,
+                pipelined_pes=cfg.pipelined_pes,
+                strategy=cfg.remap_strategy,
+            )
+        if not outcome.accepted:
+            metrics.inc("cyclo.rejected")
+            metrics.inc("cyclo.rollbacks")
+            undo_rotation(
+                working, schedule, rotated, old_placements, previous_length
+            )
             for node in rotated:
-                retiming[node] += 1
-            with span("remap", index=index, nodes=len(rotated)):
-                outcome = remap_nodes(
-                    working,
-                    arch,
-                    schedule,
-                    rotated,
-                    previous_length=previous_length,
-                    relaxation=cfg.relaxation,
-                    pipelined_pes=cfg.pipelined_pes,
-                    strategy=cfg.remap_strategy,
-                )
-            if not outcome.accepted:
-                metrics.inc("cyclo.rejected")
-                metrics.inc("cyclo.rollbacks")
-                undo_rotation(
-                    working, schedule, rotated, old_placements, previous_length
-                )
-                for node in rotated:
-                    retiming[node] -= 1
-                trace.records.append(
-                    IterationRecord(
-                        index=index,
-                        rotated=tuple(rotated),
-                        accepted=False,
-                        length_after=schedule.length,
-                        best_so_far=best_schedule.length,
-                    )
-                )
-                pass_span.add(accepted=False, length=schedule.length)
-                # a rejected pass would repeat identically: stop here
-                break
-
-            metrics.inc("cyclo.accepted")
-            if cfg.validate_each_step:
-                violations = collect_violations(
-                    working, arch, schedule, pipelined_pes=cfg.pipelined_pes
-                )
-                if violations:  # pragma: no cover - internal invariant
-                    raise SchedulingError(
-                        "cyclo-compaction produced an illegal intermediate "
-                        "schedule: " + "; ".join(violations)
-                    )
-
-            improved = schedule.length < best_schedule.length
-            if improved:
-                metrics.inc("cyclo.improved")
-                best_schedule = schedule.copy()
-                best_graph = working.copy()
-                best_retiming = dict(retiming)
-                stall = 0
-            else:
-                stall += 1
-
-            trace.records.append(
+                retiming[node] -= 1
+            state.trace.records.append(
                 IterationRecord(
                     index=index,
                     rotated=tuple(rotated),
-                    accepted=True,
+                    accepted=False,
                     length_after=schedule.length,
-                    best_so_far=best_schedule.length,
+                    best_so_far=state.best_schedule.length,
                 )
             )
-            pass_span.add(accepted=True, length=schedule.length)
-            if cfg.patience is not None and stall >= cfg.patience:
-                break
+            pass_span.add(accepted=False, length=schedule.length)
+            # a rejected pass would repeat identically: stop here
+            return "converged"
 
-    return CycloResult(
-        schedule=best_schedule,
-        graph=best_graph,
-        retiming=best_retiming,
-        initial_schedule=initial_schedule,
-        trace=trace,
-    )
+        metrics.inc("cyclo.accepted")
+        if cfg.validate_each_step:
+            violations = collect_violations(
+                working, arch, schedule, pipelined_pes=cfg.pipelined_pes
+            )
+            if violations:  # pragma: no cover - internal invariant
+                raise SchedulingError(
+                    "cyclo-compaction produced an illegal intermediate "
+                    "schedule: " + "; ".join(violations)
+                )
+
+        improved = schedule.length < state.best_schedule.length
+        if improved:
+            metrics.inc("cyclo.improved")
+            state.best_schedule = schedule.copy()
+            state.best_graph = working.copy()
+            state.best_retiming = dict(retiming)
+            state.stall = 0
+        else:
+            state.stall += 1
+
+        state.trace.records.append(
+            IterationRecord(
+                index=index,
+                rotated=tuple(rotated),
+                accepted=True,
+                length_after=schedule.length,
+                best_so_far=state.best_schedule.length,
+            )
+        )
+        pass_span.add(accepted=True, length=schedule.length)
+        if cfg.patience is not None and state.stall >= cfg.patience:
+            return "patience"
+    return None

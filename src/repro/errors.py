@@ -16,11 +16,15 @@ __all__ = [
     "IllegalRetimingError",
     "ArchitectureError",
     "UnknownProcessorError",
+    "DeadProcessorError",
+    "DisconnectedTopologyError",
     "ScheduleError",
     "PlacementConflictError",
     "ScheduleValidationError",
     "SchedulingError",
     "InfeasibleScheduleError",
+    "StallDetectedError",
+    "CheckpointError",
     "WorkloadError",
 ]
 
@@ -63,6 +67,26 @@ class UnknownProcessorError(ArchitectureError):
     """A processor id outside the architecture's processor set."""
 
 
+class DeadProcessorError(ArchitectureError):
+    """A failed processor (or a link endpoint) was addressed on a
+    degraded topology."""
+
+
+class DisconnectedTopologyError(ArchitectureError):
+    """Removing failed PEs/links split the surviving network: no
+    schedule spanning the remaining processors can route all traffic.
+
+    Attributes
+    ----------
+    components:
+        The surviving PE ids grouped by connected component.
+    """
+
+    def __init__(self, message: str, components: list[list[int]] | None = None):
+        self.components = [list(c) for c in components] if components else []
+        super().__init__(message)
+
+
 class ScheduleError(ReproError):
     """Malformed schedule-table manipulation."""
 
@@ -91,6 +115,16 @@ class SchedulingError(ReproError):
 
 class InfeasibleScheduleError(SchedulingError):
     """No legal placement exists under the requested constraints."""
+
+
+class StallDetectedError(SchedulingError):
+    """The fault-injecting simulator's progress watchdog fired: no
+    forward progress within the configured window."""
+
+
+class CheckpointError(SchedulingError):
+    """A compaction checkpoint does not match the run being resumed
+    (wrong graph/architecture/config, or a corrupted trace)."""
 
 
 class WorkloadError(ReproError):

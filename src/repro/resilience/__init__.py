@@ -1,0 +1,63 @@
+"""``repro.resilience`` — fault injection, schedule repair, chaos.
+
+The paper's schedules are *architecture-dependent*: when the
+architecture degrades (a PE dies, a link is cut) the static schedule is
+invalid and must be remapped.  This package closes that loop:
+
+* **fault model** (:mod:`repro.resilience.faults`) — typed
+  :class:`PEFault` / :class:`LinkFault` events, permanent or transient,
+  grouped into deterministic seeded :class:`FaultCampaign` s;
+* **schedule repair** (:mod:`repro.resilience.repair`) — evacuate
+  tasks hit by a fault and re-place them with the
+  communication-sensitive remapping pass on the surviving PEs
+  (:class:`~repro.arch.degraded.DegradedTopology`), falling back to a
+  full re-optimisation when local repair regresses too far;
+* **checkpoint/resume** (:mod:`repro.resilience.checkpoint`) —
+  JSON round-trip of an interrupted compaction run, verified replay on
+  resume;
+* **fault-injecting simulator** (:mod:`repro.resilience.simfault`) —
+  executes a schedule while a campaign kills PEs/links mid-run,
+  repairing at iteration boundaries under a progress watchdog;
+* **chaos harness** (:mod:`repro.resilience.chaos`) — randomized
+  campaigns over the workload/topology registries asserting the
+  invariant: *every run ends in a validated-legal degraded schedule or
+  a typed error — never a silent corrupt schedule or a hang*.
+
+See ``docs/resilience.md``.
+"""
+
+from repro.resilience.chaos import ChaosReport, ChaosTrial, run_chaos_campaign
+from repro.resilience.checkpoint import (
+    CompactionCheckpoint,
+    resume_compaction,
+)
+from repro.resilience.faults import (
+    FaultCampaign,
+    LinkFault,
+    PEFault,
+    random_campaign,
+)
+from repro.resilience.repair import RepairResult, degrade, repair_schedule
+from repro.resilience.simfault import (
+    FaultOutcome,
+    FaultSimulationResult,
+    simulate_with_faults,
+)
+
+__all__ = [
+    "ChaosReport",
+    "ChaosTrial",
+    "CompactionCheckpoint",
+    "FaultCampaign",
+    "FaultOutcome",
+    "FaultSimulationResult",
+    "LinkFault",
+    "PEFault",
+    "RepairResult",
+    "degrade",
+    "random_campaign",
+    "repair_schedule",
+    "resume_compaction",
+    "run_chaos_campaign",
+    "simulate_with_faults",
+]

@@ -1,0 +1,279 @@
+"""Randomized chaos harness over the resilience stack.
+
+Runs many seeded trials, each: build a (workload, topology) pair, take
+a legal start-up schedule, generate a deterministic random fault
+campaign against it, and execute under fault injection
+(:func:`~repro.resilience.simfault.simulate_with_faults`).  The
+harness asserts the subsystem's core invariant on every trial:
+
+    every run ends in a validated-legal schedule on the surviving
+    topology, or in a typed error — never a silent corrupt schedule
+    and never a hang.
+
+Accepted typed endings are
+:class:`~repro.errors.DisconnectedTopologyError`,
+:class:`~repro.errors.InfeasibleScheduleError` and
+:class:`~repro.errors.StallDetectedError`.  Anything else — an
+unexpected exception, or a "completed" run whose final schedule fails
+``collect_violations`` — is an invariant breach and flips
+``ChaosReport.invariant_holds``.
+
+Trials are reproducible: a trial is fully determined by
+``(seed, index)``, so a breach can be replayed in isolation with
+:func:`run_chaos_trial`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from repro.arch.registry import make_architecture
+from repro.core.startup import start_up_schedule
+from repro.errors import (
+    DisconnectedTopologyError,
+    InfeasibleScheduleError,
+    StallDetectedError,
+)
+from repro.obs import metrics, span
+from repro.resilience.faults import random_campaign
+from repro.resilience.simfault import simulate_with_faults
+from repro.schedule.validate import collect_violations
+from repro.workloads.registry import make_workload
+
+__all__ = [
+    "ChaosReport",
+    "ChaosTrial",
+    "run_chaos_campaign",
+    "run_chaos_trial",
+]
+
+# topology kinds valid at any even PE count >= 4 used by the harness
+DEFAULT_TOPOLOGIES = ("linear", "ring", "mesh", "hypercube")
+DEFAULT_WORKLOADS = ("figure1", "biquad2", "diffeq")
+
+# outcomes that satisfy the invariant
+_TYPED_ENDINGS = {
+    DisconnectedTopologyError: "disconnected",
+    InfeasibleScheduleError: "infeasible",
+    StallDetectedError: "stalled",
+}
+
+
+@dataclass
+class ChaosTrial:
+    """One seeded trial and how it ended.
+
+    ``outcome`` is ``"survived"`` (all iterations completed on a
+    validated schedule), a typed ending (``"disconnected"``,
+    ``"infeasible"``, ``"stalled"``) — all of which satisfy the
+    invariant — or a breach: ``"illegal"`` (a run completed on a
+    schedule that fails validation) / ``"unexpected"`` (an untyped
+    exception escaped).
+    """
+
+    index: int
+    seed: int
+    topology: str
+    workload: str
+    num_faults: int
+    outcome: str
+    campaign: dict = field(default_factory=dict)
+    iterations: int = 0
+    makespan: int = 0
+    reconfigurations: int = 0
+    regression: float = 1.0
+    elapsed_seconds: float = 0.0
+    error: str = ""
+
+    @property
+    def invariant_holds(self) -> bool:
+        return self.outcome not in ("illegal", "unexpected")
+
+    def describe(self) -> str:
+        head = (
+            f"trial {self.index} (seed {self.seed}): {self.workload} on "
+            f"{self.topology}, {self.num_faults} fault(s) -> {self.outcome}"
+        )
+        if self.outcome == "survived":
+            head += (
+                f" ({self.iterations} iteration(s), "
+                f"{self.reconfigurations} reconfiguration(s), "
+                f"regression {self.regression:.2f}x)"
+            )
+        elif self.error:
+            head += f" ({self.error.splitlines()[0]})"
+        return head
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate of a chaos campaign."""
+
+    seed: int
+    trials: list[ChaosTrial] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def invariant_holds(self) -> bool:
+        return all(t.invariant_holds for t in self.trials)
+
+    @property
+    def breaches(self) -> list[ChaosTrial]:
+        return [t for t in self.trials if not t.invariant_holds]
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for t in self.trials:
+            out[t.outcome] = out.get(t.outcome, 0) + 1
+        return dict(sorted(out.items()))
+
+    def describe(self) -> str:
+        verdict = "INVARIANT HOLDS" if self.invariant_holds else "BREACHED"
+        lines = [
+            f"chaos campaign (seed {self.seed}): {len(self.trials)} "
+            f"trial(s) in {self.elapsed_seconds:.1f}s — {verdict}",
+            "  outcomes: "
+            + ", ".join(f"{k}={v}" for k, v in self.counts().items()),
+        ]
+        for t in self.breaches:
+            lines.append("  BREACH " + t.describe())
+            if t.error:
+                lines.extend("    " + line for line in t.error.splitlines())
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "trials": len(self.trials),
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "invariant_holds": self.invariant_holds,
+            "outcomes": self.counts(),
+            "breaches": [t.describe() for t in self.breaches],
+        }
+
+
+def run_chaos_trial(
+    seed: int,
+    index: int,
+    *,
+    topologies: tuple[str, ...] = DEFAULT_TOPOLOGIES,
+    workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
+    num_pes: int = 8,
+    iterations: int = 4,
+    max_faults: int = 3,
+    transient_fraction: float = 0.25,
+) -> ChaosTrial:
+    """Run the single trial ``(seed, index)`` deterministically."""
+    trial_seed = seed * 1_000_003 + index
+    rng = random.Random(trial_seed)
+    topology = topologies[index % len(topologies)]
+    workload = workloads[(index // len(topologies)) % len(workloads)]
+
+    graph = make_workload(workload)
+    arch = make_architecture(topology, num_pes)
+    schedule = start_up_schedule(graph, arch)
+    campaign = random_campaign(
+        arch,
+        seed=trial_seed,
+        num_faults=rng.randint(1, max_faults),
+        horizon=max(1, schedule.length * (iterations - 1)),
+        link_fraction=0.5,
+        transient_fraction=transient_fraction,
+        name=f"chaos-{index}",
+    )
+
+    started = time.monotonic()
+    trial = ChaosTrial(
+        index=index,
+        seed=trial_seed,
+        topology=topology,
+        workload=workload,
+        num_faults=len(campaign),
+        outcome="survived",
+        campaign=campaign.to_dict(),
+    )
+    try:
+        result = simulate_with_faults(
+            graph, arch, schedule, iterations, campaign
+        )
+    except tuple(_TYPED_ENDINGS) as exc:
+        trial.outcome = next(
+            label
+            for klass, label in _TYPED_ENDINGS.items()
+            if isinstance(exc, klass)
+        )
+        trial.error = str(exc)
+    except Exception:
+        trial.outcome = "unexpected"
+        trial.error = traceback.format_exc()
+    else:
+        trial.iterations = result.iterations
+        trial.makespan = result.makespan
+        trial.reconfigurations = result.reconfigurations
+        final_length = (
+            result.final_schedule.length if result.final_schedule else 0
+        )
+        if schedule.length:
+            trial.regression = final_length / schedule.length
+        # the invariant's teeth: re-validate the final schedule here,
+        # independently of the simulator's own checks
+        violations = collect_violations(
+            result.final_graph, result.final_topology, result.final_schedule
+        )
+        if violations:
+            trial.outcome = "illegal"
+            trial.error = "; ".join(violations)
+    trial.elapsed_seconds = time.monotonic() - started
+    return trial
+
+
+def run_chaos_campaign(
+    *,
+    trials: int = 50,
+    seed: int = 0,
+    topologies: tuple[str, ...] = DEFAULT_TOPOLOGIES,
+    workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
+    num_pes: int = 8,
+    iterations: int = 4,
+    max_faults: int = 3,
+    transient_fraction: float = 0.25,
+    time_budget_seconds: float | None = None,
+) -> ChaosReport:
+    """Run ``trials`` seeded chaos trials and aggregate the outcomes.
+
+    ``time_budget_seconds`` stops launching new trials once the budget
+    is spent (for CI smoke jobs); the trials that did run are still a
+    deterministic prefix of the full campaign.
+    """
+    started = time.monotonic()
+    report = ChaosReport(seed=seed)
+    with span("chaos_campaign", seed=seed, trials=trials) as sp:
+        for index in range(trials):
+            if (
+                time_budget_seconds is not None
+                and time.monotonic() - started >= time_budget_seconds
+            ):
+                metrics.inc("resilience.chaos.budget_stops")
+                break
+            trial = run_chaos_trial(
+                seed,
+                index,
+                topologies=topologies,
+                workloads=workloads,
+                num_pes=num_pes,
+                iterations=iterations,
+                max_faults=max_faults,
+                transient_fraction=transient_fraction,
+            )
+            report.trials.append(trial)
+            metrics.inc("resilience.chaos.trials")
+            metrics.inc(f"resilience.chaos.outcome.{trial.outcome}")
+        report.elapsed_seconds = time.monotonic() - started
+        sp.add(
+            ran=len(report.trials),
+            invariant_holds=report.invariant_holds,
+        )
+    return report

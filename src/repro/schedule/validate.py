@@ -80,24 +80,33 @@ def _collect_violations(
         violations.append(f"scheduled node {extra} is not in the graph")
 
     placed = expected & scheduled
+    routable = set()  # placed on an in-range, alive PE: safe to price
     for node in placed:
         p = schedule.placement(node)
         if p.pe >= arch.num_pes:
             violations.append(
                 f"node {node!r}: PE {p.pe} outside architecture "
-                f"({arch.num_pes} PEs)"
+                f"{arch.name!r} ({arch.num_pes} PEs)"
             )
             continue
+        if not arch.is_alive(p.pe):
+            violations.append(
+                f"node {node!r}: placed on failed pe{p.pe + 1} of "
+                f"{arch.name!r}"
+            )
+            continue
+        routable.add(node)
         expected_duration = arch.execution_time(p.pe, graph.time(node))
         if p.duration != expected_duration:
             violations.append(
                 f"node {node!r}: duration {p.duration} != "
-                f"{expected_duration} (t = {graph.time(node)} on pe{p.pe + 1})"
+                f"{expected_duration} (t = {graph.time(node)} on pe{p.pe + 1} "
+                f"of {arch.name!r})"
             )
         if p.finish > schedule.length:
             violations.append(
-                f"node {node!r}: finishes at cs {p.finish} beyond length "
-                f"{schedule.length}"
+                f"node {node!r}: finishes at cs {p.finish} on pe{p.pe + 1} "
+                f"beyond length {schedule.length}"
             )
 
     # resource exclusivity (recomputed, not trusting the cell index) ----
@@ -116,9 +125,11 @@ def _collect_violations(
                 occupancy[(p.pe, cs)] = node
 
     # precedence + communication ----------------------------------------
+    # edges touching a node on an out-of-range or failed PE are skipped:
+    # that placement is already reported above and cannot be priced
     L = schedule.length
     for edge in graph.edges():
-        if edge.src not in placed or edge.dst not in placed:
+        if edge.src not in routable or edge.dst not in routable:
             continue
         pu = schedule.placement(edge.src)
         pv = schedule.placement(edge.dst)
@@ -127,8 +138,10 @@ def _collect_violations(
         rhs = pu.finish + comm + 1
         if lhs < rhs:
             violations.append(
-                f"dependence {edge.src!r}->{edge.dst!r} (d={edge.delay}, "
-                f"c={edge.volume}): CB({edge.dst!r})={pv.start} + "
+                f"dependence edge ({edge.src!r}, {edge.dst!r}) "
+                f"(d={edge.delay}, c={edge.volume}) "
+                f"pe{pu.pe + 1}->pe{pv.pe + 1}: "
+                f"CB({edge.dst!r})={pv.start} + "
                 f"{edge.delay}*{L} = {lhs} < CE({edge.src!r})={pu.finish} + "
                 f"M={comm} + 1 = {rhs}"
             )
@@ -190,6 +203,9 @@ def minimum_feasible_length(
             return None
         pu = probe.placement(edge.src)
         pv = probe.placement(edge.dst)
+        for p in (pu, pv):
+            if p.pe >= arch.num_pes or not arch.is_alive(p.pe):
+                return None  # unroutable placement: no length can help
         comm = arch.comm_cost(pu.pe, pv.pe, edge.volume)
         slack_needed = pu.finish + comm + 1 - pv.start
         if edge.delay == 0:

@@ -9,11 +9,25 @@ simulator rejects it too.
 
 import pytest
 
-from repro.arch import LinearArray, Mesh2D
+from repro.arch import (
+    ARCHITECTURE_KINDS,
+    DegradedTopology,
+    LinearArray,
+    Mesh2D,
+    make_architecture,
+)
 from repro.core import cyclo_compact, start_up_schedule
+from repro.errors import DisconnectedTopologyError
 from repro.schedule import ScheduleTable, collect_violations
 from repro.sim import SimulationError, simulate
 from repro.workloads import figure1_csdfg, figure7_csdfg
+
+# every registered topology kind at a PE count its factory accepts
+# (tree wants 2**k - 1, torus wants a >=3 x >=3 factorisation)
+_PE_COUNTS = {"tree": 7, "torus": 9}
+ALL_KINDS = sorted(
+    (kind, _PE_COUNTS.get(kind, 8)) for kind in ARCHITECTURE_KINDS
+)
 
 
 @pytest.fixture
@@ -117,6 +131,54 @@ class TestStaticDetection:
         )
         issues = collect_violations(graph, arch, corrupt)
         assert any("resource conflict" in i for i in issues)
+
+
+class TestDegradedTopologyDetection:
+    """The validator must reject schedules that keep using failed
+    hardware — on every registered topology kind."""
+
+    @pytest.mark.parametrize("kind,num_pes", ALL_KINDS)
+    def test_work_on_failed_pe_rejected(self, kind, num_pes):
+        graph = figure1_csdfg()
+        arch = make_architecture(kind, num_pes)
+        schedule = start_up_schedule(graph, arch)
+        used = sorted({schedule.placement(v).pe for v in graph.nodes()})
+        for victim in used:
+            try:
+                degraded = DegradedTopology(arch, failed_pes=[victim])
+            except DisconnectedTopologyError:
+                continue  # e.g. the star hub: also a (typed) rejection
+            issues = collect_violations(graph, degraded, schedule)
+            assert any(
+                f"placed on failed pe{victim + 1}" in i for i in issues
+            ), f"{kind}: stale schedule survived pe{victim + 1} failure"
+
+    @pytest.mark.parametrize("kind,num_pes", ALL_KINDS)
+    def test_route_over_removed_link_rejected(self, kind, num_pes):
+        from repro.graph import CSDFG
+
+        arch = make_architecture(kind, num_pes)
+        for a, b in arch.links:
+            # a tight 2-node schedule whose only slack is the 1-hop route
+            # over (a, b); removing that link must break the dependence
+            # (or disconnect the machine — also a typed rejection)
+            g = CSDFG("tight")
+            g.add_node("u", 1)
+            g.add_node("v", 1)
+            g.add_edge("u", "v", 0, 1)
+            t = ScheduleTable(num_pes)
+            t.place("u", a, 1, 1)
+            comm = arch.comm_cost(a, b, 1)
+            t.place("v", b, 1 + comm + 1, 1)
+            assert collect_violations(g, arch, t) == []
+            try:
+                degraded = DegradedTopology(arch, failed_links=[(a, b)])
+            except DisconnectedTopologyError:
+                continue
+            issues = collect_violations(g, degraded, t)
+            assert any(
+                "dependence edge ('u', 'v')" in i for i in issues
+            ), f"{kind}: schedule still legal after cutting link {(a, b)}"
 
 
 class TestDynamicDetection:

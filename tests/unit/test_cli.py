@@ -22,8 +22,17 @@ class TestInfo:
         assert "iteration bound: 3" in out
 
     def test_rejects_unknown_workload(self, capsys):
-        with pytest.raises(SystemExit):
-            main(["info", "nonsense"])
+        # a one-line friendly error listing the registry, not a traceback
+        assert main(["info", "nonsense"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown workload 'nonsense'")
+        assert "figure1" in err and "elliptic5" in err
+
+    def test_rejects_unknown_architecture(self, capsys):
+        assert main(["schedule", "figure1", "--arch", "moebius"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown architecture kind 'moebius'")
+        assert "mesh" in err and "hypercube" in err
 
 
 class TestSchedule:
@@ -155,6 +164,52 @@ class TestExperiment:
         assert main(["experiment", "tables19", "--iterations", "20"]) == 0
         out = capsys.readouterr().out
         assert "com" in out and "hyp" in out
+
+
+class TestFaults:
+    def test_repair_kill_pe(self, capsys):
+        assert main(
+            ["faults", "repair", "figure1", "--kill-pe", "1",
+             "--render", "none"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "permanent failure of pe1" in out
+        assert "repair (" in out and "surviving" in out
+
+    def test_repair_requires_a_fault(self, capsys):
+        assert main(["faults", "repair", "figure1"]) == 1
+        assert "nothing to repair" in capsys.readouterr().err
+
+    def test_repair_bad_link_spec(self, capsys):
+        assert main(
+            ["faults", "repair", "figure1", "--cut-link", "banana"]
+        ) == 1
+        assert "--cut-link expects" in capsys.readouterr().err
+
+    def test_inject_random_campaign(self, capsys):
+        assert main(
+            ["faults", "inject", "figure1", "--arch", "complete",
+             "--seed", "3", "--faults", "1", "--loops", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "campaign" in out and "iterations" in out
+
+    def test_inject_campaign_file(self, tmp_path, capsys):
+        from repro.resilience import FaultCampaign, PEFault
+
+        path = tmp_path / "c.json"
+        path.write_text(FaultCampaign([PEFault(0, at_step=1)]).to_json())
+        assert main(
+            ["faults", "inject", "figure1", "--arch", "complete",
+             "--campaign", str(path), "--loops", "3"]
+        ) == 0
+        assert "failure of pe1" in capsys.readouterr().out
+
+    def test_campaign_smoke(self, capsys):
+        assert main(
+            ["faults", "campaign", "--trials", "4", "--seed", "0"]
+        ) == 0
+        assert "INVARIANT HOLDS" in capsys.readouterr().out
 
 
 class TestParser:

@@ -1,0 +1,133 @@
+"""Unit tests for :class:`repro.arch.degraded.DegradedTopology`."""
+
+import pytest
+
+from repro.arch import (
+    CompletelyConnected,
+    DegradedTopology,
+    LinearArray,
+    Mesh2D,
+    Ring,
+    Star,
+)
+from repro.errors import (
+    ArchitectureError,
+    DeadProcessorError,
+    DisconnectedTopologyError,
+)
+
+
+class TestConstruction:
+    def test_preserves_id_space(self):
+        deg = DegradedTopology(Mesh2D(2, 4), failed_pes=[3])
+        assert deg.num_pes == 8  # ids stay addressable
+        assert deg.num_alive == 7
+        assert list(deg.processors) == [0, 1, 2, 4, 5, 6, 7]
+        assert deg.failed_pes == {3}
+
+    def test_nothing_failed_is_identity_view(self):
+        base = Ring(5)
+        deg = DegradedTopology(base)
+        assert list(deg.processors) == list(base.processors)
+        assert deg.links == base.links
+        for a in base.processors:
+            for b in base.processors:
+                assert deg.hops(a, b) == base.hops(a, b)
+
+    def test_link_must_exist(self):
+        with pytest.raises(ArchitectureError, match="not a link"):
+            DegradedTopology(Ring(4), failed_links=[(0, 2)])
+
+    def test_failed_pe_takes_its_links(self):
+        deg = DegradedTopology(Ring(4), failed_pes=[1])
+        assert (0, 1) not in deg.links and (1, 2) not in deg.links
+        assert (0, 3) in deg.links and (2, 3) in deg.links
+
+    def test_all_pes_failed(self):
+        with pytest.raises(DisconnectedTopologyError):
+            DegradedTopology(CompletelyConnected(2), failed_pes=[0, 1])
+
+
+class TestDisconnection:
+    def test_cut_linear_array(self):
+        with pytest.raises(DisconnectedTopologyError) as exc:
+            DegradedTopology(LinearArray(4), failed_links=[(1, 2)])
+        assert exc.value.components == [[0, 1], [2, 3]]
+
+    def test_star_hub_failure(self):
+        with pytest.raises(DisconnectedTopologyError):
+            DegradedTopology(Star(5), failed_pes=[0])
+
+    def test_middle_pe_splits_linear(self):
+        with pytest.raises(DisconnectedTopologyError) as exc:
+            DegradedTopology(LinearArray(5), failed_pes=[2])
+        assert exc.value.components == [[0, 1], [3, 4]]
+
+
+class TestRerouting:
+    def test_ring_link_cut_reroutes_the_long_way(self):
+        base = Ring(6)
+        deg = DegradedTopology(base, failed_links=[(0, 1)])
+        assert base.hops(0, 1) == 1
+        assert deg.hops(0, 1) == 5  # all the way around
+        assert deg.hops(2, 3) == 1  # untouched pairs keep their routes
+
+    def test_comm_cost_scales_with_new_route(self):
+        deg = DegradedTopology(Ring(6), failed_links=[(0, 1)])
+        assert deg.comm_cost(0, 1, 2) == 5 * 2  # hops * volume
+
+    def test_dead_pe_unaddressable(self):
+        deg = DegradedTopology(Mesh2D(2, 2), failed_pes=[3])
+        with pytest.raises(DeadProcessorError, match="pe4"):
+            deg.hops(0, 3)
+        with pytest.raises(DeadProcessorError):
+            deg.execution_time(3, 5)
+        assert not deg.is_alive(3)
+        assert deg.is_alive(0)
+
+    def test_diameter_over_survivors(self):
+        deg = DegradedTopology(LinearArray(5), failed_pes=[4])
+        assert deg.diameter == 3  # 0..3 survive
+        assert deg.average_distance == pytest.approx(
+            (1 + 2 + 3 + 1 + 2 + 1) * 2 / (4 * 3)
+        )
+
+
+class TestComposition:
+    def test_degrade_accumulates(self):
+        first = DegradedTopology(Mesh2D(2, 4), failed_pes=[0])
+        second = first.degrade(failed_pes=[7], failed_links=[(1, 2)])
+        assert second.failed_pes == {0, 7}
+        assert second.failed_links == {(1, 2)}
+        assert second.base is first.base  # composes against the root
+
+    def test_degrade_can_disconnect(self):
+        first = DegradedTopology(Ring(4), failed_pes=[0])
+        with pytest.raises(DisconnectedTopologyError):
+            first.degrade(failed_pes=[2])
+
+
+class TestSchedulersRunUnmodified:
+    def test_startup_avoids_failed_pes(self):
+        from repro.core import start_up_schedule
+        from repro.schedule import collect_violations
+        from repro.workloads import figure1_csdfg
+
+        graph = figure1_csdfg()
+        deg = DegradedTopology(Mesh2D(2, 4), failed_pes=[0, 6])
+        schedule = start_up_schedule(graph, deg)
+        assert collect_violations(graph, deg, schedule) == []
+        used = {schedule.placement(v).pe for v in graph.nodes()}
+        assert used.isdisjoint({0, 6})
+
+    def test_cyclo_compact_on_degraded(self):
+        from repro.core import CycloConfig, cyclo_compact
+        from repro.schedule import collect_violations
+        from repro.workloads import figure1_csdfg
+
+        graph = figure1_csdfg()
+        deg = DegradedTopology(Mesh2D(2, 4), failed_pes=[1])
+        result = cyclo_compact(
+            graph, deg, config=CycloConfig(max_iterations=10)
+        )
+        assert collect_violations(result.graph, deg, result.schedule) == []

@@ -1,0 +1,95 @@
+"""Unit tests for typed fault events and seeded campaigns."""
+
+import pytest
+
+from repro.arch import Mesh2D, Ring
+from repro.errors import ArchitectureError
+from repro.resilience import (
+    FaultCampaign,
+    LinkFault,
+    PEFault,
+    random_campaign,
+)
+
+
+class TestFaultEvents:
+    def test_pe_fault_fields(self):
+        f = PEFault(2, at_step=5)
+        assert f.permanent
+        assert "pe3" in f.describe() and "permanent" in f.describe()
+        t = PEFault(2, at_step=5, duration=4)
+        assert not t.permanent
+        assert "4-step" in t.describe()
+
+    def test_link_fault_canonical_order(self):
+        f = LinkFault(3, 1)
+        assert f.link == (1, 3)
+
+    def test_validation(self):
+        with pytest.raises(ArchitectureError):
+            PEFault(-1)
+        with pytest.raises(ArchitectureError):
+            PEFault(0, at_step=0)
+        with pytest.raises(ArchitectureError):
+            LinkFault(2, 2)
+        with pytest.raises(ArchitectureError):
+            PEFault(0, duration=0)
+
+
+class TestCampaign:
+    def test_ordered_by_strike_time(self):
+        c = FaultCampaign([PEFault(0, at_step=9), LinkFault(0, 1, at_step=2)])
+        assert [f.at_step for f in c.ordered()] == [2, 9]
+
+    def test_filters(self):
+        c = FaultCampaign([PEFault(0), LinkFault(0, 1), PEFault(2)])
+        assert len(c.pe_faults()) == 2
+        assert len(c.link_faults()) == 1
+        assert len(c) == 3
+
+    def test_json_roundtrip(self):
+        c = FaultCampaign(
+            [PEFault(1, at_step=3, duration=7), LinkFault(0, 2, at_step=5)],
+            seed=42,
+            name="unit",
+        )
+        back = FaultCampaign.from_json(c.to_json())
+        assert back.faults == c.faults
+        assert back.seed == 42 and back.name == "unit"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ArchitectureError, match="unknown fault kind"):
+            FaultCampaign.from_dict({"faults": [{"kind": "cosmic-ray"}]})
+
+
+class TestRandomCampaign:
+    def test_deterministic(self):
+        arch = Mesh2D(2, 4)
+        a = random_campaign(arch, seed=11, num_faults=3)
+        b = random_campaign(arch, seed=11, num_faults=3)
+        assert a.faults == b.faults
+        c = random_campaign(arch, seed=12, num_faults=3)
+        assert a.faults != c.faults
+
+    def test_never_kills_every_pe(self):
+        arch = Ring(3)
+        c = random_campaign(
+            arch, seed=0, num_faults=10, link_fraction=0.0
+        )
+        assert len(c.pe_faults()) <= arch.num_pes - 1
+
+    def test_faults_target_real_hardware(self):
+        arch = Mesh2D(2, 4)
+        links = set(arch.links)
+        c = random_campaign(arch, seed=5, num_faults=6)
+        for f in c.pe_faults():
+            assert 0 <= f.pe < arch.num_pes
+        for f in c.link_faults():
+            assert f.link in links
+
+    def test_transient_fraction(self):
+        arch = Mesh2D(2, 4)
+        c = random_campaign(
+            arch, seed=3, num_faults=8, transient_fraction=1.0
+        )
+        assert all(not f.permanent for f in c)

@@ -1,0 +1,143 @@
+"""Unit tests for degraded-topology schedule repair."""
+
+import pytest
+
+from repro.arch import CompletelyConnected, LinearArray, Mesh2D, Ring
+from repro.core import CycloConfig, cyclo_compact, start_up_schedule
+from repro.errors import DisconnectedTopologyError, InfeasibleScheduleError
+from repro.graph import CSDFG
+from repro.resilience import LinkFault, PEFault, degrade, repair_schedule
+from repro.schedule import collect_violations
+from repro.workloads import figure1_csdfg, figure7_csdfg
+
+
+@pytest.fixture
+def compacted():
+    graph = figure1_csdfg()
+    arch = Mesh2D(2, 4)
+    result = cyclo_compact(
+        graph, arch, config=CycloConfig(max_iterations=20)
+    )
+    return result.graph, arch, result.schedule
+
+
+class TestDegrade:
+    def test_builds_topology_from_faults(self):
+        deg = degrade(Mesh2D(2, 4), [PEFault(1), LinkFault(2, 3)])
+        assert deg.failed_pes == {1}
+        assert deg.failed_links == {(2, 3)}
+
+    def test_composes_on_degraded_input(self):
+        first = degrade(Mesh2D(2, 4), [PEFault(0)])
+        second = degrade(first, [PEFault(7)])
+        assert second.failed_pes == {0, 7}
+
+    def test_disconnection_is_typed(self):
+        with pytest.raises(DisconnectedTopologyError):
+            degrade(LinearArray(4), [LinkFault(1, 2)])
+
+
+class TestRepairLegality:
+    def test_pe_fault_repaired_legal(self, compacted):
+        graph, arch, schedule = compacted
+        used = {schedule.placement(v).pe for v in graph.nodes()}
+        victim = sorted(used)[0]
+        rep = repair_schedule(graph, arch, schedule, [PEFault(victim)])
+        assert collect_violations(rep.graph, rep.degraded, rep.schedule) == []
+        for node in rep.graph.nodes():
+            assert rep.schedule.placement(node).pe != victim
+        assert rep.strategy in ("local", "reoptimized")
+        assert rep.moved  # the victim's tasks went somewhere else
+
+    def test_unused_link_fault_is_noop(self, compacted):
+        graph, arch, schedule = compacted
+        # find a link neither used for placement adjacency nor routing:
+        # on a compacted figure1 at least one mesh link is idle; probe
+        # every link and require at least one noop repair
+        strategies = set()
+        for link in arch.links:
+            try:
+                rep = repair_schedule(
+                    graph, arch, schedule, [LinkFault(*link)]
+                )
+            except (DisconnectedTopologyError, InfeasibleScheduleError):
+                continue
+            strategies.add(rep.strategy)
+            assert (
+                collect_violations(rep.graph, rep.degraded, rep.schedule)
+                == []
+            )
+        assert "noop" in strategies
+
+    def test_every_single_pe_fault_on_complete(self):
+        graph = figure7_csdfg()
+        arch = CompletelyConnected(4)
+        schedule = start_up_schedule(graph, arch)
+        for victim in arch.processors:
+            rep = repair_schedule(graph, arch, schedule, [PEFault(victim)])
+            assert (
+                collect_violations(rep.graph, rep.degraded, rep.schedule)
+                == []
+            )
+            assert rep.degraded.num_alive == 3
+
+    def test_regression_is_measured(self, compacted):
+        graph, arch, schedule = compacted
+        used = {schedule.placement(v).pe for v in graph.nodes()}
+        rep = repair_schedule(graph, arch, schedule, [PEFault(sorted(used)[0])])
+        assert rep.original_length == schedule.length
+        assert rep.repaired_length == rep.schedule.length
+        assert rep.regression == rep.repaired_length / rep.original_length
+
+
+class TestRepairFallbacks:
+    def test_tight_regression_forces_reoptimize_comparison(self, compacted):
+        graph, arch, schedule = compacted
+        used = {schedule.placement(v).pe for v in graph.nodes()}
+        # max_regression=0 makes every local repair "too long", so the
+        # full re-optimisation always runs and the shorter result wins
+        rep = repair_schedule(
+            graph,
+            arch,
+            schedule,
+            [PEFault(sorted(used)[0])],
+            max_regression=0.0,
+            reoptimize_config=CycloConfig(
+                max_iterations=10, validate_each_step=False
+            ),
+        )
+        assert collect_violations(rep.graph, rep.degraded, rep.schedule) == []
+
+    def test_infeasible_is_typed(self):
+        # single surviving PE, but the graph has a zero-delay self-loopish
+        # structure needing more parallel time than one PE can give at
+        # any length?  Simplest: two nodes, same control step forced by
+        # a zero-delay chain longer than the schedule can stretch is
+        # always paddable — instead make the machine too small: kill
+        # every PE but one and give the survivor a same-step conflict
+        # via pipelining constraints.  A 1-PE machine can always
+        # serialise, so infeasibility must come from disconnection or
+        # an over-constrained initial placement; assert the typed error
+        # from the all-dead case instead.
+        g = CSDFG("g")
+        g.add_node("u", 1)
+        with pytest.raises(DisconnectedTopologyError):
+            repair_schedule(
+                g,
+                CompletelyConnected(2),
+                start_up_schedule(g, CompletelyConnected(2)),
+                [PEFault(0), PEFault(1)],
+            )
+
+
+class TestRepairAfterLinkCut:
+    def test_ring_link_cut_repairs_legal(self):
+        graph = figure1_csdfg()
+        arch = Ring(4)
+        schedule = start_up_schedule(graph, arch)
+        for link in arch.links:
+            rep = repair_schedule(graph, arch, schedule, [LinkFault(*link)])
+            assert (
+                collect_violations(rep.graph, rep.degraded, rep.schedule)
+                == []
+            )

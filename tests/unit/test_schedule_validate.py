@@ -42,18 +42,27 @@ class TestCompleteness:
     def test_wrong_duration(self):
         g = CSDFG("g")
         g.add_node("u", 3)
+        arch = CompletelyConnected(1)
         t = ScheduleTable(1)
         t.place("u", 0, 1, 1)
-        issues = collect_violations(g, CompletelyConnected(1), t)
-        assert any("duration" in i for i in issues)
+        issues = collect_violations(g, arch, t)
+        # the message names the node, the PE and the architecture
+        assert any(
+            "duration" in i and "'u'" in i and "pe1" in i and arch.name in i
+            for i in issues
+        )
 
     def test_pe_outside_architecture(self):
         g = CSDFG("g")
         g.add_node("u", 1)
+        arch = CompletelyConnected(2)
         t = ScheduleTable(4)
         t.place("u", 3, 1, 1)
-        issues = collect_violations(g, CompletelyConnected(2), t)
-        assert any("outside architecture" in i for i in issues)
+        issues = collect_violations(g, arch, t)
+        assert any(
+            "outside architecture" in i and "'u'" in i and arch.name in i
+            for i in issues
+        )
 
     def test_finish_beyond_length(self):
         g = CSDFG("g")
@@ -63,7 +72,24 @@ class TestCompleteness:
         # sabotage: shrink length bypassing the setter guard
         t._length = 1
         issues = collect_violations(g, CompletelyConnected(1), t)
-        assert any("beyond length" in i for i in issues)
+        assert any(
+            "beyond length" in i and "'u'" in i and "pe1" in i
+            for i in issues
+        )
+
+    def test_placed_on_failed_pe(self):
+        from repro.arch import DegradedTopology
+
+        g = CSDFG("g")
+        g.add_node("u", 1)
+        arch = DegradedTopology(CompletelyConnected(3), failed_pes=[2])
+        t = ScheduleTable(3)
+        t.place("u", 2, 1, 1)
+        issues = collect_violations(g, arch, t)
+        assert any(
+            "placed on failed pe3" in i and "'u'" in i and arch.name in i
+            for i in issues
+        )
 
 
 class TestPrecedence:
@@ -80,7 +106,13 @@ class TestPrecedence:
         t.place("u", 0, 1, 1)
         t.place("v", 1, 1, 1)
         issues = collect_violations(g, CompletelyConnected(2), t)
-        assert any("dependence" in i for i in issues)
+        # names the edge, both PEs, and the violated inequality terms
+        assert any(
+            "dependence edge ('u', 'v')" in i
+            and "pe1->pe2" in i
+            and "CB('v')" in i
+            for i in issues
+        )
 
     def test_comm_cost_enforced(self):
         g = two_node_graph(volume=2)
@@ -126,7 +158,10 @@ class TestResources:
         # bypass the cell index to simulate a corrupted table
         t._placements["v"] = type(t.placement("u"))("v", 0, 2, 1)
         issues = collect_violations(g, CompletelyConnected(1), t)
-        assert any("resource conflict" in i for i in issues)
+        assert any(
+            "resource conflict on pe1" in i and "'u'" in i and "'v'" in i
+            for i in issues
+        )
 
 
 class TestMinimumFeasibleLength:
