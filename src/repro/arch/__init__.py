@@ -7,6 +7,7 @@ counts by default; see :mod:`repro.arch.comm` for alternative cost
 models.
 """
 
+from repro.arch.cache import CommCostCache
 from repro.arch.comm import (
     CommModel,
     ConstantLatencyModel,
@@ -43,6 +44,7 @@ __all__ = [
     "ARCHITECTURE_KINDS",
     "Architecture",
     "BalancedTree",
+    "CommCostCache",
     "CommModel",
     "CompletelyConnected",
     "ConstantLatencyModel",

@@ -1,0 +1,120 @@
+"""Precomputed communication-cost tables (the fast-path ``M`` lookup).
+
+The scheduling inner loops evaluate ``M(p_u, p_v; c(e))`` millions of
+times, and :meth:`Architecture.comm_cost` pays for two PE bound checks,
+a numpy scalar index and a cost-model call on every one of them.  A
+:class:`CommCostCache` collapses all of that into a nested-list lookup:
+built once per (graph, architecture) pair, it tabulates the cost for
+every *distinct edge volume* x *alive PE pair* from the architecture's
+dense ``distance_matrix``.  The cost model is consulted only once per
+distinct (hop count, volume) combination.
+
+Degraded topologies are handled by construction: only PEs reported by
+``arch.processors`` are tabulated, so a lookup touching a failed PE
+falls back to ``arch.comm_cost`` — which raises the same typed
+``DeadProcessorError`` the uncached path would.
+
+The cache is *read-only* and keyed to the architecture instance it was
+built from; build a fresh one after any topology change (e.g. after
+injecting faults).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.arch.topology import Architecture
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graph.csdfg import CSDFG
+
+__all__ = ["CommCostCache"]
+
+
+class CommCostCache:
+    """Dense ``volume -> src PE -> dst PE -> cost`` lookup tables.
+
+    Parameters
+    ----------
+    arch:
+        The architecture to tabulate.  Kept as the fallback for
+        volumes or PEs outside the cached tables.
+    volumes:
+        The edge volumes to precompute (typically the distinct volumes
+        of one graph; see :meth:`for_graph`).
+    """
+
+    __slots__ = ("arch", "_tables", "_tables_t")
+
+    def __init__(self, arch: Architecture, volumes: Iterable[int]):
+        self.arch = arch
+        n = arch.num_pes
+        alive = list(arch.processors)
+        dist = arch.distance_matrix
+        model_cost = arch.comm_model.cost
+        self._tables: dict[int, list[list[int | None]]] = {}
+        self._tables_t: dict[int, list[list[int | None]]] = {}
+        for vol in set(volumes):
+            by_hops: dict[int, int] = {}
+            table: list[list[int | None]] = [[None] * n for _ in range(n)]
+            for src in alive:
+                dist_row = dist[src]
+                out_row = table[src]
+                for dst in alive:
+                    hops = int(dist_row[dst])
+                    cost = by_hops.get(hops)
+                    if cost is None:
+                        cost = model_cost(hops, vol)
+                        by_hops[hops] = cost
+                    out_row[dst] = cost
+            self._tables[vol] = table
+            self._tables_t[vol] = [list(col) for col in zip(*table)]
+
+    @classmethod
+    def for_graph(cls, arch: Architecture, graph: "CSDFG") -> "CommCostCache":
+        """Cache covering every edge volume of ``graph`` on ``arch``."""
+        return cls(arch, {e.volume for e in graph.edges()})
+
+    @property
+    def volumes(self) -> frozenset[int]:
+        """The edge volumes covered by the tables."""
+        return frozenset(self._tables)
+
+    def cost(self, src: int, dst: int, volume: int) -> int:
+        """The paper's ``M(p_src, p_dst; volume)``.
+
+        One nested-list lookup on the hot path; any miss (uncached
+        volume, out-of-range or failed PE) defers to
+        ``arch.comm_cost`` so errors and semantics match the uncached
+        path exactly.
+        """
+        try:
+            cached = self._tables[volume][src][dst]
+        except (KeyError, IndexError):
+            return self.arch.comm_cost(src, dst, volume)
+        if cached is None or src < 0 or dst < 0:
+            return self.arch.comm_cost(src, dst, volume)
+        return cached
+
+    def row_from(self, src: int, volume: int) -> list[int | None] | None:
+        """Costs ``src -> p`` for every PE id ``p`` (``None`` entries
+        for failed PEs), or ``None`` when the volume or source is not
+        tabulated.  The returned list must not be mutated."""
+        table = self._tables.get(volume)
+        if table is None or not (0 <= src < self.arch.num_pes):
+            return None
+        return table[src]
+
+    def row_to(self, dst: int, volume: int) -> list[int | None] | None:
+        """Costs ``p -> dst`` for every PE id ``p`` — the column view
+        of :meth:`row_from` (served from a precomputed transpose)."""
+        table = self._tables_t.get(volume)
+        if table is None or not (0 <= dst < self.arch.num_pes):
+            return None
+        return table[dst]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CommCostCache(arch={self.arch.name!r}, "
+            f"volumes={sorted(self._tables)})"
+        )

@@ -20,6 +20,10 @@ Commands
 ``experiment``
     Regenerate one of the paper's experiments (``figure1``,
     ``tables19``, ``table11``) on stdout.
+``sweep``
+    Sweep one parameter (PE count, data-volume scale, or slowdown
+    factor) over a workload; ``--jobs N`` fans the points out over a
+    process pool with identical results.
 ``profile``
     Run the optimiser N times on a (workload, architecture) pair and
     print the per-phase time/percentage breakdown.
@@ -160,6 +164,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--iterations", type=int, default=80, help="compaction passes per cell"
     )
 
+    p_sweep = sub.add_parser(
+        "sweep", help="sweep one parameter (PE count, volume, slowdown)"
+    )
+    p_sweep.add_argument("workload", help="workload name (see `repro list`)")
+    p_sweep.add_argument(
+        "--arch",
+        default="mesh",
+        help="architecture kind (see `repro list`)",
+    )
+    p_sweep.add_argument(
+        "--param",
+        choices=["pes", "volume", "slowdown"],
+        default="pes",
+        help="parameter to sweep",
+    )
+    p_sweep.add_argument(
+        "--values",
+        default=None,
+        metavar="CSV",
+        help="comma-separated sweep values (e.g. 2,4,8,16)",
+    )
+    p_sweep.add_argument(
+        "--pes", type=int, default=8,
+        help="processor count (volume/slowdown sweeps)",
+    )
+    p_sweep.add_argument(
+        "--iterations", type=int, default=40,
+        help="compaction passes per point",
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = serial; results are identical)",
+    )
+
     p_faults = sub.add_parser(
         "faults", help="fault injection, schedule repair, chaos harness"
     )
@@ -231,6 +269,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument(
         "--time-budget", type=float, default=None, metavar="SECONDS",
         help="stop launching trials after this long (CI smoke mode)",
+    )
+    p_chaos.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = serial; trial outcomes are identical)",
     )
     return parser
 
@@ -339,6 +381,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_report(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "faults":
@@ -553,6 +597,63 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.sweep import (
+        pe_count_sweep,
+        slowdown_sweep,
+        volume_sweep,
+    )
+
+    if args.workload not in workload_names():
+        raise ReproError(
+            f"unknown workload {args.workload!r}; "
+            f"known: {', '.join(workload_names())}"
+        )
+    if args.jobs < 1:
+        raise ReproError(f"--jobs must be >= 1, got {args.jobs}")
+    defaults = {
+        "pes": "2,4,8,16",
+        "volume": "1,2,4,8",
+        "slowdown": "1,2,3,4",
+    }
+    raw = args.values if args.values is not None else defaults[args.param]
+    try:
+        values = [int(v) for v in raw.split(",") if v.strip()]
+    except ValueError:
+        raise ReproError(
+            f"--values expects comma-separated integers, got {raw!r}"
+        ) from None
+    if not values:
+        raise ReproError("--values is empty")
+
+    graph = make_workload(args.workload)
+    cfg = CycloConfig(
+        max_iterations=args.iterations, validate_each_step=False
+    )
+    if args.param == "pes":
+        points = pe_count_sweep(
+            graph, args.arch, values, config=cfg, jobs=args.jobs
+        )
+        label = "PEs"
+    elif args.param == "volume":
+        points = volume_sweep(
+            graph, args.arch, args.pes, values, config=cfg, jobs=args.jobs
+        )
+        label = "volume x"
+    else:
+        points = slowdown_sweep(
+            graph, args.arch, args.pes, values, config=cfg, jobs=args.jobs
+        )
+        label = "slowdown"
+    print(f"{args.param} sweep: {graph.name} on {args.arch} "
+          f"({len(points)} point(s), jobs={args.jobs})")
+    print(f"  {label:>10s}  {'init':>5s}  {'after':>5s}  {'bound':>7s}")
+    for p in points:
+        print(f"  {p.x:>10d}  {p.init:>5d}  {p.after:>5d}  "
+              f"{str(p.bound):>7s}")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     graph, arch = _make_pair(args)
     if args.runs < 1:
@@ -680,6 +781,7 @@ def _cmd_faults_campaign(args: argparse.Namespace) -> int:
         max_faults=args.max_faults,
         transient_fraction=args.transient,
         time_budget_seconds=args.time_budget,
+        jobs=args.jobs,
     )
     print(report.describe())
     return 0 if report.invariant_holds else 1

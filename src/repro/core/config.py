@@ -55,6 +55,14 @@ class CycloConfig:
         only ever copies validated tables, so the returned schedule is
         unaffected by whatever state the failing pass left behind.
         Default false: internal invariant violations stay loud.
+    fast_path:
+        Use the fast-path engine: a per-(graph, architecture)
+        communication-cost cache and incremental projected-schedule-
+        length bounds (see ``docs/performance.md``).  Produces schedules
+        identical to the unoptimised path (pinned by the equivalence
+        suite); disable only to benchmark against the reference
+        behaviour.  With ``validate_each_step`` on, every pass
+        cross-checks the incremental PSL against the full rescan.
     """
 
     relaxation: bool = True
@@ -65,6 +73,7 @@ class CycloConfig:
     remap_strategy: str = "implied"
     deadline_seconds: float | None = None
     recover_on_error: bool = False
+    fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.max_iterations is not None and self.max_iterations < 0:
@@ -100,6 +109,7 @@ class CycloConfig:
             "remap_strategy": self.remap_strategy,
             "deadline_seconds": self.deadline_seconds,
             "recover_on_error": self.recover_on_error,
+            "fast_path": self.fast_path,
         }
 
     @classmethod

@@ -32,8 +32,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.arch.cache import CommCostCache
 from repro.arch.topology import Architecture
 from repro.core.config import CycloConfig
+from repro.core.psl import PSLTracker
 from repro.core.remapping import remap_nodes
 from repro.core.rotation import rotate_schedule, undo_rotation
 from repro.core.startup import start_up_schedule
@@ -41,6 +43,7 @@ from repro.core.trace import CompactionTrace, IterationRecord
 from repro.errors import ScheduleValidationError, SchedulingError
 from repro.obs import metrics, span
 from repro.graph.csdfg import CSDFG, Node
+from repro.retiming.basic import apply_retiming
 from repro.schedule.table import ScheduleTable
 from repro.schedule.validate import collect_violations
 
@@ -107,7 +110,10 @@ class _LoopState:
     schedule: ScheduleTable
     retiming: dict[Node, int]
     best_schedule: ScheduleTable
-    best_graph: CSDFG
+    # None = copy-on-write: the best graph is materialised from
+    # best_retiming only when the result is built (the working graph
+    # differs from it purely by retiming counts)
+    best_graph: CSDFG | None
     best_retiming: dict[Node, int]
     initial_schedule: ScheduleTable
     trace: CompactionTrace
@@ -137,8 +143,11 @@ def cyclo_compact(
     """
     cfg = config if config is not None else CycloConfig()
     with span("cyclo_compact", workload=graph.name, arch=arch.name) as sp:
-        state = _initial_state(graph, arch, cfg, initial)
-        result = _run_passes(state, graph, arch, cfg)
+        # edge volumes are copy- and retiming-invariant, so one cache
+        # built from the input graph serves the whole run
+        comm = CommCostCache.for_graph(arch, graph) if cfg.fast_path else None
+        state = _initial_state(graph, arch, cfg, initial, comm=comm)
+        result = _run_passes(state, graph, arch, cfg, comm=comm)
         sp.add(
             initial_length=result.initial_length,
             final_length=result.final_length,
@@ -153,15 +162,19 @@ def _initial_state(
     arch: Architecture,
     cfg: CycloConfig,
     initial: ScheduleTable | None,
+    *,
+    comm: CommCostCache | None = None,
 ) -> _LoopState:
     working = graph.copy()
+    if comm is None and cfg.fast_path:
+        comm = CommCostCache.for_graph(arch, working)
     if initial is None:
         schedule = start_up_schedule(
-            working, arch, pipelined_pes=cfg.pipelined_pes
+            working, arch, pipelined_pes=cfg.pipelined_pes, comm=comm
         )
     else:
         violations = collect_violations(
-            working, arch, initial, pipelined_pes=cfg.pipelined_pes
+            working, arch, initial, pipelined_pes=cfg.pipelined_pes, comm=comm
         )
         if violations:
             raise ScheduleValidationError(
@@ -174,7 +187,7 @@ def _initial_state(
         schedule=schedule,
         retiming=retiming,
         best_schedule=schedule.copy(),
-        best_graph=working.copy(),
+        best_graph=None,
         best_retiming=dict(retiming),
         initial_schedule=schedule.copy(),
         trace=CompactionTrace(initial_length=schedule.length),
@@ -186,11 +199,27 @@ def _run_passes(
     graph: CSDFG,
     arch: Architecture,
     cfg: CycloConfig,
+    *,
+    comm: CommCostCache | None = None,
 ) -> CycloResult:
     """Drive passes ``state.next_index .. z``, honouring every budget."""
     started = time.monotonic()
     stop_reason = "completed"
     total = cfg.iterations_for(state.working.num_nodes)
+
+    tracker: PSLTracker | None = None
+    if cfg.fast_path and total >= state.next_index:
+        # the tracker is seeded from the (legal) working schedule and
+        # updated incrementally by each remapping pass
+        if comm is None:
+            comm = CommCostCache.for_graph(arch, state.working)
+        tracker = PSLTracker(
+            state.working,
+            arch,
+            state.schedule,
+            comm=comm,
+            pipelined_pes=cfg.pipelined_pes,
+        )
 
     for index in range(state.next_index, total + 1):
         if (
@@ -201,7 +230,9 @@ def _run_passes(
             stop_reason = "deadline"
             break
         try:
-            outcome_reason = _one_pass(state, arch, cfg, index)
+            outcome_reason = _one_pass(
+                state, arch, cfg, index, comm=comm, tracker=tracker
+            )
         except Exception:
             if not cfg.recover_on_error:
                 raise
@@ -215,9 +246,16 @@ def _run_passes(
             stop_reason = outcome_reason
             break
 
+    best_graph = state.best_graph
+    if best_graph is None:
+        # copy-on-write: materialise the best graph from the retiming
+        # (same name the eager working.copy() used to carry)
+        best_graph = apply_retiming(
+            graph, state.best_retiming, name=graph.name
+        )
     return CycloResult(
         schedule=state.best_schedule,
-        graph=state.best_graph,
+        graph=best_graph,
         retiming=state.best_retiming,
         initial_schedule=state.initial_schedule,
         trace=state.trace,
@@ -230,7 +268,13 @@ def _run_passes(
 
 
 def _one_pass(
-    state: _LoopState, arch: Architecture, cfg: CycloConfig, index: int
+    state: _LoopState,
+    arch: Architecture,
+    cfg: CycloConfig,
+    index: int,
+    *,
+    comm: CommCostCache | None = None,
+    tracker: PSLTracker | None = None,
 ) -> str | None:
     """One rotate+remap pass; a stop reason string ends the loop."""
     working, schedule, retiming = state.working, state.schedule, state.retiming
@@ -251,6 +295,9 @@ def _one_pass(
                 relaxation=cfg.relaxation,
                 pipelined_pes=cfg.pipelined_pes,
                 strategy=cfg.remap_strategy,
+                comm=comm,
+                psl=tracker,
+                debug_check=cfg.validate_each_step,
             )
         if not outcome.accepted:
             metrics.inc("cyclo.rejected")
@@ -276,7 +323,8 @@ def _one_pass(
         metrics.inc("cyclo.accepted")
         if cfg.validate_each_step:
             violations = collect_violations(
-                working, arch, schedule, pipelined_pes=cfg.pipelined_pes
+                working, arch, schedule, pipelined_pes=cfg.pipelined_pes,
+                comm=comm,
             )
             if violations:  # pragma: no cover - internal invariant
                 raise SchedulingError(
@@ -288,7 +336,7 @@ def _one_pass(
         if improved:
             metrics.inc("cyclo.improved")
             state.best_schedule = schedule.copy()
-            state.best_graph = working.copy()
+            state.best_graph = None  # rebuilt from best_retiming on demand
             state.best_retiming = dict(retiming)
             state.stall = 0
         else:

@@ -14,17 +14,29 @@ form so PSL agrees exactly with the schedule validator.  The projected
 schedule length of a whole table is the max of these bounds and the
 makespan — precisely the minimum length at which the current placements
 are legal.
+
+:class:`PSLTracker` maintains the per-edge bounds *incrementally*: a
+remapping pass only perturbs edges incident to the rotated nodes (a
+uniform :meth:`~repro.schedule.table.ScheduleTable.shift_all` leaves
+every bound's numerator ``CE + M + 1 - CB`` unchanged), so the tracker
+recomputes a handful of edges per pass instead of rescanning the whole
+graph through :func:`minimum_feasible_length`.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Iterable
+
 from repro.arch.topology import Architecture
 from repro.errors import InfeasibleScheduleError
-from repro.graph.csdfg import CSDFG
+from repro.graph.csdfg import CSDFG, Node
 from repro.schedule.table import ScheduleTable
 from repro.schedule.validate import minimum_feasible_length
 
-__all__ = ["psl_edge_bound", "projected_schedule_length"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.cache import CommCostCache
+
+__all__ = ["psl_edge_bound", "projected_schedule_length", "PSLTracker"]
 
 
 def psl_edge_bound(
@@ -46,15 +58,17 @@ def projected_schedule_length(
     schedule: ScheduleTable,
     *,
     pipelined_pes: bool = False,
+    comm: "CommCostCache | None" = None,
 ) -> int:
     """Minimum legal length for the schedule's current placements.
 
     Raises :class:`InfeasibleScheduleError` when some zero-delay
     dependence is violated outright (no length can repair an
-    intra-iteration ordering error).
+    intra-iteration ordering error).  ``comm`` supplies precomputed
+    communication costs for the fast path.
     """
     length = minimum_feasible_length(
-        graph, arch, schedule, pipelined_pes=pipelined_pes
+        graph, arch, schedule, pipelined_pes=pipelined_pes, comm=comm
     )
     if length is None:
         raise InfeasibleScheduleError(
@@ -62,3 +76,156 @@ def projected_schedule_length(
             "length is feasible"
         )
     return length
+
+
+class PSLTracker:
+    """Incremental per-edge PSL bounds for one (graph, schedule) pair.
+
+    The tracker stores, for every edge, the length bound it induces (0
+    for a satisfied zero-delay edge — those constrain nothing through
+    ``L``).  After a remapping pass only edges incident to the moved
+    nodes are recomputed (:meth:`update_nodes`); rejected passes call
+    :meth:`restore` with the snapshot taken before the update so the
+    bounds always match the schedule the caller sees.
+
+    The graph and schedule are held *by reference*: retiming mutations
+    and placements are picked up at the next update.  Rebuild the
+    tracker (or call :meth:`refresh`) when the schedule is replaced
+    wholesale.
+    """
+
+    __slots__ = ("graph", "arch", "schedule", "pipelined_pes", "_cost", "_bounds")
+
+    def __init__(
+        self,
+        graph: CSDFG,
+        arch: Architecture,
+        schedule: ScheduleTable,
+        *,
+        comm: "CommCostCache | None" = None,
+        pipelined_pes: bool = False,
+    ):
+        self.graph = graph
+        self.arch = arch
+        self.schedule = schedule
+        self.pipelined_pes = pipelined_pes
+        self._cost = comm.cost if comm is not None else arch.comm_cost
+        self._bounds: dict[tuple[Node, Node], int] = {}
+        self.refresh()
+
+    # ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """Recompute every edge bound from scratch.
+
+        Raises :class:`InfeasibleScheduleError` when the current
+        placements violate a zero-delay dependence (the tracker must be
+        seeded from a legal schedule).
+        """
+        self._bounds.clear()
+        for e in self.graph.edges():
+            bound = self._edge_bound(e)
+            if bound is None:
+                raise InfeasibleScheduleError(
+                    f"edge ({e.src!r}, {e.dst!r}) violates an "
+                    "intra-iteration dependence as placed"
+                )
+            self._bounds[e.key] = bound
+
+    def _edge_bound(self, e) -> int | None:
+        """The edge's length bound, or ``None`` on a zero-delay
+        violation; 0 when the edge does not constrain ``L``."""
+        pu = self.schedule.placement(e.src)
+        pv = self.schedule.placement(e.dst)
+        slack = pu.finish + self._cost(pu.pe, pv.pe, e.volume) + 1 - pv.start
+        if e.delay == 0:
+            return None if slack > 0 else 0
+        return -(-slack // e.delay)  # ceil division
+
+    def _incident_edges(self, nodes: Iterable[Node]):
+        seen: set[tuple[Node, Node]] = set()
+        graph = self.graph
+        for n in nodes:
+            for e in graph.in_edges(n):
+                if e.key not in seen:
+                    seen.add(e.key)
+                    yield e
+            for e in graph.out_edges(n):
+                if e.key not in seen:
+                    seen.add(e.key)
+                    yield e
+
+    # ------------------------------------------------------------------
+    def snapshot(self, nodes: Iterable[Node]) -> dict[tuple[Node, Node], int]:
+        """Bounds of every edge incident to ``nodes`` (for
+        :meth:`restore` after a rejected pass)."""
+        bounds = self._bounds
+        return {
+            e.key: bounds[e.key]
+            for e in self._incident_edges(nodes)
+            if e.key in bounds
+        }
+
+    def update_nodes(self, nodes: Iterable[Node]) -> int | None:
+        """Recompute bounds of edges incident to ``nodes`` and return
+        the projected schedule length, or ``None`` (without committing
+        anything) when some touched zero-delay edge is violated."""
+        # fused _incident_edges + _edge_bound with direct placement
+        # lookups: this runs once per remapping pass on the hot path
+        placements = self.schedule._placements
+        cost = self._cost
+        graph = self.graph
+        seen: set[tuple[Node, Node]] = set()
+        fresh: dict[tuple[Node, Node], int] = {}
+        for n in nodes:
+            for e in graph._pred[n].values():
+                key = e.key
+                if key in seen:
+                    continue
+                seen.add(key)
+                pu = placements[e.src]
+                pv = placements[e.dst]
+                slack = (
+                    pu.start + pu.duration + cost(pu.pe, pv.pe, e.volume)
+                    - pv.start
+                )
+                delay = e.delay
+                if delay == 0:
+                    if slack > 0:
+                        return None
+                    fresh[key] = 0
+                else:
+                    fresh[key] = -(-slack // delay)
+            for e in graph._succ[n].values():
+                key = e.key
+                if key in seen:
+                    continue
+                seen.add(key)
+                pu = placements[e.src]
+                pv = placements[e.dst]
+                slack = (
+                    pu.start + pu.duration + cost(pu.pe, pv.pe, e.volume)
+                    - pv.start
+                )
+                delay = e.delay
+                if delay == 0:
+                    if slack > 0:
+                        return None
+                    fresh[key] = 0
+                else:
+                    fresh[key] = -(-slack // delay)
+        self._bounds.update(fresh)
+        return self.projected_length()
+
+    def restore(self, snapshot: dict[tuple[Node, Node], int]) -> None:
+        """Re-install bounds saved by :meth:`snapshot`."""
+        self._bounds.update(snapshot)
+
+    def projected_length(self) -> int:
+        """``max(makespan, all edge bounds, 1)`` — identical to
+        :func:`projected_schedule_length` for a complete, conflict-free
+        placement set."""
+        bound = max(self._bounds.values(), default=0)
+        makespan = self.schedule.makespan
+        if makespan > bound:
+            bound = makespan
+        return bound if bound > 1 else 1

@@ -22,15 +22,34 @@ admissible slot — the caller rolls the pass back, giving Theorem 4.4's
 monotonicity.  *Remapping with relaxation* always places (the implied
 length may exceed the previous length; the driver keeps the best
 schedule seen, per Definition 4.2).
+
+Fast path
+---------
+The slot search hoists all communication costs out of the inner loop:
+for each constraint the full per-candidate-PE cost row is fetched once
+(from a :class:`~repro.arch.cache.CommCostCache` when provided, else
+via ``arch.comm_cost``), each candidate PE folds the rows into scalar
+floor/ceiling/delayed-bound constants, and the per-slot work reduces to
+a handful of integer ceil-divisions.  Zero-delay *in* constraints are
+enforced entirely by the floor (every scanned slot satisfies them by
+construction); zero-delay *out* constraints give a start-step ceiling
+past which the PE's scan stops early — later slots can only violate
+them.  The pruning changes the ``remap.candidate_slots`` metric (fewer
+doomed slots are visited) but never the chosen placement.
+
+An optional :class:`~repro.core.psl.PSLTracker` replaces the full
+``projected_schedule_length`` rescan after the placements with an
+incremental update over edges incident to the remapped set.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.arch.cache import CommCostCache
 from repro.arch.topology import Architecture
-from repro.core.psl import projected_schedule_length
-from repro.errors import InfeasibleScheduleError
+from repro.core.psl import PSLTracker, projected_schedule_length
+from repro.errors import InfeasibleScheduleError, SchedulingError
 from repro.graph.csdfg import CSDFG, Node
 from repro.graph.validation import topological_order_zero_delay
 from repro.obs import metrics
@@ -69,6 +88,9 @@ def remap_nodes(
     relaxation: bool,
     pipelined_pes: bool = False,
     strategy: str = "implied",
+    comm: CommCostCache | None = None,
+    psl: PSLTracker | None = None,
+    debug_check: bool = False,
 ) -> RemapOutcome:
     """Place ``nodes`` (already rotated out of ``schedule``) back in.
 
@@ -78,12 +100,22 @@ def remap_nodes(
     can restore its snapshot cheaply.  ``strategy`` selects the slot
     search: ``"implied"`` (this implementation's scoring) or
     ``"first-fit"`` (the paper's literal procedure).
+
+    ``comm`` supplies precomputed communication costs; ``psl`` supplies
+    incremental projected-schedule-length bounds (its edge snapshot is
+    restored on every rejected pass, so the tracker always reflects the
+    schedule the caller sees).  ``debug_check=True`` cross-checks the
+    incremental length against the full rescan and raises
+    :class:`SchedulingError` on divergence.
     """
     ordered = _placement_order(graph, nodes)
     placed: list[Node] = []
     outcome = RemapOutcome(accepted=True, new_length=previous_length)
     cap = None if relaxation else previous_length
     metrics.inc("remap.nodes", len(ordered))
+    # the snapshot is only consumed by the no-relaxation reject path
+    # (an infeasible update commits nothing, so it needs no restore)
+    snap = psl.snapshot(nodes) if psl is not None and not relaxation else None
 
     for node in ordered:
         spot = _find_spot(
@@ -94,6 +126,7 @@ def remap_nodes(
             cap=cap,
             pipelined_pes=pipelined_pes,
             strategy=strategy,
+            comm=comm,
         )
         if spot is None:
             metrics.inc("remap.unplaceable_nodes")
@@ -105,16 +138,33 @@ def remap_nodes(
         placed.append(node)
         outcome.placements[node] = (pe, cb)
 
-    try:
-        new_length = projected_schedule_length(
-            graph, arch, schedule, pipelined_pes=pipelined_pes
-        )
-    except InfeasibleScheduleError:  # pragma: no cover - defensive
-        _rollback(schedule, placed)
-        return RemapOutcome(accepted=False, new_length=previous_length)
+    if psl is not None:
+        new_length = psl.update_nodes(nodes)
+        if new_length is None:  # pragma: no cover - defensive
+            _rollback(schedule, placed)
+            return RemapOutcome(accepted=False, new_length=previous_length)
+        if debug_check:
+            full = projected_schedule_length(
+                graph, arch, schedule, pipelined_pes=pipelined_pes, comm=comm
+            )
+            if full != new_length:
+                raise SchedulingError(
+                    f"incremental PSL {new_length} != full rescan {full} "
+                    f"after remapping {sorted(map(str, nodes))}"
+                )
+    else:
+        try:
+            new_length = projected_schedule_length(
+                graph, arch, schedule, pipelined_pes=pipelined_pes, comm=comm
+            )
+        except InfeasibleScheduleError:  # pragma: no cover - defensive
+            _rollback(schedule, placed)
+            return RemapOutcome(accepted=False, new_length=previous_length)
 
     if not relaxation and new_length > previous_length:
         _rollback(schedule, placed)
+        if psl is not None:
+            psl.restore(snap)
         return RemapOutcome(accepted=False, new_length=previous_length)
 
     schedule.trim()
@@ -127,10 +177,44 @@ def _placement_order(graph: CSDFG, nodes: list[Node]) -> list[Node]:
     """Zero-delay topological order restricted to the rotated set, so a
     node's intra-iteration producers inside the set are placed first;
     longer tasks go earlier among order-equivalent nodes."""
+    if len(nodes) <= 1:
+        return list(nodes)
     node_set = set(nodes)
     topo = [v for v in topological_order_zero_delay(graph) if v in node_set]
     rank = {v: i for i, v in enumerate(topo)}
     return sorted(nodes, key=lambda v: (rank[v], -graph.time(v), str(v)))
+
+
+def _cost_row(
+    arch: Architecture,
+    comm: CommCostCache | None,
+    fixed_pe: int,
+    volume: int,
+    *,
+    outgoing: bool,
+) -> list[int | None]:
+    """Costs between ``fixed_pe`` and every candidate PE id.
+
+    ``outgoing=True`` prices ``fixed_pe -> p`` (the candidate receives);
+    ``outgoing=False`` prices ``p -> fixed_pe``.  Entries for PEs the
+    scheduler never visits (failed ones) may be ``None``.
+    """
+    if comm is not None:
+        row = (
+            comm.row_from(fixed_pe, volume)
+            if outgoing
+            else comm.row_to(fixed_pe, volume)
+        )
+        if row is not None:
+            return row
+    row = [None] * arch.num_pes
+    for p in arch.processors:
+        row[p] = (
+            arch.comm_cost(fixed_pe, p, volume)
+            if outgoing
+            else arch.comm_cost(p, fixed_pe, volume)
+        )
+    return row
 
 
 def _find_spot(
@@ -142,6 +226,7 @@ def _find_spot(
     cap: int | None,
     pipelined_pes: bool = False,
     strategy: str = "implied",
+    comm: CommCostCache | None = None,
 ) -> tuple[int, int, int] | None:
     """Best ``(pe, cb, duration)`` slot for ``node``.
 
@@ -157,22 +242,42 @@ def _find_spot(
     base_time = graph.time(node)
     tail = max(schedule.length, schedule.makespan)
 
-    in_constraints: list[tuple[int, int, int, int]] = []  # (src_pe, CE, dr, vol)
-    out_constraints: list[tuple[int, int, int, int]] = []  # (dst_pe, CB, dr, vol)
+    # constraint rows: one comm-cost fetch per constraint, not per slot
+    in_zero: list[tuple[list[int | None], int]] = []  # (row, CE(u))
+    in_delayed: list[tuple[list[int | None], int, int]] = []  # (row, CE, dr)
+    out_zero: list[tuple[list[int | None], int]] = []  # (row, CB(x))
+    out_delayed: list[tuple[list[int | None], int, int]] = []  # (row, CB, dr)
     self_loops: list[int] = []
-    for e in graph.in_edges(node):
+    placements = schedule._placements
+    for e in graph._pred[node].values():
         if e.src == node:
             self_loops.append(max(1, e.delay))
             continue
-        if e.src in schedule:
-            p = schedule.placement(e.src)
-            in_constraints.append((p.pe, p.finish, e.delay, e.volume))
-    for e in graph.out_edges(node):
-        if e.dst == node or e.dst not in schedule:
+        p = placements.get(e.src)
+        if p is not None:
+            row = comm.row_from(p.pe, e.volume) if comm is not None else None
+            if row is None:
+                row = _cost_row(arch, comm, p.pe, e.volume, outgoing=True)
+            finish_u = p.start + p.duration - 1
+            if e.delay == 0:
+                in_zero.append((row, finish_u))
+            else:
+                in_delayed.append((row, finish_u, e.delay))
+    for e in graph._succ[node].values():
+        if e.dst == node:
             continue
-        p = schedule.placement(e.dst)
-        out_constraints.append((p.pe, p.start, e.delay, e.volume))
+        p = placements.get(e.dst)
+        if p is None:
+            continue
+        row = comm.row_to(p.pe, e.volume) if comm is not None else None
+        if row is None:
+            row = _cost_row(arch, comm, p.pe, e.volume, outgoing=False)
+        if e.delay == 0:
+            out_zero.append((row, p.start))
+        else:
+            out_delayed.append((row, p.start, e.delay))
 
+    time_scales = arch.time_scales
     first_fit = strategy == "first-fit"
     best: tuple[int, int, int, int, int] | None = None
     pes_scanned = 0
@@ -181,45 +286,90 @@ def _find_spot(
     # the same tuple shape for "first-fit"
     for pe in arch.processors:
         pes_scanned += 1
-        duration = arch.execution_time(pe, base_time)
+        duration = base_time * time_scales[pe]
         occupancy = 1 if pipelined_pes else duration
         # self-loop: L >= ceil(duration / d), placement-independent
-        self_loop_bound = max(
-            (-(-duration // d) for d in self_loops), default=0
-        )
-        # earliest start admissible w.r.t. zero-delay producers
+        self_loop_bound = 0
+        for d in self_loops:
+            bound = -(-duration // d)
+            if bound > self_loop_bound:
+                self_loop_bound = bound
+        # earliest start admissible w.r.t. zero-delay producers; every
+        # slot at or past the floor satisfies all zero-delay in-edges
         floor = 1
-        for src_pe, ce_u, dr, vol in in_constraints:
-            if dr == 0:
-                need = ce_u + arch.comm_cost(src_pe, pe, vol) + 1
-                if need > floor:
-                    floor = need
+        for row, ce_u in in_zero:
+            need = ce_u + row[pe] + 1
+            if need > floor:
+                floor = need
+        # latest start admissible w.r.t. zero-delay consumers: beyond
+        # the ceiling every later slot violates some zero-delay out-edge
+        ceiling: int | None = None
+        for row, cb_x in out_zero:
+            latest = cb_x - row[pe] - duration
+            if ceiling is None or latest < ceiling:
+                ceiling = latest
         # with a cap, slots beyond it are pointless; without one, scan
         # far enough past the tail (and past the floor) that a free
         # slot is guaranteed on every PE
-        horizon = cap if cap is not None else max(tail, floor) + duration
-        cb = schedule.earliest_slot(pe, floor, occupancy, horizon=horizon)
-        while cb is not None:
-            slots_scanned += 1
+        horizon = (
+            cap
+            if cap is not None
+            else (tail if tail > floor else floor) + duration
+        )
+        if floor > horizon - occupancy + 1 or (
+            ceiling is not None and ceiling < floor
+        ):
+            # no admissible start on this PE: the slot walk would yield
+            # nothing (or break at its first slot before counting it)
+            continue
+        if best is not None:
+            # every slot's key starts with implied >= ce (or cb for
+            # first-fit), both increasing in cb: when even the first
+            # admissible start loses to the incumbent, the PE cannot win
+            if (floor if first_fit else floor + duration - 1) > best[0]:
+                continue
+        # delayed bounds reduce to ceil((const ± cb) / dr) per slot
+        in_del = (
+            [(ce_u + row[pe] + 1, dr) for row, ce_u, dr in in_delayed]
+            if in_delayed
+            else ()
+        )
+        out_del = (
+            [(duration + row[pe] - cb_x, dr) for row, cb_x, dr in out_delayed]
+            if out_delayed
+            else ()
+        )
+        for cb in schedule.free_slots(pe, floor, occupancy, horizon):
+            if ceiling is not None and cb > ceiling:
+                break
             ce = cb + duration - 1
-            implied = _implied_length(
-                arch, pe, cb, ce, in_constraints, out_constraints
-            )
-            if implied is not None:
-                implied = max(implied, ce, self_loop_bound)
-                if cap is None or implied <= cap:
-                    if first_fit:
-                        key = (cb, ce, 0, pe, duration)
-                    else:
-                        key = (implied, ce, cb, pe, duration)
-                    if best is None or key < best:
-                        best = key
-                    if first_fit or implied == ce:
-                        # first-fit keeps the earliest admissible slot
-                        # per PE; implied-scoring stops once no later
-                        # slot on this PE can score better
-                        break
-            cb = schedule.earliest_slot(pe, cb + 1, occupancy, horizon=horizon)
+            if best is not None and (cb if first_fit else ce) > best[0]:
+                # keys are (implied, ...) with implied >= ce, or
+                # (cb, ...) for first-fit; both components only grow
+                # along the slot walk, so no later slot can win either
+                break
+            slots_scanned += 1
+            implied = ce if ce > self_loop_bound else self_loop_bound
+            for need, dr in in_del:
+                bound = -(-(need - cb) // dr)
+                if bound > implied:
+                    implied = bound
+            for base_slack, dr in out_del:
+                bound = -(-(cb + base_slack) // dr)
+                if bound > implied:
+                    implied = bound
+            if cap is None or implied <= cap:
+                if first_fit:
+                    key = (cb, ce, 0, pe, duration)
+                else:
+                    key = (implied, ce, cb, pe, duration)
+                if best is None or key < best:
+                    best = key
+                if first_fit or implied == ce:
+                    # first-fit keeps the earliest admissible slot
+                    # per PE; implied-scoring stops once no later
+                    # slot on this PE can score better
+                    break
     metrics.inc("remap.candidate_pes", pes_scanned)
     metrics.inc("remap.candidate_slots", slots_scanned)
     if best is None:
@@ -236,13 +386,19 @@ def _implied_length(
     ce: int,
     in_constraints: list[tuple[int, int, int, int]],
     out_constraints: list[tuple[int, int, int, int]],
+    comm: CommCostCache | None = None,
 ) -> int | None:
     """Smallest ``L`` making the candidate legal w.r.t. its placed
-    neighbours, or ``None`` when a zero-delay dependence is violated."""
+    neighbours, or ``None`` when a zero-delay dependence is violated.
+
+    Retained as the reference form of the slot score (the fast-path
+    scan in :func:`_find_spot` folds the same arithmetic into per-PE
+    constants); constraints are ``(peer_pe, CE-or-CB, dr, vol)``.
+    """
+    cost = comm.cost if comm is not None else arch.comm_cost
     implied = 1
     for src_pe, ce_u, dr, vol in in_constraints:
-        comm = arch.comm_cost(src_pe, pe, vol)
-        slack = ce_u + comm + 1 - cb
+        slack = ce_u + cost(src_pe, pe, vol) + 1 - cb
         if dr == 0:
             if slack > 0:
                 return None
@@ -251,8 +407,7 @@ def _implied_length(
             if need > implied:
                 implied = need
     for dst_pe, cb_x, dr, vol in out_constraints:
-        comm = arch.comm_cost(pe, dst_pe, vol)
-        slack = ce + comm + 1 - cb_x
+        slack = ce + cost(pe, dst_pe, vol) + 1 - cb_x
         if dr == 0:
             if slack > 0:
                 return None

@@ -18,6 +18,7 @@ empty control steps at the end of the table.
 
 from __future__ import annotations
 
+from repro.arch.cache import CommCostCache
 from repro.arch.topology import Architecture
 from repro.core.mobility import mobility_map
 from repro.core.priority import PriorityFn, paper_priority
@@ -38,6 +39,7 @@ def start_up_schedule(
     priority: PriorityFn = paper_priority,
     pad_for_delayed_edges: bool = True,
     pipelined_pes: bool = False,
+    comm: CommCostCache | None = None,
 ) -> ScheduleTable:
     """Compute the paper's initial schedule for ``graph`` on ``arch``.
 
@@ -55,6 +57,10 @@ def start_up_schedule(
         Treat every PE as pipelined (§2): a task blocks its processor
         for one control step only, while its results still take
         ``t(v)`` control steps to appear.
+    comm:
+        Optional precomputed communication-cost cache (see
+        :class:`repro.arch.cache.CommCostCache`); placement decisions
+        are identical with or without it.
 
     Returns
     -------
@@ -103,7 +109,8 @@ def start_up_schedule(
             newly_ready: list[Node] = []
             for node in ready:
                 choice = _best_processor(
-                    graph, arch, schedule, finish, node, cs, pipelined_pes
+                    graph, arch, schedule, finish, node, cs, pipelined_pes,
+                    comm=comm,
                 )
                 if choice is None:
                     deferred.append(node)
@@ -127,7 +134,8 @@ def start_up_schedule(
         if pad_for_delayed_edges:
             schedule.set_length(
                 projected_schedule_length(
-                    graph, arch, schedule, pipelined_pes=pipelined_pes
+                    graph, arch, schedule, pipelined_pes=pipelined_pes,
+                    comm=comm,
                 )
             )
         metrics.inc("startup.placements", placements_made)
@@ -151,21 +159,30 @@ def _best_processor(
     node: Node,
     cs: int,
     pipelined_pes: bool,
+    *,
+    comm: CommCostCache | None = None,
 ) -> tuple[int, int] | None:
     """The ``(processor, duration)`` where ``node`` may start at ``cs``.
 
     Minimises the execution time on the PE (heterogeneous machines),
     then the data-arrival bound ``cm``; ``None`` when no processor
     qualifies."""
+    cost = comm.cost if comm is not None else arch.comm_cost
+    # hoist per-node state out of the PE loop: the zero-delay producer
+    # constraints and the base execution time do not depend on the PE
+    zero_preds: list[tuple[int, int, int]] = []  # (src_pe, finish, volume)
+    for e in graph.in_edges(node):
+        if e.delay == 0:
+            zero_preds.append(
+                (schedule.processor(e.src), finish[e.src], e.volume)
+            )
+    base_time = graph.time(node)
     best: tuple[int, int, int] | None = None  # (duration, cm, pe)
     for pe in arch.processors:
         cm = 0
         feasible = True
-        for e in graph.in_edges(node):
-            if e.delay != 0:
-                continue
-            src_pe = schedule.processor(e.src)
-            arrival = finish[e.src] + arch.comm_cost(src_pe, pe, e.volume)
+        for src_pe, finish_u, vol in zero_preds:
+            arrival = finish_u + cost(src_pe, pe, vol)
             if arrival > cm:
                 cm = arrival
             if arrival >= cs:  # paper: need cm < cs
@@ -173,7 +190,7 @@ def _best_processor(
                 break
         if not feasible:
             continue
-        duration = arch.execution_time(pe, graph.time(node))
+        duration = arch.execution_time(pe, base_time)
         occupancy = 1 if pipelined_pes else duration
         if not schedule.is_free(pe, cs, occupancy):
             continue

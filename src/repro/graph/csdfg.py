@@ -35,7 +35,7 @@ __all__ = ["Edge", "CSDFG", "Node"]
 Node = Hashable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Edge:
     """A dependence edge ``src -> dst`` with its delay and data volume.
 
@@ -65,7 +65,18 @@ class Edge:
 
     def with_delay(self, delay: int) -> "Edge":
         """Return a copy of this edge carrying ``delay`` delays."""
-        return Edge(self.src, self.dst, delay, self.volume)
+        if delay < 0:
+            raise GraphError(
+                f"edge {self.src!r}->{self.dst!r}: delay must be >= 0, got {delay}"
+            )
+        # hot path for retiming: clone without re-entering the dataclass
+        # machinery (volume was validated when this edge was built)
+        clone = object.__new__(Edge)
+        object.__setattr__(clone, "src", self.src)
+        object.__setattr__(clone, "dst", self.dst)
+        object.__setattr__(clone, "delay", delay)
+        object.__setattr__(clone, "volume", self.volume)
+        return clone
 
 
 class CSDFG:

@@ -27,20 +27,27 @@ def topological_order_zero_delay(graph: CSDFG) -> list[Node]:
     Raises :class:`GraphValidationError` when a zero-delay cycle exists,
     naming one offending cycle.
     """
-    indeg: dict[Node, int] = {v: 0 for v in graph.nodes()}
-    for edge in graph.edges():
-        if edge.delay == 0:
-            indeg[edge.dst] += 1
+    # hot path (called once per remapping pass): walk the adjacency
+    # dicts directly instead of paying a generator frame per edge
+    succ = graph._succ
+    indeg: dict[Node, int] = dict.fromkeys(graph._time, 0)
+    for adj in succ.values():
+        for edge in adj.values():
+            if edge.delay == 0:
+                indeg[edge.dst] += 1
     frontier = [v for v, k in indeg.items() if k == 0]
     order: list[Node] = []
+    append = order.append
     while frontier:
         node = frontier.pop()
-        order.append(node)
-        for edge in graph.out_edges(node):
+        append(node)
+        for edge in succ[node].values():
             if edge.delay == 0:
-                indeg[edge.dst] -= 1
-                if indeg[edge.dst] == 0:
-                    frontier.append(edge.dst)
+                dst = edge.dst
+                remaining = indeg[dst] - 1
+                indeg[dst] = remaining
+                if remaining == 0:
+                    frontier.append(dst)
     if len(order) != graph.num_nodes:
         cycle = find_zero_delay_cycle(graph)
         raise GraphValidationError(

@@ -22,6 +22,7 @@ __all__ = [
     "set_gauge",
     "observe",
     "snapshot",
+    "merge_snapshot",
     "reset",
 ]
 
@@ -134,6 +135,33 @@ class MetricsRegistry:
         self.gauges.clear()
         self.histograms.clear()
 
+    def merge(self, snap: dict) -> None:
+        """Fold a :meth:`snapshot` dict from another registry into this one.
+
+        Used by the parallel sweep driver to combine per-worker metrics
+        into the parent process: counters add, gauges keep the largest
+        value seen across processes (last-writer order is meaningless
+        once runs interleave), histograms combine their summary
+        statistics (count/total/min/max — ``mean`` stays derived).
+        """
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, data in snap.get("gauges", {}).items():
+            g = self.gauge(name)
+            g.set(data["value"])
+            if data["max"] > g.max_value:
+                g.max_value = data["max"]
+        for name, data in snap.get("histograms", {}).items():
+            h = self.histogram(name)
+            if not data["count"]:
+                continue
+            h.count += data["count"]
+            h.total += data["total"]
+            if h.min is None or data["min"] < h.min:
+                h.min = data["min"]
+            if h.max is None or data["max"] > h.max:
+                h.max = data["max"]
+
 
 REGISTRY = MetricsRegistry()
 
@@ -159,6 +187,11 @@ def observe(name: str, value: float) -> None:
 def snapshot() -> dict:
     """Snapshot of the global registry."""
     return REGISTRY.snapshot()
+
+
+def merge_snapshot(snap: dict) -> None:
+    """Merge a snapshot from another process into the global registry."""
+    REGISTRY.merge(snap)
 
 
 def reset() -> None:

@@ -130,6 +130,16 @@ class ChaosReport:
             out[t.outcome] = out.get(t.outcome, 0) + 1
         return dict(sorted(out.items()))
 
+    def trial_seconds_percentile(self, q: float) -> float:
+        """Nearest-rank percentile of per-trial wall-clock seconds."""
+        if not self.trials:
+            return 0.0
+        if not 0 < q <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {q}")
+        ordered = sorted(t.elapsed_seconds for t in self.trials)
+        rank = max(1, -(-len(ordered) * q // 100))  # ceil without floats
+        return ordered[int(rank) - 1]
+
     def describe(self) -> str:
         verdict = "INVARIANT HOLDS" if self.invariant_holds else "BREACHED"
         lines = [
@@ -138,6 +148,12 @@ class ChaosReport:
             "  outcomes: "
             + ", ".join(f"{k}={v}" for k, v in self.counts().items()),
         ]
+        if self.trials:
+            lines.append(
+                "  trial wall-clock: "
+                f"p50={self.trial_seconds_percentile(50) * 1000:.1f}ms, "
+                f"p95={self.trial_seconds_percentile(95) * 1000:.1f}ms"
+            )
         for t in self.breaches:
             lines.append("  BREACH " + t.describe())
             if t.error:
@@ -151,6 +167,8 @@ class ChaosReport:
             "elapsed_seconds": round(self.elapsed_seconds, 3),
             "invariant_holds": self.invariant_holds,
             "outcomes": self.counts(),
+            "trial_seconds_p50": round(self.trial_seconds_percentile(50), 4),
+            "trial_seconds_p95": round(self.trial_seconds_percentile(95), 4),
             "breaches": [t.describe() for t in self.breaches],
         }
 
@@ -227,7 +245,32 @@ def run_chaos_trial(
             trial.outcome = "illegal"
             trial.error = "; ".join(violations)
     trial.elapsed_seconds = time.monotonic() - started
+    metrics.observe("resilience.chaos.trial_seconds", trial.elapsed_seconds)
     return trial
+
+
+def _trial_task(params: tuple) -> ChaosTrial:
+    """Picklable per-trial worker for the parallel campaign driver."""
+    (
+        seed,
+        index,
+        topologies,
+        workloads,
+        num_pes,
+        iterations,
+        max_faults,
+        transient_fraction,
+    ) = params
+    return run_chaos_trial(
+        seed,
+        index,
+        topologies=topologies,
+        workloads=workloads,
+        num_pes=num_pes,
+        iterations=iterations,
+        max_faults=max_faults,
+        transient_fraction=transient_fraction,
+    )
 
 
 def run_chaos_campaign(
@@ -241,33 +284,44 @@ def run_chaos_campaign(
     max_faults: int = 3,
     transient_fraction: float = 0.25,
     time_budget_seconds: float | None = None,
+    jobs: int = 1,
 ) -> ChaosReport:
     """Run ``trials`` seeded chaos trials and aggregate the outcomes.
 
     ``time_budget_seconds`` stops launching new trials once the budget
     is spent (for CI smoke jobs); the trials that did run are still a
-    deterministic prefix of the full campaign.
+    deterministic prefix of the full campaign.  With ``jobs > 1`` the
+    trials run on a process pool (each trial is fully determined by
+    ``(seed, index)``, so the outcomes are identical to a serial run);
+    worker-side metrics are merged back into this process.
     """
+    from repro.perf.parallel import run_parallel
+
     started = time.monotonic()
     report = ChaosReport(seed=seed)
-    with span("chaos_campaign", seed=seed, trials=trials) as sp:
-        for index in range(trials):
-            if (
-                time_budget_seconds is not None
-                and time.monotonic() - started >= time_budget_seconds
-            ):
-                metrics.inc("resilience.chaos.budget_stops")
-                break
-            trial = run_chaos_trial(
+    with span("chaos_campaign", seed=seed, trials=trials, jobs=jobs) as sp:
+        params = [
+            (
                 seed,
                 index,
-                topologies=topologies,
-                workloads=workloads,
-                num_pes=num_pes,
-                iterations=iterations,
-                max_faults=max_faults,
-                transient_fraction=transient_fraction,
+                topologies,
+                workloads,
+                num_pes,
+                iterations,
+                max_faults,
+                transient_fraction,
             )
+            for index in range(trials)
+        ]
+        ran = run_parallel(
+            _trial_task,
+            params,
+            jobs=jobs,
+            time_budget_seconds=time_budget_seconds,
+        )
+        if len(ran) < trials:
+            metrics.inc("resilience.chaos.budget_stops")
+        for trial in ran:
             report.trials.append(trial)
             metrics.inc("resilience.chaos.trials")
             metrics.inc(f"resilience.chaos.outcome.{trial.outcome}")

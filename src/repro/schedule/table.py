@@ -6,16 +6,27 @@ occupies processor ``PE(v)`` for the ``t(v)`` consecutive control steps
 ``CB(v) .. CE(v)`` (Definitions 3.1-3.3).  The table is executed
 cyclically with initiation interval ``length``.
 
-The table stores explicit :class:`Placement` records plus a cell index
-for O(1) occupancy checks; ``length`` may exceed the last busy control
-step (the paper pads with empty control steps when the projected
-schedule length demands it).
+The table stores explicit :class:`Placement` records plus a **per-PE
+occupancy interval index**: for every processor a list of
+``(start, busy_until, node)`` spans kept sorted by start.  Because
+spans on one processor never overlap, every occupancy question becomes
+a binary search — :meth:`cell` and :meth:`is_free` are ``O(log k)``,
+:meth:`earliest_slot` is a gap walk from the query point instead of a
+cell-by-cell probe, and :meth:`busy_cells` is a counter read.  The
+interval index replaces the earlier per-cell dict; the randomized
+equivalence suite in ``tests/unit/test_table_index.py`` pins this
+implementation cell-for-cell against the naive reference table
+(:class:`repro.perf.reference.ReferenceScheduleTable`).
+
+``length`` may exceed the last busy control step (the paper pads with
+empty control steps when the projected schedule length demands it).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Iterator
 
 from repro.errors import PlacementConflictError, ScheduleError
 from repro.graph.csdfg import Node
@@ -23,7 +34,7 @@ from repro.graph.csdfg import Node
 __all__ = ["Placement", "ScheduleTable"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Placement:
     """One task's slot: processor, start, latency and resource span.
 
@@ -71,9 +82,22 @@ class Placement:
 
     def shifted(self, delta: int) -> "Placement":
         """Copy with the start moved by ``delta`` control steps."""
-        return Placement(
-            self.node, self.pe, self.start + delta, self.duration, self.occupancy
-        )
+        start = self.start + delta
+        if start < 1:
+            raise ScheduleError(
+                f"{self.node!r}: control steps start at 1, got {start}"
+            )
+        # hot path (every placement, every rotation): clone without
+        # re-running the dataclass field validation — only the start
+        # changed and its sole constraint is checked above
+        clone = object.__new__(Placement)
+        set_field = object.__setattr__
+        set_field(clone, "node", self.node)
+        set_field(clone, "pe", self.pe)
+        set_field(clone, "start", start)
+        set_field(clone, "duration", self.duration)
+        set_field(clone, "occupancy", self.occupancy)
+        return clone
 
 
 class ScheduleTable:
@@ -98,7 +122,14 @@ class ScheduleTable:
         self.name = name
         self._length = length
         self._placements: dict[Node, Placement] = {}
-        self._cells: dict[tuple[int, int], Node] = {}
+        # per-PE occupancy index: sorted (start, busy_until, node) spans
+        # plus a parallel start list for bisect and a busy-cell counter
+        self._intervals: list[list[tuple[int, int, Node]]] = [
+            [] for _ in range(num_pes)
+        ]
+        self._starts: list[list[int]] = [[] for _ in range(num_pes)]
+        self._busy: list[int] = [0] * num_pes
+        self._makespan: int | None = 0  # lazy cache; None = recompute
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -111,9 +142,11 @@ class ScheduleTable:
     @property
     def makespan(self) -> int:
         """Last busy control step (0 when empty); ``<= length``."""
-        if not self._placements:
-            return 0
-        return max(p.finish for p in self._placements.values())
+        if self._makespan is None:
+            self._makespan = max(
+                (p.finish for p in self._placements.values()), default=0
+            )
+        return self._makespan
 
     @property
     def num_tasks(self) -> int:
@@ -152,7 +185,14 @@ class ScheduleTable:
 
     def cell(self, pe: int, cs: int) -> Node | None:
         """The task occupying ``(pe, cs)``, or ``None``."""
-        return self._cells.get((pe, cs))
+        if not (0 <= pe < self.num_pes):
+            return None
+        idx = bisect_right(self._starts[pe], cs) - 1
+        if idx >= 0:
+            _s, busy_until, node = self._intervals[pe][idx]
+            if busy_until >= cs:
+                return node
+        return None
 
     # ------------------------------------------------------------------
     # mutation
@@ -187,19 +227,59 @@ class ScheduleTable:
             raise ScheduleError(f"node {node!r} is already scheduled")
         if not (0 <= pe < self.num_pes):
             raise ScheduleError(f"PE {pe} outside 0..{self.num_pes - 1}")
-        placement = Placement(node, pe, start, duration, occupancy)
-        for cs in range(start, placement.busy_until + 1):
-            occupant = self._cells.get((pe, cs))
-            if occupant is not None:
+        # inline Placement construction (hot path: every remapping trial
+        # placement lands here) with the dataclass' checks, in order
+        if start < 1:
+            raise ScheduleError(
+                f"{node!r}: control steps start at 1, got {start}"
+            )
+        if duration < 1:
+            raise ScheduleError(
+                f"{node!r}: duration must be >= 1, got {duration}"
+            )
+        if occupancy is None:
+            occupancy = duration
+        elif not (1 <= occupancy <= duration):
+            raise ScheduleError(
+                f"{node!r}: occupancy must be in 1..duration, got "
+                f"{occupancy}"
+            )
+        placement = Placement.__new__(Placement)
+        set_field = object.__setattr__
+        set_field(placement, "node", node)
+        set_field(placement, "pe", pe)
+        set_field(placement, "start", start)
+        set_field(placement, "duration", duration)
+        set_field(placement, "occupancy", occupancy)
+        busy_until = start + occupancy - 1
+        starts = self._starts[pe]
+        intervals = self._intervals[pe]
+        pos = bisect_left(starts, start)
+        # spans never overlap, so only the neighbours can conflict; the
+        # reported cell is the first occupied one in the requested span
+        if pos > 0:
+            _s, prev_until, occupant = intervals[pos - 1]
+            if prev_until >= start:
                 raise PlacementConflictError(
-                    f"(pe{pe + 1}, cs{cs}) already holds {occupant!r}; "
+                    f"(pe{pe + 1}, cs{start}) already holds {occupant!r}; "
                     f"cannot place {node!r}"
                 )
-        for cs in range(start, placement.busy_until + 1):
-            self._cells[(pe, cs)] = node
+        if pos < len(intervals):
+            next_start, _e, occupant = intervals[pos]
+            if next_start <= busy_until:
+                raise PlacementConflictError(
+                    f"(pe{pe + 1}, cs{next_start}) already holds "
+                    f"{occupant!r}; cannot place {node!r}"
+                )
+        starts.insert(pos, start)
+        intervals.insert(pos, (start, busy_until, node))
         self._placements[node] = placement
-        if placement.finish > self._length:
-            self._length = placement.finish
+        self._busy[pe] += occupancy
+        finish = start + duration - 1
+        if finish > self._length:
+            self._length = finish
+        if self._makespan is not None and finish > self._makespan:
+            self._makespan = finish
         return placement
 
     def remove(self, node: Node) -> Placement:
@@ -209,9 +289,14 @@ class ScheduleTable:
         explicitly).
         """
         placement = self.placement(node)
-        for cs in range(placement.start, placement.busy_until + 1):
-            del self._cells[(placement.pe, cs)]
+        pe = placement.pe
+        pos = bisect_left(self._starts[pe], placement.start)
+        del self._starts[pe][pos]
+        del self._intervals[pe][pos]
         del self._placements[node]
+        self._busy[pe] -= placement.occupancy
+        if self._makespan is not None and placement.finish >= self._makespan:
+            self._makespan = None
         return placement
 
     def shift_all(self, delta: int) -> None:
@@ -219,17 +304,46 @@ class ScheduleTable:
 
         Used by the rotation phase (the former row 2 becomes row 1).
         The length is adjusted by the same delta (floored at the new
-        makespan).
+        makespan).  The index is renumbered in place; an illegal shift
+        (some start would drop below control step 1) raises before any
+        mutation, leaving the table intact.
         """
-        if not self._placements and delta:
-            self._length = max(0, self._length + delta)
+        if not self._placements:
+            if delta:
+                self._length = max(0, self._length + delta)
             return
-        moved = [p.shifted(delta) for p in self._placements.values()]
-        self._placements = {}
-        self._cells = {}
+        if not delta:
+            return
+        # raises ScheduleError before any mutation if a start drops < 1;
+        # clones are built inline (this runs for every placement on
+        # every rotation) with the same check/message as Placement.shifted
+        new_placement = Placement.__new__
+        set_field = object.__setattr__
+        moved: dict[Node, Placement] = {}
+        for n, p in self._placements.items():
+            start = p.start + delta
+            if start < 1:
+                raise ScheduleError(
+                    f"{p.node!r}: control steps start at 1, got {start}"
+                )
+            clone = new_placement(Placement)
+            set_field(clone, "node", p.node)
+            set_field(clone, "pe", p.pe)
+            set_field(clone, "start", start)
+            set_field(clone, "duration", p.duration)
+            set_field(clone, "occupancy", p.occupancy)
+            moved[n] = clone
+        self._placements = moved
+        for pe in range(self.num_pes):
+            self._starts[pe] = [s + delta for s in self._starts[pe]]
+            self._intervals[pe] = [
+                (s + delta, e + delta, n) for s, e, n in self._intervals[pe]
+            ]
+        if self._makespan is not None:
+            self._makespan += delta
         self._length = max(0, self._length + delta)
-        for p in moved:
-            self.place(p.node, p.pe, p.start, p.duration, p.occupancy)
+        if self._length < self.makespan:
+            self._length = self.makespan
 
     def trim(self) -> None:
         """Shrink the length to the last busy control step."""
@@ -246,9 +360,10 @@ class ScheduleTable:
         """
         if start < 1:
             return False
-        return all(
-            (pe, cs) not in self._cells for cs in range(start, start + duration)
-        )
+        if not (0 <= pe < self.num_pes):
+            return True
+        idx = bisect_right(self._starts[pe], start + duration - 1) - 1
+        return idx < 0 or self._intervals[pe][idx][1] < start
 
     def earliest_slot(
         self, pe: int, not_before: int, duration: int, horizon: int | None = None
@@ -260,41 +375,98 @@ class ScheduleTable:
         ``horizon=None`` means unbounded: a slot always exists at the
         first gap past the last occupied step.
         """
-        cs = max(1, not_before)
-        limit = horizon if horizon is not None else max(self._length, cs) + duration
-        while cs + duration - 1 <= limit:
-            conflict = None
-            for probe in range(cs, cs + duration):
-                if (pe, probe) in self._cells:
-                    conflict = probe
-            if conflict is None:
+        cs = not_before if not_before > 1 else 1
+        if horizon is not None:
+            limit = horizon
+        else:
+            limit = (self._length if self._length > cs else cs) + duration
+        if not (0 <= pe < self.num_pes):
+            return cs if cs + duration - 1 <= limit else None
+        starts = self._starts[pe]
+        intervals = self._intervals[pe]
+        idx = bisect_right(starts, cs) - 1
+        if idx >= 0 and intervals[idx][1] >= cs:
+            cs = intervals[idx][1] + 1
+        idx += 1
+        count = len(intervals)
+        while True:
+            if cs + duration - 1 > limit:
+                return None
+            if idx >= count:
                 return cs
-            cs = conflict + 1
-        return None
+            next_start, next_until, _node = intervals[idx]
+            if cs + duration - 1 < next_start:
+                return cs
+            cs = next_until + 1
+            idx += 1
+
+    def free_slots(
+        self, pe: int, not_before: int, duration: int, horizon: int
+    ) -> Iterator[int]:
+        """Yield every start ``cs >= not_before`` where ``duration``
+        consecutive cells on ``pe`` are free and the span ends by
+        ``horizon`` — ascending, exactly the sequence repeated
+        :meth:`earliest_slot` queries (each resuming at the previous
+        result + 1) would produce, but walking the interval index once.
+        """
+        cs = not_before if not_before > 1 else 1
+        last = horizon - duration + 1  # latest admissible start
+        if not (0 <= pe < self.num_pes):
+            while cs <= last:
+                yield cs
+                cs += 1
+            return
+        starts = self._starts[pe]
+        intervals = self._intervals[pe]
+        idx = bisect_right(starts, cs) - 1
+        if idx >= 0 and intervals[idx][1] >= cs:
+            cs = intervals[idx][1] + 1
+        idx += 1
+        count = len(intervals)
+        while cs <= last:
+            if idx >= count:
+                yield cs
+                cs += 1
+                continue
+            next_start, next_until, _node = intervals[idx]
+            if cs + duration - 1 < next_start:
+                yield cs
+                cs += 1
+                continue
+            cs = next_until + 1
+            idx += 1
 
     def first_row(self) -> list[Node]:
         """Tasks starting at control step 1, by PE order (the set the
         rotation phase deallocates)."""
-        starters = [p for p in self._placements.values() if p.start == 1]
-        starters.sort(key=lambda p: p.pe)
-        return [p.node for p in starters]
+        out: list[Node] = []
+        for pe in range(self.num_pes):
+            intervals = self._intervals[pe]
+            if intervals and intervals[0][0] == 1:
+                out.append(intervals[0][2])
+        return out
 
     def row(self, cs: int) -> list[tuple[int, Node]]:
         """Occupied cells of control step ``cs`` as ``(pe, node)``."""
-        return sorted(
-            ((pe, node) for (pe, c), node in self._cells.items() if c == cs),
-        )
+        out: list[tuple[int, Node]] = []
+        for pe in range(self.num_pes):
+            node = self.cell(pe, cs)
+            if node is not None:
+                out.append((pe, node))
+        return out
 
     def pe_tasks(self, pe: int) -> list[Placement]:
         """All placements on ``pe`` in start order."""
-        return sorted(
-            (p for p in self._placements.values() if p.pe == pe),
-            key=lambda p: p.start,
-        )
+        if not (0 <= pe < self.num_pes):
+            return []
+        placements = self._placements
+        return [placements[node] for _s, _e, node in self._intervals[pe]]
 
     def busy_cells(self, pe: int) -> int:
         """Number of occupied control steps on ``pe``."""
-        return sum(1 for (p, _cs) in self._cells if p == pe)
+        if not (0 <= pe < self.num_pes):
+            return 0
+        return self._busy[pe]
 
     # ------------------------------------------------------------------
     def copy(self, name: str | None = None) -> "ScheduleTable":
@@ -302,7 +474,10 @@ class ScheduleTable:
             self.num_pes, self._length, name if name is not None else self.name
         )
         clone._placements = dict(self._placements)
-        clone._cells = dict(self._cells)
+        clone._intervals = [list(spans) for spans in self._intervals]
+        clone._starts = [list(starts) for starts in self._starts]
+        clone._busy = list(self._busy)
+        clone._makespan = self._makespan
         return clone
 
     def same_placements(self, other: "ScheduleTable") -> bool:

@@ -24,11 +24,16 @@ optimiser and the validator can never disagree.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.arch.topology import Architecture
 from repro.errors import ScheduleValidationError
 from repro.graph.csdfg import CSDFG
 from repro.obs import metrics, span
 from repro.schedule.table import ScheduleTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.cache import CommCostCache
 
 __all__ = [
     "collect_violations",
@@ -44,17 +49,20 @@ def collect_violations(
     schedule: ScheduleTable,
     *,
     pipelined_pes: bool = False,
+    comm: "CommCostCache | None" = None,
 ) -> list[str]:
     """All legality violations of ``schedule`` (empty list == legal).
 
     With ``pipelined_pes=True`` a processor only needs to be free at a
     task's *issue* control step (the paper's §2 pipelined PEs); the
     precedence/communication rules are unchanged (latency is still
-    ``t(v)``).
+    ``t(v)``).  ``comm`` supplies precomputed communication costs (the
+    cache defers any miss back to ``arch.comm_cost``, so verdicts are
+    identical with or without it).
     """
     with span("validate", nodes=graph.num_nodes) as validate_span:
         violations = _collect_violations(
-            graph, arch, schedule, pipelined_pes=pipelined_pes
+            graph, arch, schedule, pipelined_pes=pipelined_pes, comm=comm
         )
         metrics.inc("validate.calls")
         metrics.inc("validate.violations", len(violations))
@@ -68,7 +76,9 @@ def _collect_violations(
     schedule: ScheduleTable,
     *,
     pipelined_pes: bool = False,
+    comm: "CommCostCache | None" = None,
 ) -> list[str]:
+    cost = comm.cost if comm is not None else arch.comm_cost
     violations: list[str] = []
 
     # completeness ------------------------------------------------------
@@ -133,9 +143,9 @@ def _collect_violations(
             continue
         pu = schedule.placement(edge.src)
         pv = schedule.placement(edge.dst)
-        comm = arch.comm_cost(pu.pe, pv.pe, edge.volume)
+        m = cost(pu.pe, pv.pe, edge.volume)
         lhs = pv.start + edge.delay * L
-        rhs = pu.finish + comm + 1
+        rhs = pu.finish + m + 1
         if lhs < rhs:
             violations.append(
                 f"dependence edge ({edge.src!r}, {edge.dst!r}) "
@@ -143,7 +153,7 @@ def _collect_violations(
                 f"pe{pu.pe + 1}->pe{pv.pe + 1}: "
                 f"CB({edge.dst!r})={pv.start} + "
                 f"{edge.delay}*{L} = {lhs} < CE({edge.src!r})={pu.finish} + "
-                f"M={comm} + 1 = {rhs}"
+                f"M={m} + 1 = {rhs}"
             )
     return violations
 
@@ -183,6 +193,7 @@ def minimum_feasible_length(
     schedule: ScheduleTable,
     *,
     pipelined_pes: bool = False,
+    comm: "CommCostCache | None" = None,
 ) -> int | None:
     """Smallest length making these *placements* legal, or ``None``.
 
@@ -195,6 +206,7 @@ def minimum_feasible_length(
     """
     # reuse the structural checks at the current length, masking only
     # the L-dependent precedence violations and the length-overrun check
+    cost = comm.cost if comm is not None else arch.comm_cost
     probe = schedule.copy()
     probe.set_length(max(probe.length, probe.makespan))
     required = probe.makespan
@@ -206,8 +218,7 @@ def minimum_feasible_length(
         for p in (pu, pv):
             if p.pe >= arch.num_pes or not arch.is_alive(p.pe):
                 return None  # unroutable placement: no length can help
-        comm = arch.comm_cost(pu.pe, pv.pe, edge.volume)
-        slack_needed = pu.finish + comm + 1 - pv.start
+        slack_needed = pu.finish + cost(pu.pe, pv.pe, edge.volume) + 1 - pv.start
         if edge.delay == 0:
             if slack_needed > 0:
                 return None
@@ -219,6 +230,8 @@ def minimum_feasible_length(
     # an implementation detail of PSL, not a "validate" phase of its
     # caller, so it must not emit a validate span inside remap spans
     probe.set_length(max(required, probe.makespan, 1))
-    if _collect_violations(graph, arch, probe, pipelined_pes=pipelined_pes):
+    if _collect_violations(
+        graph, arch, probe, pipelined_pes=pipelined_pes, comm=comm
+    ):
         return None
     return probe.length

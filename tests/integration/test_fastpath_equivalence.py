@@ -1,0 +1,90 @@
+"""End-to-end fast-path vs reference-engine equivalence.
+
+``cyclo_compact`` (comm-cost cache, interval-indexed table, incremental
+PSL, pruned slot search) must produce exactly the schedules of
+``reference_cyclo_compact`` (the preserved pre-optimisation engine):
+same lengths, same placements, same accept/reject traces — on every
+registered workload and every paper topology, and across the optimiser
+modes (per-step validation, first-fit remapping, pipelined PEs, no
+relaxation).
+"""
+
+import pytest
+
+from repro.arch.registry import make_architecture, paper_architectures
+from repro.core import CycloConfig, cyclo_compact
+from repro.perf.reference import reference_cyclo_compact
+from repro.workloads import make_workload, workload_names
+
+
+def _assert_equivalent(graph, arch, cfg):
+    fast = cyclo_compact(graph, arch, config=cfg)
+    ref = reference_cyclo_compact(graph, arch, config=cfg)
+    label = f"{graph.name} on {arch.name}"
+    assert fast.initial_length == ref.initial_length, label
+    assert fast.final_length == ref.final_length, label
+    assert fast.initial_schedule.same_placements(
+        ref.initial_schedule
+    ), label
+    assert fast.schedule.same_placements(ref.schedule), label
+    assert fast.trace == ref.trace, label
+    assert fast.stop_reason == ref.stop_reason, label
+    assert fast.retiming == ref.retiming, label
+
+
+@pytest.mark.parametrize("workload", workload_names())
+def test_every_workload_on_every_paper_topology(workload):
+    graph = make_workload(workload)
+    cfg = CycloConfig(max_iterations=6, validate_each_step=False)
+    for arch in paper_architectures(8).values():
+        _assert_equivalent(graph, arch, cfg)
+
+
+def test_tree_topology():
+    graph = make_workload("figure7")
+    arch = make_architecture("tree", 7)
+    cfg = CycloConfig(max_iterations=8, validate_each_step=False)
+    _assert_equivalent(graph, arch, cfg)
+
+
+def test_with_per_step_validation():
+    graph = make_workload("figure7")
+    arch = make_architecture("mesh", 8)
+    cfg = CycloConfig(max_iterations=8, validate_each_step=True)
+    _assert_equivalent(graph, arch, cfg)
+
+
+def test_first_fit_strategy():
+    graph = make_workload("biquad4")
+    arch = make_architecture("mesh", 8)
+    cfg = CycloConfig(
+        max_iterations=8,
+        validate_each_step=False,
+        remap_strategy="first-fit",
+    )
+    _assert_equivalent(graph, arch, cfg)
+
+
+def test_pipelined_pes():
+    graph = make_workload("figure7")
+    arch = make_architecture("hypercube", 8)
+    cfg = CycloConfig(
+        max_iterations=8, validate_each_step=False, pipelined_pes=True
+    )
+    _assert_equivalent(graph, arch, cfg)
+
+
+def test_without_relaxation():
+    graph = make_workload("elliptic5")
+    arch = make_architecture("mesh", 8)
+    cfg = CycloConfig(
+        max_iterations=8, validate_each_step=False, relaxation=False
+    )
+    _assert_equivalent(graph, arch, cfg)
+
+
+def test_longer_run_stays_equivalent():
+    graph = make_workload("figure7")
+    arch = make_architecture("mesh", 8)
+    cfg = CycloConfig(max_iterations=40, validate_each_step=False)
+    _assert_equivalent(graph, arch, cfg)

@@ -1,0 +1,93 @@
+"""The deterministic process-pool driver (`repro.perf.parallel`)."""
+
+import time
+
+import pytest
+
+from repro.obs import (
+    InMemorySink,
+    install_sink,
+    metrics,
+    remove_sink,
+)
+from repro.perf.parallel import run_parallel
+
+
+def _square(x):
+    return x * x
+
+
+def _record(x):
+    metrics.inc("parallel.test.calls")
+    metrics.observe("parallel.test.value", float(x))
+    return x
+
+
+def _slow_identity(x):
+    time.sleep(0.05)
+    return x
+
+
+def test_serial_equals_parallel():
+    items = list(range(20))
+    assert run_parallel(_square, items, jobs=1) == run_parallel(
+        _square, items, jobs=4
+    )
+
+
+def test_results_in_item_order():
+    items = [7, 3, 11, 1, 9, 2]
+    assert run_parallel(_square, items, jobs=3) == [x * x for x in items]
+
+
+def test_empty_items():
+    assert run_parallel(_square, [], jobs=1) == []
+    assert run_parallel(_square, [], jobs=4) == []
+
+
+def test_jobs_must_be_positive():
+    with pytest.raises(ValueError):
+        run_parallel(_square, [1], jobs=0)
+
+
+def test_budget_returns_prefix():
+    items = list(range(50))
+    got = run_parallel(
+        _slow_identity, items, jobs=2, time_budget_seconds=0.12
+    )
+    assert 0 < len(got) < len(items)
+    assert got == items[: len(got)]
+
+
+def test_budget_prefix_serial():
+    items = list(range(50))
+    got = run_parallel(
+        _slow_identity, items, jobs=1, time_budget_seconds=0.12
+    )
+    assert 0 < len(got) < len(items)
+    assert got == items[: len(got)]
+
+
+def test_worker_metrics_merge_into_parent():
+    sink = InMemorySink()
+    metrics.reset()
+    install_sink(sink)
+    try:
+        run_parallel(_record, [1, 2, 3, 4, 5, 6], jobs=3)
+        snap = metrics.snapshot()
+    finally:
+        remove_sink(sink)
+    assert snap["counters"]["parallel.test.calls"] == 6
+    hist = snap["histograms"]["parallel.test.value"]
+    assert hist["count"] == 6
+    assert hist["min"] == 1.0
+    assert hist["max"] == 6.0
+    assert hist["total"] == pytest.approx(21.0)
+
+
+def test_no_metrics_shipped_when_obs_disabled():
+    metrics.reset()
+    run_parallel(_record, [1, 2, 3], jobs=2)
+    snap = metrics.snapshot()
+    # workers ran with their own registries; nothing merged back
+    assert "parallel.test.calls" not in snap["counters"]
