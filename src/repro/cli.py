@@ -27,6 +27,13 @@ Commands
 ``profile``
     Run the optimiser N times on a (workload, architecture) pair and
     print the per-phase time/percentage breakdown.
+``fuzz``
+    Property-based fuzzing of the scheduling pipeline
+    (``docs/testing.md``): seeded random (graph, architecture, config)
+    triples, the full property/metamorphic suite per trial, failing
+    trials delta-debugged into small JSON reproducers.  ``--replay``
+    re-runs checked-in reproducers (``tests/corpus/``) instead of
+    fuzzing.
 ``faults inject|repair|campaign``
     Resilience drivers (``docs/resilience.md``): execute a schedule
     under a seeded fault campaign, repair a schedule after explicit
@@ -198,6 +205,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (1 = serial; results are identical)",
     )
 
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="property-based fuzzing of the scheduling pipeline",
+    )
+    p_fuzz.add_argument(
+        "--trials", type=int, default=100, help="seeded trials to run"
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0, help="campaign seed"
+    )
+    p_fuzz.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop launching trials after this long (CI smoke mode)",
+    )
+    p_fuzz.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = serial; trial outcomes are identical)",
+    )
+    p_fuzz.add_argument(
+        "--max-nodes", type=int, default=10,
+        help="largest sampled graph size",
+    )
+    p_fuzz.add_argument(
+        "--max-pes", type=int, default=8,
+        help="largest sampled machine (kinds with a higher floor use it)",
+    )
+    p_fuzz.add_argument(
+        "--properties", default=None, metavar="CSV",
+        help="comma-separated property names (default: all; see "
+             "docs/testing.md)",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip delta-debugging of failing trials",
+    )
+    p_fuzz.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write raw + shrunk reproducer JSON files here on failure",
+    )
+    p_fuzz.add_argument(
+        "--replay", action="append", default=[], metavar="PATH",
+        help="replay a reproducer case file or a corpus directory "
+             "instead of fuzzing (repeatable)",
+    )
+
     p_faults = sub.add_parser(
         "faults", help="fault injection, schedule repair, chaos harness"
     )
@@ -359,11 +411,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:  # e.g. `python -m repro ... | head`
+        return 0  # must precede OSError: BrokenPipeError is a subclass
     except OSError as exc:  # unwritable --trace / --out paths etc.
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    except BrokenPipeError:  # e.g. `python -m repro ... | head`
-        return 0
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -385,6 +437,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_sweep(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     if args.command == "faults":
         return _cmd_faults(args)
     raise AssertionError(f"unhandled command {args.command!r}")
@@ -682,6 +736,103 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         path = write_chrome_trace(args.trace, sink.events)
         print(f"\ntrace written to {path}")
     return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.qa import PROPERTIES, GraphProfile, run_fuzz
+
+    if args.replay:
+        return _cmd_fuzz_replay(args.replay)
+    if args.trials < 1:
+        raise ReproError(f"--trials must be >= 1, got {args.trials}")
+    if args.jobs < 1:
+        raise ReproError(f"--jobs must be >= 1, got {args.jobs}")
+    properties = None
+    if args.properties is not None:
+        properties = tuple(
+            name.strip() for name in args.properties.split(",") if name.strip()
+        )
+        unknown = [name for name in properties if name not in PROPERTIES]
+        if unknown or not properties:
+            raise ReproError(
+                f"unknown properties {unknown}; "
+                f"known: {', '.join(PROPERTIES)}"
+            )
+    profile = GraphProfile(max_nodes=args.max_nodes)
+    report = run_fuzz(
+        trials=args.trials,
+        seed=args.seed,
+        properties=properties,
+        profile=profile,
+        max_pes=args.max_pes,
+        shrink=not args.no_shrink,
+        time_budget_seconds=args.time_budget,
+        jobs=args.jobs,
+    )
+    print(report.describe())
+    if args.out and report.failures:
+        _write_reproducers(args.out, report)
+    return 0 if report.ok else 1
+
+
+def _write_reproducers(out_dir: str, report) -> None:
+    from pathlib import Path
+
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for trial in report.failures:
+        stem = f"seed{report.seed}-trial{trial.index}"
+        if trial.case_json is not None:
+            path = directory / f"{stem}.json"
+            path.write_text(trial.case_json + "\n")
+            written.append(path)
+        if trial.shrunk_json is not None:
+            path = directory / f"{stem}-shrunk.json"
+            path.write_text(trial.shrunk_json + "\n")
+            written.append(path)
+    print(f"wrote {len(written)} reproducer file(s) to {directory}")
+
+
+def _cmd_fuzz_replay(paths: list[str]) -> int:
+    from pathlib import Path
+
+    from repro.errors import QAError
+    from repro.qa import ReproCase, load_cases, replay_case
+
+    cases: list[tuple[Path, "ReproCase"]] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            cases.extend(load_cases(path))
+        elif path.is_file():
+            try:
+                cases.append((path, ReproCase.from_json(path.read_text())))
+            except QAError as exc:
+                raise ReproError(f"{path}: {exc}") from exc
+        else:
+            raise ReproError(f"--replay path {raw!r} does not exist")
+    if not cases:
+        raise ReproError("--replay found no reproducer cases")
+    failures = 0
+    for path, case in cases:
+        violations = replay_case(case)
+        if violations:
+            failures += 1
+            print(f"FAIL {path}: {case.describe()}")
+            for v in violations[:4]:
+                print(f"  {v}")
+            if len(violations) > 4:
+                print(f"  ... {len(violations) - 4} more")
+        else:
+            print(f"ok   {path}: {case.describe()}")
+    verdict = (
+        "all reproducers pass"
+        if failures == 0
+        else f"{failures} reproducer(s) FAIL"
+    )
+    print(f"replayed {len(cases)} case(s): {verdict}")
+    return 0 if failures == 0 else 1
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:

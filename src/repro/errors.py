@@ -26,6 +26,7 @@ __all__ = [
     "StallDetectedError",
     "CheckpointError",
     "WorkloadError",
+    "QAError",
 ]
 
 
@@ -129,3 +130,8 @@ class CheckpointError(SchedulingError):
 
 class WorkloadError(ReproError):
     """A benchmark workload was requested with invalid parameters."""
+
+
+class QAError(ReproError):
+    """A fuzzing/shrinking driver was misused (unknown property name,
+    malformed reproducer case, invalid sampling profile)."""

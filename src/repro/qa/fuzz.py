@@ -1,0 +1,227 @@
+"""The fuzzing campaign driver behind ``repro fuzz``.
+
+Each trial is fully determined by ``(campaign seed, trial index)``: the
+trial seed derives a :class:`random.Random` that samples one
+(graph, architecture, config) triple and drives every property's
+auxiliary randomness.  Campaigns therefore replay exactly — across
+re-runs *and* across worker processes: the trials fan out over
+:func:`repro.perf.run_parallel`, which returns item-order results no
+matter which worker finished first, so ``--jobs 8`` finds byte-for-byte
+the same failures as a serial run.
+
+A failing trial is immediately minimised by the delta-debugging
+shrinker and serialized as a :class:`~repro.qa.case.ReproCase`; the
+campaign report carries both the raw and the shrunk JSON so drivers
+(CLI, CI) can persist them for replay.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.obs import metrics, span
+from repro.perf.parallel import run_parallel
+from repro.qa.case import ReproCase, replay_case
+from repro.qa.generate import (
+    GraphProfile,
+    sample_arch_spec,
+    sample_config,
+    sample_graph,
+)
+from repro.qa.properties import PROPERTIES
+from repro.qa.shrink import shrink_case
+
+import random
+
+__all__ = ["FuzzTrial", "FuzzReport", "run_fuzz", "trial_seed"]
+
+
+def trial_seed(seed: int, index: int) -> int:
+    """The derived seed of trial ``index`` (a splitmix-style mix, so
+    neighbouring indices land far apart)."""
+    x = (seed * 0x9E3779B97F4A7C15 + index * 0xBF58476D1CE4E5B9) & (
+        (1 << 64) - 1
+    )
+    x ^= x >> 31
+    return x & 0x7FFFFFFF
+
+
+@dataclass
+class FuzzTrial:
+    """One trial and what it found."""
+
+    index: int
+    seed: int
+    graph_name: str
+    num_nodes: int
+    num_edges: int
+    arch: str
+    outcome: str  # "ok" | "failed"
+    violations: list[str] = field(default_factory=list)
+    case_json: str | None = None
+    shrunk_json: str | None = None
+    shrunk_nodes: int | None = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == "ok"
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate of one fuzz campaign."""
+
+    seed: int
+    trials: list[FuzzTrial] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    properties: tuple[str, ...] = ()
+
+    @property
+    def failures(self) -> list[FuzzTrial]:
+        return [t for t in self.trials if not t.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        verdict = (
+            "ALL PROPERTIES HOLD"
+            if self.ok
+            else f"{len(self.failures)} FAILING TRIAL(S)"
+        )
+        lines = [
+            f"fuzz campaign (seed {self.seed}): {len(self.trials)} "
+            f"trial(s) in {self.elapsed_seconds:.1f}s — {verdict}",
+            f"  properties: {', '.join(self.properties)}",
+        ]
+        if self.trials:
+            nodes = [t.num_nodes for t in self.trials]
+            lines.append(
+                f"  graphs: {min(nodes)}-{max(nodes)} nodes, "
+                f"architectures: "
+                f"{len({t.arch for t in self.trials})} distinct"
+            )
+        for t in self.failures:
+            lines.append(
+                f"  trial {t.index} (seed {t.seed}, {t.graph_name} on "
+                f"{t.arch}):"
+            )
+            for v in t.violations[:4]:
+                lines.append(f"    {v}")
+            if len(t.violations) > 4:
+                lines.append(f"    ... {len(t.violations) - 4} more")
+            if t.shrunk_nodes is not None:
+                lines.append(
+                    f"    shrunk to {t.shrunk_nodes} node(s); replay "
+                    f"with `repro fuzz --replay <case.json>`"
+                )
+        return "\n".join(lines)
+
+
+def _run_trial(params: tuple) -> FuzzTrial:
+    """One seeded trial (module-level: picklable for ``jobs > 1``)."""
+    seed, index, profile, properties, do_shrink, max_pes, degraded_prob = (
+        params
+    )
+    tseed = trial_seed(seed, index)
+    rng = random.Random(tseed)
+    graph = sample_graph(rng, profile)
+    spec = sample_arch_spec(
+        rng, max_pes=max_pes, degraded_prob=degraded_prob
+    )
+    cfg = sample_config(rng)
+    started = time.perf_counter()
+    metrics.inc("qa.fuzz.trials")
+
+    failed_prop: str | None = None
+    violations: list[str] = []
+    for name in properties:
+        case = ReproCase(
+            graph=graph,
+            arch_spec=spec,
+            config=cfg,
+            prop=name,
+            seed=tseed,
+            note=f"fuzz seed={seed} trial={index}",
+        )
+        found = replay_case(case)
+        if found:
+            failed_prop = name
+            violations = found
+            break
+
+    trial = FuzzTrial(
+        index=index,
+        seed=tseed,
+        graph_name=graph.name,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        arch=f"{spec.kind}x{spec.num_pes}",
+        outcome="ok" if failed_prop is None else "failed",
+        violations=violations,
+    )
+    if failed_prop is not None:
+        metrics.inc("qa.fuzz.failures")
+        failing = ReproCase(
+            graph=graph,
+            arch_spec=spec,
+            config=cfg,
+            prop=failed_prop,
+            seed=tseed,
+            note=f"fuzz seed={seed} trial={index}",
+        )
+        trial.case_json = failing.to_json()
+        if do_shrink:
+            shrunk = shrink_case(failing)
+            trial.shrunk_json = shrunk.case.to_json()
+            trial.shrunk_nodes = shrunk.case.graph.num_nodes
+            metrics.inc("qa.fuzz.shrink_attempts", shrunk.attempts)
+    trial.elapsed_seconds = time.perf_counter() - started
+    metrics.observe("qa.fuzz.trial_seconds", trial.elapsed_seconds)
+    return trial
+
+
+def run_fuzz(
+    *,
+    trials: int = 100,
+    seed: int = 0,
+    properties: tuple[str, ...] | None = None,
+    profile: GraphProfile | None = None,
+    max_pes: int = 8,
+    degraded_prob: float = 0.0,
+    shrink: bool = True,
+    time_budget_seconds: float | None = None,
+    jobs: int = 1,
+) -> FuzzReport:
+    """Run ``trials`` seeded property trials and aggregate the outcomes.
+
+    ``time_budget_seconds`` stops launching new trials once the budget
+    is spent (CI smoke mode); the trials that ran are a deterministic
+    prefix of the full campaign.  ``jobs > 1`` fans trials out over a
+    process pool with identical outcomes.
+    """
+    names = properties if properties is not None else tuple(PROPERTIES)
+    prof = profile if profile is not None else GraphProfile()
+    started = time.monotonic()
+    with span("fuzz_campaign", seed=seed, trials=trials, jobs=jobs) as sp:
+        params = [
+            (seed, index, prof, names, shrink, max_pes, degraded_prob)
+            for index in range(trials)
+        ]
+        results = run_parallel(
+            _run_trial,
+            params,
+            jobs=jobs,
+            time_budget_seconds=time_budget_seconds,
+        )
+        report = FuzzReport(
+            seed=seed,
+            trials=results,
+            elapsed_seconds=time.monotonic() - started,
+            properties=names,
+        )
+        sp.add(trials=len(report.trials), failures=len(report.failures))
+    return report

@@ -1,0 +1,461 @@
+"""The property/metamorphic suite run on every fuzz sample.
+
+Each property is a function ``(graph, arch, config, rng) -> list[str]``
+returning human-readable violation strings (empty list == the property
+holds).  Properties hold for *every* legal input, not just the curated
+workloads:
+
+``schedules-legal``
+    Every schedule the pipeline produces — start-up, compacted (fast
+    and reference engines), ETF, sequential — passes the ground-truth
+    validator.
+``design-criterion``
+    The DESIGN correctness criterion re-checked *verbatim and
+    independently* of the validator: for every edge,
+    ``CB(v) + d·L >= CE(u) + M + 1`` with ``M`` recomputed from
+    ``arch.hops`` and the cost model (oracle diversity: a bug in the
+    validator's edge walk cannot hide here).
+``engines-equivalent``
+    The differential oracle: the fast-path engine and the verbatim
+    reference engine must agree on lengths, placements, accept/reject
+    traces, stop reasons and retimings.
+``relabel-invariance``
+    Renaming nodes through a string-order-preserving bijection must not
+    change the optimiser's behaviour: same lengths, placements mapped
+    exactly.  (Tie-breaks may depend on label *order*, never on label
+    *content*.)
+``pe-permutation``
+    Pushing a schedule through a distance-preserving PE permutation (an
+    automorphism of the topology that also preserves execution speeds)
+    keeps it legal at the same length.
+``retiming-legality``
+    The optimiser's cumulative retiming is legal, reproduces its
+    retimed graph exactly, and preserves every cycle invariant
+    (iteration bound); a freshly scheduled retimed graph validates.
+``bounds``
+    Analytic brackets: every produced length is at least the iteration
+    bound (and the work bound where it applies) and compaction never
+    returns a best schedule longer than its start-up schedule; without
+    relaxation, accepted pass lengths are monotone non-increasing
+    (Theorem 4.4).  On tiny instances the exhaustive baseline
+    (:func:`repro.baselines.exact.exact_minimum_length`) brackets the
+    no-retiming schedulers from below.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+from typing import Callable
+
+from repro.arch.topology import Architecture
+from repro.baselines.etf import etf_schedule
+from repro.baselines.exact import exact_minimum_length
+from repro.baselines.sequential import sequential_schedule
+from repro.core.config import CycloConfig
+from repro.core.cyclo import CycloResult, cyclo_compact
+from repro.errors import QAError, SchedulingError
+from repro.graph.csdfg import CSDFG
+from repro.graph.properties import iteration_bound
+from repro.perf.reference import reference_cyclo_compact
+from repro.retiming.basic import apply_retiming, is_legal_retiming
+from repro.schedule.table import ScheduleTable
+from repro.schedule.validate import collect_violations
+
+__all__ = [
+    "PROPERTIES",
+    "PropertyFn",
+    "check_property",
+    "check_all",
+    "design_criterion_violations",
+    "architecture_automorphism",
+]
+
+PropertyFn = Callable[
+    [CSDFG, Architecture, CycloConfig, random.Random], list[str]
+]
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _compact(
+    graph: CSDFG, arch: Architecture, cfg: CycloConfig
+) -> CycloResult:
+    return cyclo_compact(graph, arch, config=cfg)
+
+
+def design_criterion_violations(
+    graph: CSDFG, arch: Architecture, schedule: ScheduleTable
+) -> list[str]:
+    """The DESIGN criterion, verbatim: ``CB(v) + d·L >= CE(u) + M + 1``.
+
+    Deliberately *not* implemented via the validator: ``M`` comes
+    straight from ``arch.hops`` and the cost model, ``CE`` from
+    ``CB + t - 1``, so this is an independent oracle for the
+    precedence/communication inequality.
+    """
+    problems: list[str] = []
+    L = schedule.length
+    for edge in graph.edges():
+        if edge.src not in schedule or edge.dst not in schedule:
+            problems.append(
+                f"edge ({edge.src!r}, {edge.dst!r}): endpoint unscheduled"
+            )
+            continue
+        pu = schedule.placement(edge.src)
+        pv = schedule.placement(edge.dst)
+        cb_v = pv.start
+        ce_u = pu.start + pu.duration - 1
+        m = arch.comm_model.cost(arch.hops(pu.pe, pv.pe), edge.volume)
+        if cb_v + edge.delay * L < ce_u + m + 1:
+            problems.append(
+                f"design criterion: CB({edge.dst!r})={cb_v} + "
+                f"{edge.delay}*{L} < CE({edge.src!r})={ce_u} + M={m} + 1"
+            )
+    return problems
+
+
+def architecture_automorphism(
+    arch: Architecture, rng: random.Random, *, attempts: int = 24
+) -> list[int] | None:
+    """A non-trivial distance- and speed-preserving PE permutation.
+
+    Tries structured candidates (reversal, rotations) and random
+    shuffles, returning the first permutation ``perm`` with
+    ``hops(p, q) == hops(perm[p], perm[q])`` and equal time scales for
+    every alive pair — or ``None`` when none is found (the identity is
+    never returned: it would make the property vacuous).
+    """
+    n = arch.num_pes
+    alive = [p for p in range(n) if arch.is_alive(p)]
+    dist = arch.distance_matrix
+    scales = arch.time_scales
+
+    def valid(perm: list[int]) -> bool:
+        for p in alive:
+            if not arch.is_alive(perm[p]) or scales[p] != scales[perm[p]]:
+                return False
+        for p in alive:
+            row = dist[p]
+            prow = dist[perm[p]]
+            for q in alive:
+                if row[q] != prow[perm[q]]:
+                    return False
+        return True
+
+    candidates: list[list[int]] = [list(reversed(range(n)))]
+    for shift in (1, 2, n // 2):
+        if 0 < shift < n:
+            candidates.append([(p + shift) % n for p in range(n)])
+    for _ in range(attempts):
+        shuffled = list(range(n))
+        rng.shuffle(shuffled)
+        candidates.append(shuffled)
+    identity = list(range(n))
+    for perm in candidates:
+        if perm != identity and valid(perm):
+            return perm
+    return None
+
+
+def _permuted(schedule: ScheduleTable, perm: list[int]) -> ScheduleTable:
+    out = ScheduleTable(
+        schedule.num_pes, name=f"{schedule.name}:permuted"
+    )
+    for p in schedule.placements():
+        out.place(p.node, perm[p.pe], p.start, p.duration, p.occupancy)
+    out.set_length(max(schedule.length, out.makespan))
+    return out
+
+
+# ----------------------------------------------------------------------
+# properties
+# ----------------------------------------------------------------------
+def prop_schedules_legal(
+    graph: CSDFG, arch: Architecture, cfg: CycloConfig, rng: random.Random
+) -> list[str]:
+    problems: list[str] = []
+    result = _compact(graph, arch, cfg)
+
+    def check(label: str, g: CSDFG, schedule: ScheduleTable, *, pipelined):
+        for v in collect_violations(g, arch, schedule, pipelined_pes=pipelined):
+            problems.append(f"{label}: {v}")
+
+    check("startup", graph, result.initial_schedule, pipelined=cfg.pipelined_pes)
+    check("compacted", result.graph, result.schedule, pipelined=cfg.pipelined_pes)
+    if result.final_schedule is not None and result.final_graph is not None:
+        check(
+            "final-working",
+            result.final_graph,
+            result.final_schedule,
+            pipelined=cfg.pipelined_pes,
+        )
+    if not arch.is_heterogeneous and all(arch.is_alive(p) for p in range(arch.num_pes)):
+        check("etf", graph, etf_schedule(graph, arch), pipelined=False)
+    check("sequential", graph, sequential_schedule(graph, arch), pipelined=False)
+    return problems
+
+
+def prop_design_criterion(
+    graph: CSDFG, arch: Architecture, cfg: CycloConfig, rng: random.Random
+) -> list[str]:
+    problems: list[str] = []
+    result = _compact(graph, arch, cfg)
+    for label, g, schedule in (
+        ("startup", graph, result.initial_schedule),
+        ("compacted", result.graph, result.schedule),
+    ):
+        for v in design_criterion_violations(g, arch, schedule):
+            problems.append(f"{label}: {v}")
+    return problems
+
+
+def prop_engines_equivalent(
+    graph: CSDFG, arch: Architecture, cfg: CycloConfig, rng: random.Random
+) -> list[str]:
+    fast = cyclo_compact(graph, arch, config=cfg)
+    ref = reference_cyclo_compact(graph, arch, config=cfg)
+    problems: list[str] = []
+    if fast.initial_length != ref.initial_length:
+        problems.append(
+            f"initial length: fast {fast.initial_length} != "
+            f"reference {ref.initial_length}"
+        )
+    if fast.final_length != ref.final_length:
+        problems.append(
+            f"final length: fast {fast.final_length} != "
+            f"reference {ref.final_length}"
+        )
+    if not fast.initial_schedule.same_placements(ref.initial_schedule):
+        problems.append("initial placements differ between engines")
+    if not fast.schedule.same_placements(ref.schedule):
+        problems.append("compacted placements differ between engines")
+    if fast.trace != ref.trace:
+        problems.append("accept/reject traces differ between engines")
+    if fast.stop_reason != ref.stop_reason:
+        problems.append(
+            f"stop reason: fast {fast.stop_reason!r} != "
+            f"reference {ref.stop_reason!r}"
+        )
+    if fast.retiming != ref.retiming:
+        problems.append("cumulative retimings differ between engines")
+    return problems
+
+
+def prop_relabel_invariance(
+    graph: CSDFG, arch: Architecture, cfg: CycloConfig, rng: random.Random
+) -> list[str]:
+    # a string-order-preserving bijection: sorted old labels map to
+    # fresh labels that sort the same way, so every str(v) tie-break
+    # compares identically and only label *content* changes
+    ordered = sorted(graph.nodes(), key=str)
+    mapping = {old: f"q{i:04d}" for i, old in enumerate(ordered)}
+    relabelled = graph.relabel(mapping, name=graph.name)
+
+    base = _compact(graph, arch, cfg)
+    other = _compact(relabelled, arch, cfg)
+    problems: list[str] = []
+    if (base.initial_length, base.final_length) != (
+        other.initial_length,
+        other.final_length,
+    ):
+        problems.append(
+            f"lengths changed under relabelling: "
+            f"{base.initial_length}->{base.final_length} vs "
+            f"{other.initial_length}->{other.final_length}"
+        )
+        return problems
+    for node in graph.nodes():
+        p = base.schedule.placement(node)
+        q = other.schedule.placement(mapping[node])
+        if (p.pe, p.start, p.duration) != (q.pe, q.start, q.duration):
+            problems.append(
+                f"placement of {node!r} moved under relabelling: "
+                f"(pe{p.pe + 1}, cs{p.start}) vs (pe{q.pe + 1}, cs{q.start})"
+            )
+    return problems
+
+
+def prop_pe_permutation(
+    graph: CSDFG, arch: Architecture, cfg: CycloConfig, rng: random.Random
+) -> list[str]:
+    perm = architecture_automorphism(arch, rng)
+    if perm is None:
+        return []  # no non-trivial automorphism found: vacuously holds
+    result = _compact(graph, arch, cfg)
+    problems: list[str] = []
+    for label, g, schedule in (
+        ("startup", graph, result.initial_schedule),
+        ("compacted", result.graph, result.schedule),
+    ):
+        permuted = _permuted(schedule, perm)
+        if permuted.length != schedule.length:
+            problems.append(
+                f"{label}: permuted length {permuted.length} != "
+                f"{schedule.length}"
+            )
+        for v in collect_violations(
+            g, arch, permuted, pipelined_pes=cfg.pipelined_pes
+        ):
+            problems.append(f"{label} under PE permutation {perm}: {v}")
+    return problems
+
+
+def prop_retiming_legality(
+    graph: CSDFG, arch: Architecture, cfg: CycloConfig, rng: random.Random
+) -> list[str]:
+    result = _compact(graph, arch, cfg)
+    problems: list[str] = []
+    if not is_legal_retiming(graph, result.retiming):
+        problems.append("optimiser returned an illegal cumulative retiming")
+        return problems
+    retimed = apply_retiming(graph, result.retiming)
+    if not retimed.structurally_equal(result.graph):
+        problems.append(
+            "result.graph != apply_retiming(input, result.retiming)"
+        )
+    if iteration_bound(retimed) != iteration_bound(graph):
+        problems.append(
+            f"retiming changed the iteration bound: "
+            f"{iteration_bound(graph)} -> {iteration_bound(retimed)}"
+        )
+    # a legally retimed graph must still schedule to a legal table
+    fresh = _compact(retimed, arch, cfg)
+    for v in collect_violations(
+        fresh.graph, arch, fresh.schedule, pipelined_pes=cfg.pipelined_pes
+    ):
+        problems.append(f"schedule of retimed graph: {v}")
+    return problems
+
+
+def prop_bounds(
+    graph: CSDFG, arch: Architecture, cfg: CycloConfig, rng: random.Random
+) -> list[str]:
+    problems: list[str] = []
+    result = _compact(graph, arch, cfg)
+    bound = iteration_bound(graph)
+    floor = max(1, math.ceil(bound)) if bound > 0 else 1
+    if result.final_length < floor:
+        problems.append(
+            f"final length {result.final_length} beats the iteration "
+            f"bound {bound}"
+        )
+    if result.final_length > result.initial_length:
+        problems.append(
+            f"best schedule ({result.final_length}) is longer than the "
+            f"start-up schedule ({result.initial_length})"
+        )
+    alive = [p for p in range(arch.num_pes) if arch.is_alive(p)]
+    if not cfg.pipelined_pes and not arch.is_heterogeneous:
+        work_bound = -(-graph.total_work() // max(1, len(alive)))
+        if result.final_length < work_bound:
+            problems.append(
+                f"final length {result.final_length} beats the work "
+                f"bound {work_bound}"
+            )
+    if not cfg.relaxation:
+        lengths = [
+            r.length_after for r in result.trace.records if r.accepted
+        ]
+        previous = result.initial_length
+        for length in lengths:
+            if length > previous:
+                problems.append(
+                    "Theorem 4.4 violated: accepted pass grew the "
+                    f"schedule {previous} -> {length} without relaxation"
+                )
+                break
+            previous = length
+    problems.extend(_exact_bracket(graph, arch, cfg, result))
+    return problems
+
+
+def _exact_bracket(
+    graph: CSDFG,
+    arch: Architecture,
+    cfg: CycloConfig,
+    result: CycloResult,
+) -> list[str]:
+    """Exhaustive-search bracket, only where it is tractable."""
+    if (
+        graph.num_nodes > 5
+        or arch.num_pes > 4
+        or cfg.pipelined_pes
+        or arch.is_heterogeneous
+        or graph.total_work() > 12
+        or any(not arch.is_alive(p) for p in range(arch.num_pes))
+    ):
+        return []
+    try:
+        optimum, _ = exact_minimum_length(graph, arch, node_budget=200_000)
+    except SchedulingError:
+        return []  # search budget exhausted: no verdict
+    problems = []
+    if result.initial_length < optimum:
+        problems.append(
+            f"start-up length {result.initial_length} beats the exact "
+            f"no-retiming minimum {optimum}"
+        )
+    etf_len = etf_schedule(graph, arch).length
+    if etf_len < optimum:
+        problems.append(
+            f"ETF length {etf_len} beats the exact no-retiming "
+            f"minimum {optimum}"
+        )
+    if Fraction(optimum) < iteration_bound(graph):
+        problems.append(
+            f"exact minimum {optimum} beats the iteration bound "
+            f"{iteration_bound(graph)}"
+        )
+    return problems
+
+
+#: Registry of every property, in the order the fuzzer runs them.
+PROPERTIES: dict[str, PropertyFn] = {
+    "schedules-legal": prop_schedules_legal,
+    "design-criterion": prop_design_criterion,
+    "engines-equivalent": prop_engines_equivalent,
+    "relabel-invariance": prop_relabel_invariance,
+    "pe-permutation": prop_pe_permutation,
+    "retiming-legality": prop_retiming_legality,
+    "bounds": prop_bounds,
+}
+
+
+def check_property(
+    name: str,
+    graph: CSDFG,
+    arch: Architecture,
+    cfg: CycloConfig,
+    rng: random.Random | int = 0,
+) -> list[str]:
+    """Run one named property; violation strings are prefixed with it."""
+    try:
+        prop = PROPERTIES[name]
+    except KeyError:
+        raise QAError(
+            f"unknown property {name!r}; known: {list(PROPERTIES)}"
+        ) from None
+    if not isinstance(rng, random.Random):
+        rng = random.Random(rng)
+    return [f"[{name}] {v}" for v in prop(graph, arch, cfg, rng)]
+
+
+def check_all(
+    graph: CSDFG,
+    arch: Architecture,
+    cfg: CycloConfig,
+    rng: random.Random | int = 0,
+    *,
+    properties: tuple[str, ...] | None = None,
+) -> list[str]:
+    """Run every property (or ``properties``) on one sample."""
+    if not isinstance(rng, random.Random):
+        rng = random.Random(rng)
+    names = properties if properties is not None else tuple(PROPERTIES)
+    violations: list[str] = []
+    for name in names:
+        violations.extend(check_property(name, graph, arch, cfg, rng))
+    return violations

@@ -1,0 +1,305 @@
+"""Delta-debugging shrinker for failing (graph, arch, config) triples.
+
+Given a :class:`~repro.qa.case.ReproCase` whose property fails, the
+shrinker searches for the smallest case that *still* fails, so a
+30-node fuzz catch becomes a 3-node reproducer a human can read:
+
+1. **Nodes** — ddmin-style chunked removal (halves, then quarters, …,
+   then single nodes) of graph nodes with their incident edges.
+2. **Edges** — greedy single-edge removal.
+3. **Annotations** — push every execution time, delay and volume toward
+   its minimum (``t=1``, ``d ∈ {0, 1}``, ``c=1``).
+4. **Config** — fewer compaction passes, simpler optimiser modes.
+5. **Architecture** — fewer PEs of the same kind, then the smallest
+   machines of simpler kinds.
+
+Every candidate must stay *paper-legal* (positive-delay cycles —
+checked with :func:`repro.graph.validation.is_legal`) before it is
+tried, so the shrinker can never convert a scheduler bug into a
+generator bug.  Rounds repeat until a fixpoint; the check function is
+total (exceptions count as failures) via
+:func:`~repro.qa.case.replay_case`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator
+
+from repro.core.config import CycloConfig
+from repro.errors import QAError
+from repro.graph.csdfg import CSDFG
+from repro.graph.validation import is_legal
+from repro.qa.case import ReproCase, replay_case
+from repro.qa.generate import ArchSpec, _VALID_PE_COUNTS
+
+__all__ = ["ShrinkResult", "shrink_case"]
+
+CheckFn = Callable[[ReproCase], list[str]]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    case: ReproCase
+    original: ReproCase
+    violations: list[str]
+    rounds: int
+    attempts: int
+
+    @property
+    def nodes_removed(self) -> int:
+        return self.original.graph.num_nodes - self.case.graph.num_nodes
+
+    def describe(self) -> str:
+        return (
+            f"shrunk {self.original.graph.num_nodes} node(s) / "
+            f"{self.original.graph.num_edges} edge(s) on "
+            f"{self.original.arch_spec.kind} x{self.original.arch_spec.num_pes} "
+            f"to {self.case.graph.num_nodes} node(s) / "
+            f"{self.case.graph.num_edges} edge(s) on "
+            f"{self.case.arch_spec.kind} x{self.case.arch_spec.num_pes} "
+            f"({self.attempts} candidate(s) over {self.rounds} round(s))"
+        )
+
+
+def shrink_case(
+    case: ReproCase,
+    *,
+    check: CheckFn = replay_case,
+    max_attempts: int = 4000,
+) -> ShrinkResult:
+    """Minimise ``case`` while ``check`` keeps failing.
+
+    ``check`` returns the violation list of a candidate (empty ==
+    passes); it defaults to replaying the case's own property.  Raises
+    :class:`QAError` when the input case does not fail at all — a
+    shrink request for a passing case is always a caller bug.
+    """
+    violations = check(case)
+    if not violations:
+        raise QAError(
+            "shrink_case needs a failing case; the given case passes "
+            f"({case.describe()})"
+        )
+    budget = _Budget(max_attempts)
+    current = case
+    rounds = 0
+    changed = True
+    while changed and budget.left():
+        changed = False
+        rounds += 1
+        for mutate in (
+            _shrink_nodes,
+            _shrink_edges,
+            _shrink_annotations,
+            _shrink_config,
+            _shrink_arch,
+        ):
+            smaller = mutate(current, check, budget)
+            if smaller is not None:
+                current = smaller
+                changed = True
+    return ShrinkResult(
+        case=current,
+        original=case,
+        violations=check(current),
+        rounds=rounds,
+        attempts=budget.spent,
+    )
+
+
+class _Budget:
+    """Caps the number of candidate replays a shrink run may spend."""
+
+    def __init__(self, max_attempts: int):
+        self.max_attempts = max_attempts
+        self.spent = 0
+
+    def left(self) -> bool:
+        return self.spent < self.max_attempts
+
+    def charge(self) -> None:
+        self.spent += 1
+
+
+def _viable(candidate: ReproCase) -> bool:
+    """A candidate must be a well-formed input before it may "fail":
+    otherwise the shrinker walks into a *different* failure (e.g. an
+    architecture whose constructor rejects the shrunk PE count) and
+    reports a reproducer for the wrong bug."""
+    if candidate.graph.num_nodes < 1 or not is_legal(candidate.graph):
+        return False
+    try:
+        candidate.arch_spec.build()
+    except Exception:
+        return False
+    return True
+
+
+def _still_fails(
+    candidate: ReproCase, check: CheckFn, budget: _Budget
+) -> bool:
+    if not budget.left() or not _viable(candidate):
+        return False
+    budget.charge()
+    return bool(check(candidate))
+
+
+def _without_nodes(graph: CSDFG, victims: list) -> CSDFG | None:
+    if len(victims) >= graph.num_nodes:
+        return None  # must keep at least one node
+    out = graph.copy()
+    for node in victims:
+        out.remove_node(node)
+    return out
+
+
+def _shrink_nodes(
+    case: ReproCase, check: CheckFn, budget: _Budget
+) -> ReproCase | None:
+    """ddmin over the node list: drop the largest chunk that still fails."""
+    best: ReproCase | None = None
+    current = case
+    chunk = max(1, current.graph.num_nodes // 2)
+    while chunk >= 1 and budget.left():
+        removed_any = False
+        nodes = list(current.graph.nodes())
+        start = 0
+        while start < len(nodes) and budget.left():
+            victims = nodes[start : start + chunk]
+            smaller = _without_nodes(current.graph, victims)
+            if smaller is not None and smaller.num_nodes >= 1:
+                candidate = current.with_graph(smaller)
+                if _still_fails(candidate, check, budget):
+                    current = candidate
+                    best = candidate
+                    nodes = list(current.graph.nodes())
+                    removed_any = True
+                    continue  # same start index: the list shifted left
+            start += chunk
+        if not removed_any:
+            chunk //= 2
+    return best
+
+
+def _shrink_edges(
+    case: ReproCase, check: CheckFn, budget: _Budget
+) -> ReproCase | None:
+    best: ReproCase | None = None
+    current = case
+    progress = True
+    while progress and budget.left():
+        progress = False
+        for edge in list(current.graph.edges()):
+            smaller = current.graph.copy()
+            smaller.remove_edge(edge.src, edge.dst)
+            candidate = current.with_graph(smaller)
+            if _still_fails(candidate, check, budget):
+                current = candidate
+                best = candidate
+                progress = True
+                break
+    return best
+
+
+def _annotation_candidates(graph: CSDFG) -> Iterator[CSDFG]:
+    for node in graph.nodes():
+        if graph.time(node) > 1:
+            out = graph.copy()
+            out.add_node(node, 1)  # re-adding updates the time
+            yield out
+    for edge in graph.edges():
+        if edge.volume > 1:
+            out = graph.copy()
+            out.remove_edge(edge.src, edge.dst)
+            out.add_edge(edge.src, edge.dst, edge.delay, 1)
+            yield out
+        for delay in (0, 1):
+            if edge.delay > delay:
+                out = graph.copy()
+                out.set_delay(edge.src, edge.dst, delay)
+                if is_legal(out):  # delay cuts can zero out a cycle
+                    yield out
+
+
+def _shrink_annotations(
+    case: ReproCase, check: CheckFn, budget: _Budget
+) -> ReproCase | None:
+    best: ReproCase | None = None
+    current = case
+    progress = True
+    while progress and budget.left():
+        progress = False
+        for smaller in _annotation_candidates(current.graph):
+            candidate = current.with_graph(smaller)
+            if _still_fails(candidate, check, budget):
+                current = candidate
+                best = candidate
+                progress = True
+                break
+    return best
+
+
+def _config_candidates(cfg: CycloConfig) -> Iterator[CycloConfig]:
+    iterations = cfg.iterations_for(1)
+    if cfg.max_iterations is None or cfg.max_iterations > 1:
+        yield replace(cfg, max_iterations=max(1, iterations // 2))
+        yield replace(cfg, max_iterations=1)
+    if cfg.pipelined_pes:
+        yield replace(cfg, pipelined_pes=False)
+    if cfg.remap_strategy != "implied":
+        yield replace(cfg, remap_strategy="implied")
+    if not cfg.relaxation:
+        yield replace(cfg, relaxation=True)
+
+
+def _shrink_config(
+    case: ReproCase, check: CheckFn, budget: _Budget
+) -> ReproCase | None:
+    best: ReproCase | None = None
+    current = case
+    progress = True
+    while progress and budget.left():
+        progress = False
+        for cfg in _config_candidates(current.config):
+            candidate = replace(current, config=cfg)
+            if _still_fails(candidate, check, budget):
+                current = candidate
+                best = candidate
+                progress = True
+                break
+    return best
+
+
+def _arch_candidates(spec: ArchSpec) -> Iterator[ArchSpec]:
+    # same kind, fewer PEs (degradations do not survive a resize)
+    for n in sorted(_VALID_PE_COUNTS[spec.kind]):
+        if n < spec.num_pes:
+            yield ArchSpec(spec.kind, n)
+    # drop any degradation at the current size
+    if spec.failed_pes or spec.failed_links:
+        yield ArchSpec(spec.kind, spec.num_pes)
+    # smallest machines of the structurally simplest kinds
+    for kind in ("linear", "ring", "complete"):
+        if kind != spec.kind:
+            yield ArchSpec(kind, min(_VALID_PE_COUNTS[kind]))
+
+
+def _shrink_arch(
+    case: ReproCase, check: CheckFn, budget: _Budget
+) -> ReproCase | None:
+    best: ReproCase | None = None
+    current = case
+    progress = True
+    while progress and budget.left():
+        progress = False
+        for spec in _arch_candidates(current.arch_spec):
+            candidate = replace(current, arch_spec=spec)
+            if _still_fails(candidate, check, budget):
+                current = candidate
+                best = candidate
+                progress = True
+                break
+    return best

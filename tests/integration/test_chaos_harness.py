@@ -95,3 +95,56 @@ class TestWatchdog:
             simulate_with_faults(
                 graph, arch, schedule, 3, campaign, watchdog_limit=0
             )
+
+
+class TestParallelDeterminism:
+    """Regression guard: ``--jobs > 1`` must reproduce the serial
+    campaign trial-for-trial, in item order."""
+
+    @staticmethod
+    def _key(trial):
+        # compare everything deterministic (elapsed_seconds is wall
+        # clock and legitimately differs between runs)
+        return (
+            trial.index,
+            trial.seed,
+            trial.topology,
+            trial.workload,
+            trial.num_faults,
+            trial.outcome,
+            trial.campaign,
+            trial.iterations,
+            trial.makespan,
+            trial.reconfigurations,
+            trial.regression,
+            trial.error,
+        )
+
+    def test_jobs2_matches_serial_in_order(self):
+        serial = run_chaos_campaign(trials=12, seed=42)
+        parallel = run_chaos_campaign(trials=12, seed=42, jobs=2)
+        assert [self._key(t) for t in parallel.trials] == [
+            self._key(t) for t in serial.trials
+        ]
+        assert [t.index for t in parallel.trials] == list(range(12))
+
+    def test_jobs2_merges_worker_metrics(self):
+        from repro.obs import InMemorySink, install_sink, remove_sink
+
+        sink = InMemorySink()
+        install_sink(sink)
+        try:
+            metrics.reset()
+            run_chaos_campaign(trials=6, seed=0, jobs=2)
+            snap = metrics.snapshot()
+            counters = snap["counters"]
+        finally:
+            remove_sink(sink)
+        # per-trial counters were recorded inside the workers and must
+        # have been merged back into this process's registry
+        assert counters.get("resilience.chaos.trials") == 6
+        assert sum(
+            v
+            for k, v in counters.items()
+            if k.startswith("resilience.chaos.outcome.")
+        ) == 6

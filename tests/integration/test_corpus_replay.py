@@ -1,0 +1,44 @@
+"""Replay every checked-in reproducer in ``tests/corpus/``.
+
+Each corpus file is a shrunk :class:`~repro.qa.case.ReproCase` from a
+past (or deliberately injected) scheduler bug.  The contract: on
+healthy code every case passes — a failure here means a previously
+understood bug is back.  New entries come from
+``repro fuzz --out DIR`` (see ``docs/testing.md``).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.qa import load_cases, replay_case
+
+CORPUS = Path(__file__).resolve().parent.parent / "corpus"
+
+_CASES = load_cases(CORPUS)
+
+
+def test_corpus_exists_and_is_loadable():
+    assert CORPUS.is_dir()
+    assert len(_CASES) >= 1, "tests/corpus/ must ship at least one case"
+
+
+@pytest.mark.parametrize(
+    "path,case", _CASES, ids=[p.stem for p, _ in _CASES]
+)
+def test_corpus_case_passes(path, case):
+    violations = replay_case(case)
+    assert violations == [], (
+        f"{path.name} regressed ({case.describe()}):\n  "
+        + "\n  ".join(violations)
+    )
+
+
+def test_corpus_cases_are_small():
+    # the corpus only accepts *shrunk* reproducers: small enough that a
+    # human can read the graph in the JSON directly
+    for path, case in _CASES:
+        assert case.graph.num_nodes <= 8, (
+            f"{path.name} has {case.graph.num_nodes} nodes; shrink it "
+            f"before checking it in"
+        )

@@ -1,0 +1,117 @@
+"""End-to-end fuzz campaigns: the qa subsystem's own tier-1 smoke.
+
+A short campaign on healthy code must come back clean, replay
+trial-for-trial across process pools, and honour its time budget; the
+CLI wrapper must exit 0/1 accordingly and write reproducers on failure.
+"""
+
+import json
+
+from repro.cli import main
+from repro.qa import FuzzReport, run_fuzz, trial_seed
+
+
+class TestCampaign:
+    def test_healthy_campaign_is_clean(self):
+        report = run_fuzz(trials=60, seed=0)
+        assert isinstance(report, FuzzReport)
+        assert len(report.trials) == 60
+        assert report.ok, report.describe()
+        # coverage: several architectures and graph sizes were hit
+        assert len({t.arch for t in report.trials}) >= 5
+        assert len({t.num_nodes for t in report.trials}) >= 3
+
+    def test_campaign_is_deterministic(self):
+        a = run_fuzz(trials=20, seed=5)
+        b = run_fuzz(trials=20, seed=5)
+        assert [
+            (t.index, t.seed, t.graph_name, t.arch, t.outcome)
+            for t in a.trials
+        ] == [
+            (t.index, t.seed, t.graph_name, t.arch, t.outcome)
+            for t in b.trials
+        ]
+
+    def test_jobs2_matches_serial_in_order(self):
+        serial = run_fuzz(trials=16, seed=3)
+        parallel = run_fuzz(trials=16, seed=3, jobs=2)
+        assert [
+            (t.index, t.seed, t.graph_name, t.arch, t.outcome)
+            for t in parallel.trials
+        ] == [
+            (t.index, t.seed, t.graph_name, t.arch, t.outcome)
+            for t in serial.trials
+        ]
+
+    def test_time_budget_returns_a_prefix(self):
+        full = run_fuzz(trials=30, seed=1)
+        cut = run_fuzz(trials=30, seed=1, time_budget_seconds=0.0)
+        assert len(cut.trials) < len(full.trials)
+        for a, b in zip(cut.trials, full.trials):
+            assert (a.index, a.seed, a.outcome) == (b.index, b.seed, b.outcome)
+
+    def test_trial_seeds_spread(self):
+        seeds = [trial_seed(0, i) for i in range(100)]
+        assert len(set(seeds)) == 100  # no collisions over a campaign
+
+
+class TestCli:
+    def test_fuzz_exits_zero_on_clean_run(self, capsys):
+        assert main(["fuzz", "--trials", "30", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL PROPERTIES HOLD" in out
+
+    def test_fuzz_replays_the_corpus(self, capsys):
+        from pathlib import Path
+
+        corpus = Path(__file__).resolve().parent.parent / "corpus"
+        assert main(["fuzz", "--replay", str(corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "all reproducers pass" in out
+
+    def test_fuzz_rejects_unknown_property(self, capsys):
+        assert main(["fuzz", "--trials", "5", "--properties", "nope"]) == 1
+        assert "unknown properties" in capsys.readouterr().err
+
+    def test_fuzz_rejects_bad_counts(self, capsys):
+        assert main(["fuzz", "--trials", "0"]) == 1
+        assert main(["fuzz", "--trials", "5", "--jobs", "0"]) == 1
+
+    def test_fuzz_replay_missing_path_errors(self, capsys):
+        assert main(["fuzz", "--replay", "does/not/exist"]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_failing_campaign_exits_one_and_writes_reproducers(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.arch.cache import CommCostCache
+
+        real = CommCostCache.cost
+
+        def buggy(self, src, dst, volume):
+            cost = real(self, src, dst, volume)
+            if src != dst and max(src, dst) >= 2 and cost > 0:
+                return cost - 1
+            return cost
+
+        monkeypatch.setattr(CommCostCache, "cost", buggy)
+        out_dir = tmp_path / "repro-out"
+        code = main([
+            "fuzz", "--trials", "40", "--seed", "7",
+            "--out", str(out_dir),
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAILING TRIAL" in out
+        written = sorted(out_dir.glob("*.json"))
+        assert written, "no reproducer files were written"
+        shrunk = [p for p in written if p.stem.endswith("-shrunk")]
+        assert shrunk, "no shrunk reproducer was written"
+        payload = json.loads(shrunk[0].read_text())
+        assert payload["format"] == "repro-qa-case"
+        # the shrunk reproducer must FAIL while the bug is live...
+        monkeypatch.setattr(CommCostCache, "cost", buggy)
+        assert main(["fuzz", "--replay", str(shrunk[0])]) == 1
+        # ...and pass once it is fixed
+        monkeypatch.setattr(CommCostCache, "cost", real)
+        assert main(["fuzz", "--replay", str(shrunk[0])]) == 0

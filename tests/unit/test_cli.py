@@ -222,6 +222,20 @@ class TestParser:
         assert parser.format_help()
 
 
+class TestBrokenPipe:
+    def test_broken_pipe_exits_zero(self, monkeypatch):
+        # `python -m repro list | head -1` must exit 0, not print
+        # "error: [Errno 32] ..." — BrokenPipeError is an OSError
+        # subclass, so its handler has to come first in main()
+        import repro.cli as cli
+
+        def explode(*args, **kwargs):
+            raise BrokenPipeError(32, "Broken pipe")
+
+        monkeypatch.setattr(cli, "_cmd_list", explode)
+        assert main(["list"]) == 0
+
+
 class TestCodegen:
     def test_program_listing(self, capsys):
         assert main(

@@ -1,0 +1,105 @@
+"""CommCostCache cross-checked against the uncached hop-cost path.
+
+Satellite of the qa PR: the fast-path ``M`` tables must agree with
+``arch.comm_cost`` (and with a by-hand ``hops -> cost-model`` walk) on
+every PE pair, every volume, every registered topology kind — healthy
+and degraded.  A divergence here is exactly the bug class the fuzzer's
+differential oracle exists to catch; this pins it deterministically.
+"""
+
+import pytest
+
+from repro.arch import ARCHITECTURE_KINDS, make_architecture
+from repro.arch.cache import CommCostCache
+from repro.arch.degraded import DegradedTopology
+from repro.errors import DeadProcessorError
+from repro.qa import sample_graph
+
+# one valid PE count per registered kind (tori need >= 3 per dimension,
+# hypercubes powers of two, balanced trees 2**k - 1)
+KIND_SIZES = {
+    "linear": 4,
+    "ring": 5,
+    "complete": 4,
+    "mesh": 6,
+    "torus": 9,
+    "hypercube": 8,
+    "star": 5,
+    "tree": 7,
+}
+
+VOLUMES = (1, 2, 3, 5)
+
+
+def _assert_matches_direct(arch, cache):
+    for volume in VOLUMES:
+        for src in arch.processors:
+            for dst in arch.processors:
+                expected = arch.comm_cost(src, dst, volume)
+                assert cache.cost(src, dst, volume) == expected
+                # and against the definition itself: M(hops, volume)
+                assert expected == arch.comm_model.cost(
+                    arch.hops(src, dst), volume
+                )
+
+
+class TestAllKindsHealthy:
+    def test_registry_and_size_table_agree(self):
+        assert set(KIND_SIZES) == set(ARCHITECTURE_KINDS)
+
+    @pytest.mark.parametrize("kind", sorted(KIND_SIZES))
+    def test_cache_matches_direct_costs(self, kind):
+        arch = make_architecture(kind, KIND_SIZES[kind])
+        cache = CommCostCache(arch, VOLUMES)
+        assert cache.volumes == frozenset(VOLUMES)
+        _assert_matches_direct(arch, cache)
+
+    @pytest.mark.parametrize("kind", sorted(KIND_SIZES))
+    def test_local_messages_are_free(self, kind):
+        arch = make_architecture(kind, KIND_SIZES[kind])
+        cache = CommCostCache(arch, (1,))
+        for pe in arch.processors:
+            assert cache.cost(pe, pe, 1) == 0
+
+
+class TestDegraded:
+    @pytest.mark.parametrize("kind", ["ring", "complete", "mesh", "star"])
+    def test_cache_matches_on_survivors(self, kind):
+        base = make_architecture(kind, KIND_SIZES[kind])
+        victim = KIND_SIZES[kind] - 1  # leaf/edge PE keeps things connected
+        arch = DegradedTopology(base, failed_pes=(victim,))
+        cache = CommCostCache(arch, VOLUMES)
+        _assert_matches_direct(arch, cache)
+
+    def test_dead_pe_raises_like_the_uncached_path(self):
+        base = make_architecture("complete", 4)
+        arch = DegradedTopology(base, failed_pes=(2,))
+        cache = CommCostCache(arch, (1,))
+        with pytest.raises(DeadProcessorError):
+            cache.cost(0, 2, 1)
+        with pytest.raises(DeadProcessorError):
+            cache.cost(2, 0, 1)
+
+
+class TestFallbacks:
+    def test_uncached_volume_defers_to_arch(self):
+        arch = make_architecture("mesh", 4)
+        cache = CommCostCache(arch, (1,))
+        assert cache.cost(0, 3, 7) == arch.comm_cost(0, 3, 7)
+
+    def test_for_graph_covers_every_edge_volume(self):
+        graph = sample_graph(11)
+        arch = make_architecture("ring", 4)
+        cache = CommCostCache.for_graph(arch, graph)
+        assert {e.volume for e in graph.edges()} <= cache.volumes
+
+    def test_row_views_agree_with_point_lookups(self):
+        arch = make_architecture("hypercube", 8)
+        cache = CommCostCache(arch, (2,))
+        for src in arch.processors:
+            row = cache.row_from(src, 2)
+            col_of = [cache.row_to(dst, 2)[src] for dst in arch.processors]
+            assert row is not None
+            assert [row[dst] for dst in arch.processors] == col_of
+            for dst in arch.processors:
+                assert row[dst] == cache.cost(src, dst, 2)

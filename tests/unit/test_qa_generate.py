@@ -1,0 +1,112 @@
+"""Unit tests for the qa samplers: legality, determinism, coverage."""
+
+import pytest
+
+from repro.arch import ARCHITECTURE_KINDS
+from repro.errors import QAError
+from repro.graph.validation import is_legal
+from repro.qa import (
+    GRAPH_FAMILIES,
+    ArchSpec,
+    GraphProfile,
+    sample_arch_spec,
+    sample_config,
+    sample_graph,
+)
+
+
+class TestSampleGraph:
+    def test_every_sample_is_paper_legal(self):
+        for seed in range(200):
+            graph = sample_graph(seed)
+            assert is_legal(graph), f"seed {seed} produced {graph.name!r}"
+            assert all(graph.time(v) >= 1 for v in graph.nodes())
+            assert all(e.volume >= 1 for e in graph.edges())
+
+    def test_deterministic_per_seed(self):
+        for seed in (0, 17, 999):
+            a = sample_graph(seed)
+            b = sample_graph(seed)
+            assert a.name == b.name
+            assert sorted(map(str, a.nodes())) == sorted(map(str, b.nodes()))
+            assert [
+                (str(e.src), str(e.dst), e.delay, e.volume) for e in a.edges()
+            ] == [
+                (str(e.src), str(e.dst), e.delay, e.volume) for e in b.edges()
+            ]
+
+    def test_profile_bounds_respected(self):
+        prof = GraphProfile(min_nodes=3, max_nodes=5, max_time=2)
+        for seed in range(60):
+            graph = sample_graph(seed, prof)
+            assert 2 <= graph.num_nodes <= 7  # families round sizes a little
+            assert all(graph.time(v) <= 2 for v in graph.nodes())
+
+    def test_all_families_reachable(self):
+        prefixes = {
+            "rand": "random",
+            "layers": "layered",
+            "ring": "ring",
+            "chain": "chain",
+            "forkjoin": "fork-join",
+        }
+        seen = set()
+        for seed in range(300):
+            name = sample_graph(seed).name
+            for prefix, family in prefixes.items():
+                if name.startswith(prefix):
+                    seen.add(family)
+        assert seen == set(GRAPH_FAMILIES)
+
+    def test_bad_profile_raises(self):
+        with pytest.raises(QAError):
+            GraphProfile(min_nodes=5, max_nodes=2)
+        with pytest.raises(QAError):
+            GraphProfile(families=("random", "nope"))
+
+
+class TestSampleArchSpec:
+    def test_all_eight_kinds_sampled_and_buildable(self):
+        seen = set()
+        for seed in range(300):
+            spec = sample_arch_spec(seed)
+            seen.add(spec.kind)
+            arch = spec.build()
+            assert arch.num_pes == spec.num_pes
+        assert seen == set(ARCHITECTURE_KINDS)
+
+    def test_max_pes_respected_when_possible(self):
+        for seed in range(100):
+            spec = sample_arch_spec(seed, max_pes=4)
+            if spec.kind not in ("torus", "tree"):  # floors above 4: 9 / 3
+                assert spec.num_pes <= 4, spec
+
+    def test_degraded_sampling_still_builds(self):
+        degraded = 0
+        for seed in range(120):
+            spec = sample_arch_spec(seed, degraded_prob=0.5)
+            arch = spec.build()
+            if spec.failed_pes:
+                degraded += 1
+                assert arch.num_alive == spec.num_pes - len(spec.failed_pes)
+        assert degraded > 0
+
+    def test_spec_roundtrip(self):
+        spec = ArchSpec("mesh", 9, failed_pes=(4,), failed_links=((0, 1),))
+        again = ArchSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+    def test_malformed_spec_raises(self):
+        with pytest.raises(QAError):
+            ArchSpec.from_dict({"kind": "mesh"})  # num_pes missing
+
+
+class TestSampleConfig:
+    def test_deterministic_and_varied(self):
+        cfgs = [sample_config(seed) for seed in range(80)]
+        again = [sample_config(seed) for seed in range(80)]
+        assert cfgs == again
+        assert {c.relaxation for c in cfgs} == {True, False}
+        assert {c.pipelined_pes for c in cfgs} == {True, False}
+        assert {c.remap_strategy for c in cfgs} == {"implied", "first-fit"}
+        assert all(not c.validate_each_step for c in cfgs)
