@@ -1,0 +1,76 @@
+"""repro.analyze — the two-headed static-analysis subsystem.
+
+**Head 1, the input analyzer** (:func:`analyze_inputs`), statically
+checks the things users hand the scheduler — CSDFG graphs,
+architectures (healthy or degraded), optimiser configs, serialized
+schedules — and proves what can be proven without running a scheduler:
+liveness (RA101), feasibility of a target length against the static
+lower bound (RA301/RA305), and the full DESIGN §1 two-clause legality
+certificate of a schedule re-derived from ``arch.hops`` and the
+communication cost model (RA4xx).
+
+**Head 2, the codebase lint** (:func:`lint_paths`), enforces the
+repository's own invariants over the source tree with :mod:`ast`
+(RL1xx): seeded randomness, no wall clock in core, one communication
+pricing authority, typed exceptions.
+
+Both heads produce the same currency — :class:`Diagnostic` values with
+stable codes, aggregated into an :class:`AnalysisReport` and emitted as
+text, JSON or SARIF 2.1.0 (:func:`render_report`).  The rule catalogue
+lives in :data:`RULES` and is documented in ``docs/analysis.md``.
+"""
+
+from repro.analyze.arch_rules import check_arch
+from repro.analyze.config_rules import (
+    check_config,
+    check_target_length,
+    length_lower_bound,
+)
+from repro.analyze.diagnostics import (
+    SEVERITIES,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+)
+from repro.analyze.emit import FORMATS, render_report, to_json, to_sarif
+from repro.analyze.engine import (
+    analyze_inputs,
+    build_architecture,
+    load_config_input,
+    load_graph_input,
+    load_schedule_input,
+)
+from repro.analyze.graph_rules import check_graph, check_graph_payload
+from repro.analyze.lint import infer_module, lint_paths, lint_source
+from repro.analyze.rules import RULES, Rule, make, rule
+from repro.analyze.schedule_cert import certify_schedule
+
+__all__ = [
+    "SEVERITIES",
+    "Severity",
+    "Diagnostic",
+    "AnalysisReport",
+    "Rule",
+    "RULES",
+    "rule",
+    "make",
+    "check_graph",
+    "check_graph_payload",
+    "check_arch",
+    "check_config",
+    "check_target_length",
+    "length_lower_bound",
+    "certify_schedule",
+    "analyze_inputs",
+    "load_graph_input",
+    "build_architecture",
+    "load_config_input",
+    "load_schedule_input",
+    "lint_source",
+    "lint_paths",
+    "infer_module",
+    "FORMATS",
+    "render_report",
+    "to_json",
+    "to_sarif",
+]

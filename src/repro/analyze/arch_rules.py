@@ -1,0 +1,73 @@
+"""RA2xx — static diagnostics of an architecture (healthy or degraded).
+
+The checks work purely from the topology's hop-distance matrix and the
+communication cost model — no scheduler is consulted.  A
+:class:`~repro.arch.degraded.DegradedTopology` gets two extra looks:
+survivor connectivity is re-reported as a diagnostic when construction
+already failed upstream (see :func:`build_architecture` in
+:mod:`repro.analyze.engine`), and rerouting inflation is compared
+against the healthy base machine (RA205).
+"""
+
+from __future__ import annotations
+
+from repro.analyze.diagnostics import Diagnostic
+from repro.analyze.rules import make
+from repro.arch.degraded import DegradedTopology
+from repro.arch.topology import Architecture
+from repro.graph.csdfg import CSDFG
+
+__all__ = ["check_arch"]
+
+
+def check_arch(
+    arch: Architecture, graph: CSDFG | None = None
+) -> list[Diagnostic]:
+    """All RA2xx findings of a built architecture.
+
+    ``graph`` sharpens the communication diagnostics (worst-case
+    message cost vs. the iteration's total work, surplus processors);
+    without it only topology-intrinsic checks run.
+    """
+    out: list[Diagnostic] = []
+    alive = [p for p in arch.processors if arch.is_alive(p)]
+
+    if isinstance(arch, DegradedTopology):
+        base_diameter = arch.base.diameter
+        degraded_diameter = arch.diameter
+        if degraded_diameter > base_diameter:
+            out.append(make(
+                "RA205",
+                f"failed hardware inflated the hop diameter of "
+                f"{arch.base.name!r} from {base_diameter} to "
+                f"{degraded_diameter} over {len(alive)} surviving PE(s)",
+            ))
+
+    if graph is not None and graph.num_nodes > 0:
+        out.extend(_comm_blowup(arch, graph))
+        if len(alive) > graph.num_nodes:
+            out.append(make(
+                "RA204",
+                f"{len(alive)} usable PE(s) for {graph.num_nodes} "
+                f"task(s): {len(alive) - graph.num_nodes} PE(s) can "
+                f"never be busy",
+            ))
+    return out
+
+
+def _comm_blowup(arch: Architecture, graph: CSDFG) -> list[Diagnostic]:
+    """RA203 when one worst-case message rivals the whole compute."""
+    volumes = [e.volume for e in graph.edges()]
+    if not volumes or arch.diameter == 0:
+        return []
+    heaviest = max(volumes)
+    worst = arch.comm_model.cost(arch.diameter, heaviest)  # repro-lint: disable=RL103 (diameter is not a PE pair)
+    work = graph.total_work()
+    if worst < work:
+        return []
+    return [make(
+        "RA203",
+        f"worst-case message cost M(diameter={arch.diameter}, "
+        f"c={heaviest}) = {worst} on {arch.name!r} is >= the "
+        f"iteration's total work {work}",
+    )]

@@ -1,0 +1,118 @@
+"""Report emitters shared by both analysis heads.
+
+Three formats: ``text`` (the human form, one finding per line),
+``json`` (a stable machine shape with the summary counts), and
+``sarif`` (SARIF 2.1.0, the format GitHub code scanning ingests — the
+CI ``static-analysis`` job uploads these so findings annotate PRs).
+
+Severity maps onto SARIF levels directly: ``error`` -> ``error``,
+``warning`` -> ``warning``, ``info`` -> ``note``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analyze.diagnostics import SEVERITIES, AnalysisReport, Diagnostic
+from repro.analyze.rules import RULES
+from repro.errors import AnalysisError
+
+__all__ = ["FORMATS", "render_report", "to_json", "to_sarif"]
+
+FORMATS: tuple[str, ...] = ("text", "json", "sarif")
+
+_SARIF_LEVEL = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def render_report(report: AnalysisReport, fmt: str = "text") -> str:
+    """Serialize a report in one of :data:`FORMATS`."""
+    if fmt == "text":
+        return report.describe()
+    if fmt == "json":
+        return json.dumps(to_json(report), indent=2, sort_keys=True)
+    if fmt == "sarif":
+        return json.dumps(to_sarif(report), indent=2, sort_keys=True)
+    raise AnalysisError(
+        f"unknown output format {fmt!r}; known: {', '.join(FORMATS)}"
+    )
+
+
+def to_json(report: AnalysisReport) -> dict:
+    """The stable JSON shape (``format: repro-analysis``)."""
+    return {
+        "format": "repro-analysis",
+        "version": 1,
+        "subject": report.subject,
+        "counts": {s: len(report.by_severity(s)) for s in SEVERITIES},
+        "suppressed": report.suppressed,
+        "ok": report.ok,
+        "diagnostics": [d.to_dict() for d in report.diagnostics],
+    }
+
+
+def to_sarif(report: AnalysisReport) -> dict:
+    """SARIF 2.1.0 with the full rule catalogue in ``tool.driver``."""
+    present = {d.code for d in report.diagnostics}
+    rules = [
+        {
+            "id": code,
+            "name": entry.title,
+            "shortDescription": {"text": entry.title},
+            "fullDescription": {"text": entry.description},
+            "help": {"text": entry.hint or entry.description},
+            "defaultConfiguration": {"level": _SARIF_LEVEL[entry.severity]},
+        }
+        for code, entry in sorted(RULES.items())
+        if code in present
+    ]
+    index = {r["id"]: i for i, r in enumerate(rules)}
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-analyze",
+                    "informationUri": "docs/analysis.md",
+                    "rules": rules,
+                }
+            },
+            "results": [
+                _sarif_result(d, index[d.code]) for d in report.diagnostics
+            ],
+        }],
+    }
+
+
+def _sarif_result(diag: Diagnostic, rule_index: int) -> dict:
+    message = diag.message
+    if diag.hint:
+        message += f" (hint: {diag.hint})"
+    result: dict = {
+        "ruleId": diag.code,
+        "ruleIndex": rule_index,
+        "level": _SARIF_LEVEL[diag.severity],
+        "message": {"text": message},
+    }
+    if diag.file is not None:
+        region: dict = {}
+        if diag.line is not None:
+            region["startLine"] = diag.line
+        if diag.col is not None:
+            region["startColumn"] = diag.col + 1  # SARIF columns are 1-based
+        location: dict = {
+            "physicalLocation": {
+                "artifactLocation": {"uri": diag.file},
+            }
+        }
+        if region:
+            location["physicalLocation"]["region"] = region
+        result["locations"] = [location]
+    elif diag.locus:
+        result["locations"] = [{
+            "logicalLocations": [{"fullyQualifiedName": diag.locus}]
+        }]
+    return result

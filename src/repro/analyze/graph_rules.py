@@ -1,0 +1,141 @@
+"""RA1xx — static diagnostics of a CSDFG.
+
+Two entry points: :func:`check_graph` analyzes a constructed
+:class:`~repro.graph.csdfg.CSDFG` (liveness, dead nodes, connectivity),
+and :func:`check_graph_payload` analyzes a *raw JSON payload* before the
+constructors run, so out-of-domain annotations become precise coded
+diagnostics instead of a :class:`~repro.errors.GraphError` traceback.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analyze.diagnostics import Diagnostic
+from repro.analyze.rules import make
+from repro.graph.csdfg import CSDFG
+from repro.graph.validation import find_zero_delay_cycle
+
+__all__ = ["check_graph", "check_graph_payload"]
+
+
+def check_graph(graph: CSDFG) -> list[Diagnostic]:
+    """All RA1xx findings of a constructed graph."""
+    out: list[Diagnostic] = []
+    if graph.num_nodes == 0:
+        out.append(make("RA102", f"graph {graph.name!r} has no nodes"))
+        return out
+
+    cycle = find_zero_delay_cycle(graph)
+    if cycle:
+        out.append(make(
+            "RA101",
+            "cycle with zero total delay (the iteration deadlocks): "
+            + " -> ".join(map(str, cycle)),
+            node=str(cycle[0]),
+        ))
+
+    for node in graph.nodes():
+        if graph.in_degree(node) == 0 and graph.out_degree(node) == 0:
+            out.append(make(
+                "RA103",
+                f"node {node!r} has no incident edges",
+                node=str(node),
+            ))
+
+    out.extend(_connectivity(graph))
+    return out
+
+
+def _connectivity(graph: CSDFG) -> list[Diagnostic]:
+    """RA104 when the underlying undirected graph is disconnected."""
+    seen: set = set()
+    start = next(graph.nodes())
+    frontier = [start]
+    seen.add(start)
+    while frontier:
+        node = frontier.pop()
+        for nxt in list(graph.successors(node)) + list(graph.predecessors(node)):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    if len(seen) == graph.num_nodes:
+        return []
+    missing = sorted(str(v) for v in graph.nodes() if v not in seen)
+    return [make(
+        "RA104",
+        f"graph is not weakly connected; unreached from "
+        f"{start!r}: {', '.join(missing)}",
+        node=missing[0],
+    )]
+
+
+def check_graph_payload(payload: Any) -> list[Diagnostic]:
+    """RA1xx findings of a raw ``repro-csdfg`` JSON payload.
+
+    Returns *only* the payload-level problems (domain violations,
+    dangling endpoints, duplicates, missing fields); when it returns an
+    empty list the payload is guaranteed to construct cleanly and
+    should then be analyzed with :func:`check_graph`.
+    """
+    out: list[Diagnostic] = []
+    if not isinstance(payload, dict) or payload.get("format") != "repro-csdfg":
+        return [make(
+            "RA108",
+            "not a repro-csdfg JSON payload (missing format marker)",
+        )]
+
+    known: set[str] = set()
+    for i, node in enumerate(payload.get("nodes", [])):
+        if not isinstance(node, dict) or "id" not in node:
+            out.append(make("RA108", f"nodes[{i}] has no 'id' field"))
+            continue
+        name = str(node["id"])
+        if name in known:
+            out.append(make("RA108", f"duplicate node id {name!r}", node=name))
+        known.add(name)
+        time = node.get("time", 1)
+        if not isinstance(time, int) or time < 1:
+            out.append(make(
+                "RA105",
+                f"node {name!r}: execution time must be an integer >= 1, "
+                f"got {time!r}",
+                node=name,
+            ))
+
+    pairs: set[tuple[str, str]] = set()
+    for i, edge in enumerate(payload.get("edges", [])):
+        if not isinstance(edge, dict) or "src" not in edge or "dst" not in edge:
+            out.append(make("RA108", f"edges[{i}] has no src/dst fields"))
+            continue
+        src, dst = str(edge["src"]), str(edge["dst"])
+        locus = {"edge": (src, dst)}
+        for endpoint in (src, dst):
+            if endpoint not in known:
+                out.append(make(
+                    "RA108",
+                    f"edge {src!r}->{dst!r}: unknown node {endpoint!r}",
+                    **locus,
+                ))
+        if (src, dst) in pairs:
+            out.append(make(
+                "RA108", f"duplicate edge {src!r}->{dst!r}", **locus
+            ))
+        pairs.add((src, dst))
+        delay = edge.get("delay", 0)
+        if not isinstance(delay, int) or delay < 0:
+            out.append(make(
+                "RA106",
+                f"edge {src!r}->{dst!r}: delay must be an integer >= 0, "
+                f"got {delay!r}",
+                **locus,
+            ))
+        volume = edge.get("volume", 1)
+        if not isinstance(volume, int) or volume < 1:
+            out.append(make(
+                "RA107",
+                f"edge {src!r}->{dst!r}: volume must be an integer >= 1, "
+                f"got {volume!r}",
+                **locus,
+            ))
+    return out

@@ -38,6 +38,16 @@ Commands
     Resilience drivers (``docs/resilience.md``): execute a schedule
     under a seeded fault campaign, repair a schedule after explicit
     PE/link failures, or run the randomized chaos harness.
+``analyze``
+    Static analysis of scheduler inputs (``docs/analysis.md``): graph
+    liveness/annotations, topology diagnostics, target-length
+    feasibility proofs, schedule certificates — text/JSON/SARIF,
+    non-zero exit on errors.  ``--paper-suite`` analyzes every
+    registered workload on every paper topology.
+``lint``
+    Static analysis of this repository's own source tree: seeded
+    randomness, no wall clock in core, one communication pricing
+    authority, typed exceptions (rules RL1xx in ``docs/analysis.md``).
 
 Unknown workload or architecture names exit with a one-line error
 listing the registered names (they are resolved by the registries, not
@@ -326,6 +336,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes (1 = serial; trial outcomes are identical)",
     )
+
+    p_an = sub.add_parser(
+        "analyze", help="static analysis of scheduler inputs"
+    )
+    p_an.add_argument(
+        "graph", nargs="?", default=None,
+        help="CSDFG JSON file or workload name (see `repro list`)",
+    )
+    p_an.add_argument(
+        "arch", nargs="?", default="mesh",
+        help="architecture kind, optionally kind:PES (default: mesh)",
+    )
+    p_an.add_argument("--pes", type=int, default=8, help="processor count")
+    p_an.add_argument(
+        "--slowdown", type=int, default=1, help="delay slow-down factor"
+    )
+    p_an.add_argument(
+        "--config", default=None, metavar="FILE",
+        help="optimiser config JSON (may carry a target_length key)",
+    )
+    p_an.add_argument(
+        "--schedule", default=None, metavar="FILE",
+        help="serialized schedule to certify against the inputs",
+    )
+    p_an.add_argument(
+        "--target-length", type=int, default=None, metavar="L",
+        help="prove this target schedule length feasible/infeasible",
+    )
+    p_an.add_argument(
+        "--fail-pe", type=int, action="append", default=[], metavar="N",
+        help="analyze with processor N failed (1-based; repeatable)",
+    )
+    p_an.add_argument(
+        "--cut-link", action="append", default=[], metavar="A-B",
+        help="analyze with the link between PEs A and B cut (1-based; "
+             "repeatable)",
+    )
+    p_an.add_argument(
+        "--paper-suite", action="store_true",
+        help="analyze every registered workload on every paper topology",
+    )
+    _add_emit_args(p_an)
+
+    p_lint = sub.add_parser(
+        "lint", help="lint this repository's own source tree"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files/directories to lint (default: the installed repro "
+             "package)",
+    )
+    _add_emit_args(p_lint)
     return parser
 
 
@@ -348,6 +410,24 @@ def _add_pair_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--pes", type=int, default=8, help="processor count")
     parser.add_argument(
         "--slowdown", type=int, default=1, help="delay slow-down factor"
+    )
+
+
+def _add_emit_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        dest="fmt",
+        help="report format (sarif for CI code-scanning upload)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the report here instead of stdout",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on warnings too, not only errors",
     )
 
 
@@ -441,6 +521,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_fuzz(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -833,6 +917,134 @@ def _cmd_fuzz_replay(paths: list[str]) -> int:
     )
     print(f"replayed {len(cases)} case(s): {verdict}")
     return 0 if failures == 0 else 1
+
+
+def _emit_report(report, args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analyze import render_report
+
+    text = render_report(report, args.fmt)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"{args.fmt} report written to {args.out} "
+              f"({report.summary()})")
+    else:
+        print(text)
+    return report.exit_code(strict=args.strict)
+
+
+def _parse_link_spec(spec: str) -> tuple[int, int]:
+    """``A-B`` (1-based, as rendered) -> 0-based PE pair."""
+    parts = spec.replace(",", "-").split("-")
+    try:
+        a, b = (int(p) for p in parts)
+    except ValueError:
+        raise ReproError(
+            f"--cut-link expects A-B (two 1-based PE ids), got {spec!r}"
+        ) from None
+    if a < 1 or b < 1:
+        raise ReproError(f"--cut-link is 1-based, got {spec!r}")
+    return a - 1, b - 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analyze import (
+        AnalysisReport,
+        analyze_inputs,
+        build_architecture,
+        load_config_input,
+        load_graph_input,
+        load_schedule_input,
+    )
+
+    if args.paper_suite:
+        return _cmd_analyze_suite(args)
+    if args.graph is None:
+        raise ReproError(
+            "no graph given: pass a CSDFG JSON file or a workload name "
+            "(or --paper-suite)"
+        )
+
+    report = AnalysisReport(subject=f"{args.graph} on {args.arch}")
+    graph, diags = load_graph_input(args.graph)
+    report.extend(diags)
+
+    failed_pes = []
+    for pe in args.fail_pe:
+        if pe < 1:
+            raise ReproError(f"--fail-pe is 1-based, got {pe}")
+        failed_pes.append(pe - 1)
+    failed_links = [_parse_link_spec(s) for s in args.cut_link]
+    arch, diags = build_architecture(
+        args.arch, args.pes,
+        failed_pes=tuple(failed_pes),
+        failed_links=tuple(failed_links),
+    )
+    report.extend(diags)
+
+    config = None
+    target = args.target_length
+    if args.config:
+        config, cfg_target, diags = load_config_input(args.config)
+        report.extend(diags)
+        if target is None:
+            target = cfg_target
+    schedule = None
+    if args.schedule:
+        schedule, diags = load_schedule_input(args.schedule)
+        report.extend(diags)
+
+    if graph is not None:
+        if args.slowdown > 1:
+            graph = slowdown(graph, args.slowdown)
+        report.merge(analyze_inputs(
+            graph, arch,
+            config=config,
+            schedule=schedule,
+            target_length=target,
+            subject=report.subject,
+        ))
+    return _emit_report(report, args)
+
+
+def _cmd_analyze_suite(args: argparse.Namespace) -> int:
+    """``analyze --paper-suite``: every workload x every paper topology."""
+    from repro.analyze import AnalysisReport, analyze_inputs
+
+    combined = AnalysisReport(
+        subject=f"paper suite ({args.pes}-PE paper topologies)"
+    )
+    pairs = 0
+    for name in workload_names():
+        graph = make_workload(name)
+        if args.slowdown > 1:
+            graph = slowdown(graph, args.slowdown)
+        for arch in paper_architectures(args.pes).values():
+            pairs += 1
+            report = analyze_inputs(graph, arch, target_length=None)
+            if args.fmt == "text" and not report.ok:
+                print(report.describe())
+            combined.merge(report)
+    if args.fmt == "text":
+        print(f"analyzed {pairs} (workload, architecture) pair(s): "
+              f"{combined.summary()}")
+        if args.out:
+            from pathlib import Path
+
+            Path(args.out).write_text(combined.describe() + "\n")
+        return combined.exit_code(strict=args.strict)
+    return _emit_report(combined, args)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.analyze import lint_paths
+
+    paths = args.paths or [Path(repro.__file__).parent]
+    return _emit_report(lint_paths(paths), args)
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:

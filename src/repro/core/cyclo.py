@@ -203,7 +203,7 @@ def _run_passes(
     comm: CommCostCache | None = None,
 ) -> CycloResult:
     """Drive passes ``state.next_index .. z``, honouring every budget."""
-    started = time.monotonic()
+    started = time.monotonic()  # repro-lint: disable=RL102 (deadline budget, result-neutral)
     stop_reason = "completed"
     total = cfg.iterations_for(state.working.num_nodes)
 
@@ -224,7 +224,7 @@ def _run_passes(
     for index in range(state.next_index, total + 1):
         if (
             cfg.deadline_seconds is not None
-            and time.monotonic() - started >= cfg.deadline_seconds
+            and time.monotonic() - started >= cfg.deadline_seconds  # repro-lint: disable=RL102 (deadline budget, result-neutral)
         ):
             metrics.inc("cyclo.deadline_stops")
             stop_reason = "deadline"
@@ -233,7 +233,7 @@ def _run_passes(
             outcome_reason = _one_pass(
                 state, arch, cfg, index, comm=comm, tracker=tracker
             )
-        except Exception:
+        except Exception:  # repro-lint: disable=RL105 (recover_on_error boundary)
             if not cfg.recover_on_error:
                 raise
             # the working table may be half-mutated; the best-* fields

@@ -27,6 +27,7 @@ __all__ = [
     "CheckpointError",
     "WorkloadError",
     "QAError",
+    "AnalysisError",
 ]
 
 
@@ -135,3 +136,10 @@ class WorkloadError(ReproError):
 class QAError(ReproError):
     """A fuzzing/shrinking driver was misused (unknown property name,
     malformed reproducer case, invalid sampling profile)."""
+
+
+class AnalysisError(ReproError):
+    """A static-analysis driver was misused (unknown rule code, an
+    unreadable input file, an unsupported output format).  Findings
+    about the *analyzed inputs* are never raised — they are returned as
+    :class:`repro.analyze.Diagnostic` values."""

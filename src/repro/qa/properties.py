@@ -40,6 +40,11 @@ workloads:
     (Theorem 4.4).  On tiny instances the exhaustive baseline
     (:func:`repro.baselines.exact.exact_minimum_length`) brackets the
     no-retiming schedulers from below.
+``analyzer-agrees``
+    The static analyzer (:mod:`repro.analyze`) agrees with the runtime:
+    inputs it passes never yield a validator-illegal schedule (and its
+    RA4xx certificate checker reaches the validator's verdict); inputs
+    it rejects make the pipeline refuse with a typed error.
 """
 
 from __future__ import annotations
@@ -108,7 +113,7 @@ def design_criterion_violations(
         pv = schedule.placement(edge.dst)
         cb_v = pv.start
         ce_u = pu.start + pu.duration - 1
-        m = arch.comm_model.cost(arch.hops(pu.pe, pv.pe), edge.volume)
+        m = arch.comm_model.cost(arch.hops(pu.pe, pv.pe), edge.volume)  # repro-lint: disable=RL103 (independent oracle)
         if cb_v + edge.delay * L < ce_u + m + 1:
             problems.append(
                 f"design criterion: CB({edge.dst!r})={cb_v} + "
@@ -412,6 +417,73 @@ def _exact_bracket(
     return problems
 
 
+def prop_analyzer_agrees(
+    graph: CSDFG, arch: Architecture, cfg: CycloConfig, rng: random.Random
+) -> list[str]:
+    """The static analyzer and the runtime pipeline must agree.
+
+    Analyzer-pass: the pipeline may refuse with a typed
+    :class:`~repro.errors.ReproError`, but any schedule it *does*
+    produce must be validator-legal, and the RA4xx certificate checker
+    must reach the validator's verdict on it.  Analyzer-error: the
+    pipeline must refuse, and with a typed error.
+    """
+    from repro.analyze import analyze_inputs, certify_schedule
+    from repro.errors import ReproError
+
+    report = analyze_inputs(graph, arch, config=cfg)
+    if not report.ok:
+        codes = ",".join(d.code for d in report.errors)
+        try:
+            _compact(graph, arch, cfg)
+        except ReproError:
+            return []
+        except Exception as exc:
+            return [
+                f"analyzer rejected inputs ({codes}) but scheduling "
+                f"raised untyped {type(exc).__name__}: {exc}"
+            ]
+        return [
+            f"analyzer rejected inputs ({codes}) but scheduling succeeded"
+        ]
+
+    try:
+        result = _compact(graph, arch, cfg)
+    except ReproError:
+        return []  # a typed refusal (budgets, recovery) is allowed
+    except Exception as exc:
+        return [
+            f"analyzer passed inputs but scheduling raised untyped "
+            f"{type(exc).__name__}: {exc}"
+        ]
+    problems: list[str] = []
+    for label, g, schedule in (
+        ("startup", graph, result.initial_schedule),
+        ("compacted", result.graph, result.schedule),
+    ):
+        validator = collect_violations(
+            g, arch, schedule, pipelined_pes=cfg.pipelined_pes
+        )
+        certificate = [
+            d for d in certify_schedule(
+                g, arch, schedule, pipelined_pes=cfg.pipelined_pes
+            )
+            if d.severity == "error"
+        ]
+        if validator:
+            problems.append(
+                f"{label}: analyzer passed inputs but the pipeline "
+                f"produced a validator-illegal schedule: {validator[0]}"
+            )
+        if bool(validator) != bool(certificate):
+            certs = ",".join(d.code for d in certificate) or "clean"
+            problems.append(
+                f"{label}: certificate checker ({certs}) and validator "
+                f"({len(validator)} violation(s)) disagree"
+            )
+    return problems
+
+
 #: Registry of every property, in the order the fuzzer runs them.
 PROPERTIES: dict[str, PropertyFn] = {
     "schedules-legal": prop_schedules_legal,
@@ -421,6 +493,7 @@ PROPERTIES: dict[str, PropertyFn] = {
     "pe-permutation": prop_pe_permutation,
     "retiming-legality": prop_retiming_legality,
     "bounds": prop_bounds,
+    "analyzer-agrees": prop_analyzer_agrees,
 }
 
 

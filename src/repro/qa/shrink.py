@@ -128,14 +128,22 @@ def _viable(candidate: ReproCase) -> bool:
     """A candidate must be a well-formed input before it may "fail":
     otherwise the shrinker walks into a *different* failure (e.g. an
     architecture whose constructor rejects the shrunk PE count) and
-    reports a reproducer for the wrong bug."""
-    if candidate.graph.num_nodes < 1 or not is_legal(candidate.graph):
+    reports a reproducer for the wrong bug.
+
+    Viability is the static analyzer's verdict
+    (:func:`repro.analyze.analyze_inputs` — empty graph, zero-delay
+    cycles, out-of-domain annotations, unbuildable machines all come
+    back as error diagnostics); warnings such as dead nodes never block
+    a shrink step."""
+    from repro.analyze import analyze_inputs
+
+    if candidate.graph.num_nodes < 1:
         return False
     try:
-        candidate.arch_spec.build()
+        arch = candidate.arch_spec.build()
     except Exception:
         return False
-    return True
+    return analyze_inputs(candidate.graph, arch).ok
 
 
 def _still_fails(

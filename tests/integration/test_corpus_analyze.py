@@ -1,0 +1,56 @@
+"""The checked-in reproducer corpus must pass the static analyzer.
+
+Every ``tests/corpus/*.json`` case is a shrunk fuzz catch that the
+pipeline must now handle; the analyzer is the pipeline's front door,
+so each case must analyze clean — no errors, and no warnings beyond
+the documented ones the shrinker legitimately produces (ddmin removes
+edges, so shrunk graphs may carry dead nodes / disconnected pieces).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import analyze_inputs, load_graph_input
+from repro.qa import ReproCase
+
+CORPUS = Path(__file__).resolve().parent.parent / "corpus"
+CASES = sorted(CORPUS.glob("*.json"))
+
+#: Warnings a shrunk reproducer may legitimately carry.
+DOCUMENTED_WARNINGS = {
+    "RA103",  # dead node: ddmin removed its incident edges
+    "RA104",  # disconnected graph: same cause
+    "RA203",  # comm blow-up: tiny shrunk work vs. untouched volumes
+}
+
+
+def test_corpus_exists():
+    assert len(CASES) >= 6, "reproducer corpus went missing"
+
+
+@pytest.mark.parametrize("path", CASES, ids=lambda p: p.stem)
+def test_case_analyzes_clean(path):
+    case = ReproCase.from_json(path.read_text())
+    report = analyze_inputs(
+        case.graph,
+        case.arch_spec.build(),
+        config=case.config,
+        subject=path.stem,
+    )
+    assert report.errors == [], report.describe()
+    unexpected = [
+        d for d in report.warnings if d.code not in DOCUMENTED_WARNINGS
+    ]
+    assert unexpected == [], [d.render() for d in unexpected]
+
+
+@pytest.mark.parametrize("path", CASES, ids=lambda p: p.stem)
+def test_case_graph_loads_through_the_analyzer_front_door(path):
+    # load_graph_input understands repro-qa-case files directly (it
+    # analyzes the embedded graph payload)
+    graph, diags = load_graph_input(str(path))
+    assert graph is not None, [d.render() for d in diags]
+    embedded = json.loads(path.read_text())["graph"]
+    assert graph.num_nodes == len(embedded["nodes"])

@@ -13,6 +13,7 @@ from repro.arch import make_architecture
 from repro.baselines import etf_schedule
 from repro.core import CycloConfig, cyclo_compact
 from repro.errors import QAError
+from repro.graph import CSDFG
 from repro.qa import (
     PROPERTIES,
     architecture_automorphism,
@@ -126,6 +127,45 @@ class TestSuiteCanFail:
                 break
         assert found, "an under-priced comm cost slipped past the suite"
         assert any(v.startswith("[") for v in found)  # prefixed
+
+    def test_analyzer_agrees_catches_underpriced_comm(self, monkeypatch):
+        # the same injected pricing bug, seen through the
+        # analyzer-agreement lens: the analyzer passes the inputs, the
+        # pipeline produces a validator-illegal schedule, the property
+        # must notice the disagreement
+        from repro.arch.cache import CommCostCache
+        from repro.qa import sample_graph
+
+        real = CommCostCache.cost
+
+        def buggy(self, src, dst, volume):
+            cost = real(self, src, dst, volume)
+            if src != dst and max(src, dst) >= 2 and cost > 0:
+                return cost - 1
+            return cost
+
+        monkeypatch.setattr(CommCostCache, "cost", buggy)
+        arch = make_architecture("ring", 3)
+        found = []
+        for seed in range(30):
+            graph = sample_graph(seed)
+            found = check_property("analyzer-agrees", graph, arch, CFG,
+                                   rng=seed)
+            if found:
+                break
+        assert found, "analyzer-agrees missed a validator-illegal schedule"
+        assert "validator-illegal" in found[0]
+
+    def test_analyzer_agrees_accepts_typed_refusal(self):
+        # a zero-delay cycle: the analyzer rejects the input (RA101)
+        # and the pipeline refuses with a typed error — agreement holds
+        g = CSDFG("deadlocked")
+        g.add_node("a", 1)
+        g.add_node("b", 1)
+        g.add_edge("a", "b", 0, 1)
+        g.add_edge("b", "a", 0, 1)
+        arch = make_architecture("ring", 3)
+        assert check_property("analyzer-agrees", g, arch, CFG, rng=0) == []
 
     def test_etf_gated_off_heterogeneous(self, figure1):
         # heterogeneous machines are outside ETF's contract; the
