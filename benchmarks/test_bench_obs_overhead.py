@@ -3,21 +3,32 @@
 Every hot path of the optimiser is annotated with spans and counters
 (see ``src/repro/obs``); with no sink installed each annotation is one
 flag check.  This guard demonstrates, on the paper's 19-node workload
-on the hypercube, that the *disabled* instrumentation costs < 5% of a
+on the hypercube, that the *disabled* instrumentation costs < 1% of a
 ``cyclo_compact`` run:
 
-1. run the optimiser instrumented (in-memory sink) and count every
-   span and metric operation it performs,
-2. measure the per-operation cost of the disabled fast path directly,
-3. assert ``operations x per-op cost`` is under the 5% budget of the
+1. run the optimiser instrumented (in-memory sink) and count **every
+   call** it makes into the metrics facade — the module helpers are
+   shimmed with counting wrappers, so a single ``inc(name, 5)`` is
+   charged as one call, not five,
+2. count spans exactly from the sink (one recorded span == one
+   ``span()`` call plus a no-op ``__enter__``/``__exit__`` pair when
+   disabled; charged as three operations to stay conservative),
+3. measure the per-operation cost of the disabled fast path directly,
+4. assert ``operations x per-op cost`` is under the 1% budget of the
    measured (sink-free) run time.
 
 The budget arithmetic is deliberately used instead of a raw A/B wall-
 clock comparison: the disabled path cannot be toggled out of the code
 at runtime, and two timed runs of the same function routinely differ
-by more than 5% on shared CI hardware, so a naive comparison would be
+by more than 1% on shared CI hardware, so a naive comparison would be
 flaky while this bound is stable *and* strictly conservative (it
 charges every operation the full measured no-op cost).
+
+Note the unconditional hot-object tallies (``CommCostCache.hits``,
+``ScheduleTable.probes``, ...) are plain integer adds that exist with
+or without observability — they are part of the baseline, not
+overhead, and ``publish_stats`` folds them into the registry with a
+handful of calls per *run*, all counted here.
 """
 
 from time import perf_counter_ns
@@ -30,6 +41,9 @@ from repro.obs import InMemorySink, enabled, metrics, sink_installed, span
 from repro.workloads import figure7_csdfg
 
 CFG = CycloConfig(max_iterations=60, validate_each_step=False)
+
+#: The metrics-facade entry points the instrumented packages call.
+FACADE = ("inc", "observe", "set_gauge")
 
 
 def _run_once(graph, arch):
@@ -47,25 +61,53 @@ def _min_wall_ns(fn, repeats=5):
     return best
 
 
-def test_obs_disabled_overhead_under_5_percent():
+def _counting_shims():
+    """Wrap the metrics facade in exact call counters.
+
+    The instrumented modules bind the *module* (``from repro.obs
+    import metrics``) and resolve ``metrics.inc`` per call, so
+    rebinding the module attribute intercepts every invocation.
+    Returns ``(counts, restore)``.
+    """
+    counts = {name: 0 for name in FACADE}
+    originals = {name: getattr(metrics, name) for name in FACADE}
+
+    def wrap(name, fn):
+        def counted(*args, **kwargs):
+            counts[name] += 1
+            return fn(*args, **kwargs)
+        return counted
+
+    for name, fn in originals.items():
+        setattr(metrics, name, wrap(name, fn))
+
+    def restore():
+        for name, fn in originals.items():
+            setattr(metrics, name, fn)
+
+    return counts, restore
+
+
+def test_obs_disabled_overhead_under_1_percent():
     graph = figure7_csdfg()
     arch = paper_architectures(8)["hyp"]
     assert not enabled()
 
-    # 1. count the instrumentation work one run performs
+    # 1+2. exact instrumentation call counts for one run
     sink = InMemorySink()
     metrics.reset()
-    with sink_installed(sink):
-        instrumented = _run_once(graph, arch)
+    counts, restore = _counting_shims()
+    try:
+        with sink_installed(sink):
+            instrumented = _run_once(graph, arch)
+    finally:
+        restore()
     span_count = len(sink.spans())
-    # the exact number of inc() calls is not recoverable from counter
-    # values (some calls add n > 1), so over-approximate with the
-    # summed values: every counted unit is charged as a full call
-    inc_calls = sum(c.value for c in metrics.REGISTRY.counters.values())
+    facade_calls = sum(counts.values())
     metrics.reset()
-    assert span_count > 0 and inc_calls > 0
+    assert span_count > 0 and counts["inc"] > 0
 
-    # 2. per-operation cost of the disabled fast path
+    # 3. per-operation cost of the disabled fast path
     n = 100_000
     t0 = perf_counter_ns()
     for _ in range(n):
@@ -75,26 +117,31 @@ def test_obs_disabled_overhead_under_5_percent():
     t0 = perf_counter_ns()
     for _ in range(n):
         metrics.inc("probe")
-    inc_cost = (perf_counter_ns() - t0) / n
+        metrics.observe("probe", 1.0)
+        metrics.set_gauge("probe", 1)
+    facade_cost = (perf_counter_ns() - t0) / (3 * n)
     assert not enabled()
+    metrics.reset()
 
-    # 3. total disabled overhead vs. the sink-free run time
-    overhead_ns = span_count * 3 * span_cost + inc_calls * inc_cost
+    # 4. total disabled overhead vs. the sink-free run time
+    overhead_ns = span_count * 3 * span_cost + facade_calls * facade_cost
     run_ns = _min_wall_ns(lambda: _run_once(graph, arch))
     ratio = overhead_ns / run_ns
     write_report(
         "obs_overhead",
         f"19-node workload on hypercube, {CFG.max_iterations} passes\n"
-        f"spans/run: {span_count}, metric increments/run: {inc_calls}\n"
+        f"spans/run: {span_count}, facade calls/run: {facade_calls} "
+        f"(inc {counts['inc']}, observe {counts['observe']}, "
+        f"set_gauge {counts['set_gauge']})\n"
         f"disabled span() cost: {span_cost:.1f} ns, "
-        f"disabled inc() cost: {inc_cost:.1f} ns\n"
+        f"disabled facade cost: {facade_cost:.1f} ns\n"
         f"run (no sink): {run_ns / 1e6:.2f} ms, "
         f"bounded overhead: {overhead_ns / 1e6:.4f} ms "
         f"({ratio * 100:.3f}%)",
     )
-    assert ratio < 0.05, (
+    assert ratio < 0.01, (
         f"disabled instrumentation bound {ratio * 100:.2f}% exceeds the "
-        f"5% budget ({span_count} spans, {inc_calls} increments, "
+        f"1% budget ({span_count} spans, {facade_calls} facade calls, "
         f"run {run_ns / 1e6:.1f} ms)"
     )
     # sanity: the instrumented run still converged to the same length

@@ -1,7 +1,7 @@
 """Head 2 — the codebase lint (``repro lint``).
 
 A small :mod:`ast`-based linter enforcing the repository's own
-invariants (rules ``RL101``–``RL106`` in the catalogue):
+invariants (rules ``RL101``–``RL107`` in the catalogue):
 
 * determinism — no draws from global random state and no unseeded
   ``Random()`` outside :mod:`repro.qa` (RL101), no wall-clock reads in
@@ -11,7 +11,11 @@ invariants (rules ``RL101``–``RL106`` in the catalogue):
 * typed failure — no bare ``except:`` anywhere (RL104), no
   ``except Exception`` (RL105) and no raising builtin exception types
   (RL106) in the core packages, where the fuzzer relies on typed
-  :class:`~repro.errors.ReproError` contracts.
+  :class:`~repro.errors.ReproError` contracts;
+* sinks over stdout — no ``print()`` in the instrumented packages
+  (:mod:`repro.core`, :mod:`repro.perf`) or in
+  :mod:`repro.obs.runtime` (RL107): diagnostics there belong in the
+  observability sinks, not on stdout.
 
 A finding on a line carrying ``# repro-lint: disable=CODE`` (several
 codes comma-separated, or ``disable=all``) is suppressed and counted in
@@ -39,6 +43,11 @@ WALLCLOCK_BANNED = ("repro.core", "repro.graph", "repro.retiming")
 
 #: Packages held to the typed-exception contract (RL105, RL106).
 CORE_PACKAGES = WALLCLOCK_BANNED + ("repro.arch", "repro.schedule")
+
+#: Modules where print() must give way to the obs sinks (RL107):
+#: the instrumented packages plus the observability runtime itself.
+PRINT_BANNED_PACKAGES = ("repro.core", "repro.perf")
+PRINT_BANNED_MODULES = ("repro.obs.runtime",)
 
 #: Functions that read or mutate a module-global random state.
 _RAND_FUNCS = frozenset({
@@ -149,6 +158,16 @@ class _Visitor(ast.NodeVisitor):
                 "RL103",
                 "cost model fed directly from .hops(...): hop-cost "
                 f"arithmetic composed by hand in {self.module}",
+                node,
+            )
+        if chain == ["print"] and (
+            _in(self.module, PRINT_BANNED_PACKAGES)
+            or self.module in PRINT_BANNED_MODULES
+        ):
+            self._emit(
+                "RL107",
+                f"print() in instrumented module {self.module}: route "
+                "diagnostics through the obs sinks",
                 node,
             )
         self.generic_visit(node)

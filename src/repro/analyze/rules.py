@@ -252,6 +252,17 @@ RULES: dict[str, Rule] = _catalogue([
         "typed ReproError subclass; callers cannot catch it by contract.",
         "raise the matching repro.errors type",
     ),
+    Rule(
+        "RL107", "error", "print-in-instrumented-code",
+        "A print() call in an instrumented package (repro.core, "
+        "repro.perf) or in repro.obs.runtime: diagnostics there must "
+        "flow through the observability sinks (spans, counters, "
+        "events), not stdout — stray prints corrupt machine-read CLI "
+        "output and bypass the run-history/trace record.",
+        "record a span/counter/event via repro.obs, or return the text "
+        "to the CLI layer; suppress a deliberate user-facing print "
+        "with a disable comment",
+    ),
 ])
 
 

@@ -44,10 +44,16 @@ class CommCostCache:
         of one graph; see :meth:`for_graph`).
     """
 
-    __slots__ = ("arch", "_tables", "_tables_t")
+    __slots__ = ("arch", "_tables", "_tables_t", "hits", "misses", "entries")
 
     def __init__(self, arch: Architecture, volumes: Iterable[int]):
         self.arch = arch
+        # plain-int tallies (a few thousand increments per run — far
+        # cheaper than conditional metric calls on the hot path); the
+        # engine publishes them to the metrics registry once per run
+        # via :meth:`publish_stats`
+        self.hits = 0
+        self.misses = 0
         n = arch.num_pes
         alive = list(arch.processors)
         dist = arch.distance_matrix
@@ -69,6 +75,7 @@ class CommCostCache:
                     out_row[dst] = cost
             self._tables[vol] = table
             self._tables_t[vol] = [list(col) for col in zip(*table)]
+        self.entries = len(self._tables) * len(alive) * len(alive)
 
     @classmethod
     def for_graph(cls, arch: Architecture, graph: "CSDFG") -> "CommCostCache":
@@ -91,9 +98,12 @@ class CommCostCache:
         try:
             cached = self._tables[volume][src][dst]
         except (KeyError, IndexError):
+            self.misses += 1
             return self.arch.comm_cost(src, dst, volume)
         if cached is None or src < 0 or dst < 0:
+            self.misses += 1
             return self.arch.comm_cost(src, dst, volume)
+        self.hits += 1
         return cached
 
     def row_from(self, src: int, volume: int) -> list[int | None] | None:
@@ -112,6 +122,33 @@ class CommCostCache:
         if table is None or not (0 <= dst < self.arch.num_pes):
             return None
         return table[dst]
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of :meth:`cost` lookups served from the tables."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict:
+        """Plain-data view of the lookup tallies."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": self.entries,
+            "hit_rate": self.hit_rate,
+        }
+
+    def publish_stats(self) -> None:
+        """Push the tallies into the metrics registry (no-op while
+        observability is off).  Called once per run by the engine —
+        counter deltas are not meaningful across publishes, so callers
+        publish exactly once, at the end of a run."""
+        from repro.obs import metrics
+
+        metrics.inc("arch.cache.hits", self.hits)
+        metrics.inc("arch.cache.misses", self.misses)
+        metrics.set_gauge("arch.cache.entries", self.entries)
+        metrics.set_gauge("arch.cache.hit_rate", round(self.hit_rate, 6))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -47,7 +47,16 @@ Commands
 ``lint``
     Static analysis of this repository's own source tree: seeded
     randomness, no wall clock in core, one communication pricing
-    authority, typed exceptions (rules RL1xx in ``docs/analysis.md``).
+    authority, typed exceptions, obs-routed output (rules RL1xx in
+    ``docs/analysis.md``).
+``obs report|top|diff|regressions|matrix``
+    The observatory (``docs/observability.md``): aggregate traces and
+    run history into hotspot tables and latency percentiles, rank
+    spans by self time (with flamegraph-collapsed stacks), compare two
+    runs or history windows phase-by-phase, detect perf regressions
+    against a baseline fitted from history (non-zero exit — the CI
+    perf gate), and replay the pinned gate workload matrix into the
+    history store.
 
 Unknown workload or architecture names exit with a one-line error
 listing the registered names (they are resolved by the registries, not
@@ -58,7 +67,10 @@ Observability
 ``schedule``, ``simulate`` and ``report`` accept ``--trace FILE``
 (write a Chrome trace-event JSON viewable in ``chrome://tracing`` /
 https://ui.perfetto.dev) and ``--profile`` (print the per-phase time
-breakdown and collected metrics after the run); see
+breakdown and collected metrics after the run).  ``schedule``,
+``sweep``, ``fuzz`` and ``faults campaign`` additionally accept
+``--history-dir DIR`` to append a provenance-stamped run record to the
+run-history store that ``repro obs`` aggregates; see
 ``docs/observability.md``.
 """
 
@@ -66,6 +78,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 from repro.analysis import format_cells, format_table11, run_cell, run_grid
@@ -214,6 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes (1 = serial; results are identical)",
     )
+    _add_history_arg(p_sweep)
 
     p_fuzz = sub.add_parser(
         "fuzz",
@@ -259,6 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay a reproducer case file or a corpus directory "
              "instead of fuzzing (repeatable)",
     )
+    _add_history_arg(p_fuzz)
 
     p_faults = sub.add_parser(
         "faults", help="fault injection, schedule repair, chaos harness"
@@ -336,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes (1 = serial; trial outcomes are identical)",
     )
+    _add_history_arg(p_chaos)
 
     p_an = sub.add_parser(
         "analyze", help="static analysis of scheduler inputs"
@@ -388,6 +404,92 @@ def build_parser() -> argparse.ArgumentParser:
              "package)",
     )
     _add_emit_args(p_lint)
+
+    p_obs = sub.add_parser(
+        "obs", help="aggregate traces and run history (the observatory)"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_orep = obs_sub.add_parser(
+        "report",
+        help="hotspot tables and latency percentiles from traces/history",
+    )
+    p_orep.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="Chrome trace JSON file(s), history NDJSON file(s), and/or "
+             "history directories",
+    )
+    p_orep.add_argument(
+        "--limit", type=int, default=0, metavar="N",
+        help="only the top N hotspot rows (0 = all)",
+    )
+
+    p_otop = obs_sub.add_parser(
+        "top", help="rank spans by self time; emit collapsed stacks"
+    )
+    p_otop.add_argument(
+        "paths", nargs="+", metavar="TRACE",
+        help="Chrome trace JSON file(s) to aggregate",
+    )
+    p_otop.add_argument(
+        "--limit", type=int, default=15, metavar="N",
+        help="rows to print (0 = all)",
+    )
+    p_otop.add_argument(
+        "--collapsed", default=None, metavar="FILE",
+        help="write flamegraph-collapsed stacks here "
+             "(flamegraph.pl / speedscope input)",
+    )
+
+    p_odiff = obs_sub.add_parser(
+        "diff", help="compare two runs or history windows phase-by-phase"
+    )
+    p_odiff.add_argument(
+        "a", help="baseline: trace JSON, history NDJSON, or history dir"
+    )
+    p_odiff.add_argument(
+        "b", help="candidate: trace JSON, history NDJSON, or history dir"
+    )
+    p_odiff.add_argument(
+        "--kind", default=None, metavar="KIND",
+        help="restrict history inputs to one record kind",
+    )
+
+    p_oreg = obs_sub.add_parser(
+        "regressions",
+        help="detect runs exceeding a baseline fitted from history "
+             "(non-zero exit on regression)",
+    )
+    p_oreg.add_argument(
+        "--history-dir", default="benchmarks/out/history", metavar="DIR",
+        help="history store to fit the baseline from",
+    )
+    p_oreg.add_argument(
+        "--kind", default=None, metavar="KIND",
+        help="restrict to one record kind (default: all)",
+    )
+    p_oreg.add_argument(
+        "--threshold", type=float, default=1.3, metavar="RATIO",
+        help="flag latest runs slower than RATIO x the baseline median",
+    )
+    p_oreg.add_argument(
+        "--min-seconds", type=float, default=0.0, metavar="S",
+        help="ignore groups whose latest run is faster than this "
+             "(noise floor)",
+    )
+
+    p_omat = obs_sub.add_parser(
+        "matrix",
+        help="run the pinned perf-gate workload matrix into history",
+    )
+    p_omat.add_argument(
+        "--history-dir", default="benchmarks/out/history", metavar="DIR",
+        help="history store to append gate records to",
+    )
+    p_omat.add_argument(
+        "--collapsed-dir", default=None, metavar="DIR",
+        help="also write per-cell flamegraph-collapsed stacks here",
+    )
     return parser
 
 
@@ -443,20 +545,40 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print a per-phase time breakdown and metrics after the run",
     )
+    _add_history_arg(parser)
+
+
+def _add_history_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--history-dir",
+        default=None,
+        metavar="DIR",
+        help="append a provenance-stamped run record to this history "
+             "store (NDJSON; aggregated by `repro obs`)",
+    )
 
 
 class _ObsSession:
     """Scope of one instrumented CLI command.
 
     Installs an in-memory sink (turning the library's instrumentation
-    on), and on :meth:`finish` writes the Chrome trace and/or prints
-    the profile report as requested by the flags.
+    on); on :meth:`finish` writes the Chrome trace and/or prints the
+    profile report as requested by the flags, and
+    :meth:`record_history` appends one provenance-stamped run record
+    to the history store when ``--history-dir`` was given.
     """
 
-    def __init__(self, trace_path: str | None, profile: bool) -> None:
+    def __init__(
+        self,
+        trace_path: str | None,
+        profile: bool,
+        history_dir: str | None = None,
+    ) -> None:
         self.trace_path = trace_path
         self.profile = profile
+        self.history_dir = history_dir
         self.sink = InMemorySink()
+        self.started = time.perf_counter()
         metrics.reset()
         install_sink(self.sink)
 
@@ -473,13 +595,43 @@ class _ObsSession:
             print()
             print(metrics_report(metrics.snapshot()))
 
+    def record_history(
+        self,
+        kind: str,
+        *,
+        workload: str,
+        arch: str,
+        config: dict | None = None,
+        attrs: dict | None = None,
+    ) -> None:
+        """Append one run record (no-op without ``--history-dir``).
+        Call after :meth:`finish` so the span stream is complete."""
+        if self.history_dir is None:
+            return
+        from repro.obs.aggregate import phase_totals
+        from repro.obs.history import HistoryStore
+
+        store = HistoryStore(self.history_dir)
+        store.record(
+            kind,
+            workload=workload,
+            arch=arch,
+            config=config,
+            duration_seconds=time.perf_counter() - self.started,
+            phases=phase_totals(self.sink.events),
+            counters=metrics.snapshot()["counters"],
+            attrs=attrs or {},
+        )
+        print(f"history record ({kind}) appended under {store.root}")
+
 
 def _obs_session(args: argparse.Namespace) -> _ObsSession | None:
     trace_path = getattr(args, "trace", None)
     profile = getattr(args, "profile", False)
-    if trace_path is None and not profile:
+    history_dir = getattr(args, "history_dir", None)
+    if trace_path is None and not profile and history_dir is None:
         return None
-    return _ObsSession(trace_path, profile)
+    return _ObsSession(trace_path, profile, history_dir)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -525,6 +677,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_analyze(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -599,6 +753,18 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     finally:
         if session is not None:
             session.finish()
+    if session is not None:
+        session.record_history(
+            "schedule",
+            workload=graph.name,
+            arch=arch.name,
+            config=cfg.to_dict(),
+            attrs={
+                "initial_length": result.initial_length,
+                "final_length": result.final_length,
+                "stop_reason": result.stop_reason,
+            },
+        )
     bounds = schedule_bounds(graph, arch)
     print(f"{graph.name} on {arch.name}: "
           f"{result.initial_length} -> {result.final_length} control steps "
@@ -768,21 +934,40 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     cfg = CycloConfig(
         max_iterations=args.iterations, validate_each_step=False
     )
-    if args.param == "pes":
-        points = pe_count_sweep(
-            graph, args.arch, values, config=cfg, jobs=args.jobs
+    session = _obs_session(args)
+    try:
+        if args.param == "pes":
+            points = pe_count_sweep(
+                graph, args.arch, values, config=cfg, jobs=args.jobs
+            )
+            label = "PEs"
+        elif args.param == "volume":
+            points = volume_sweep(
+                graph, args.arch, args.pes, values, config=cfg, jobs=args.jobs
+            )
+            label = "volume x"
+        else:
+            points = slowdown_sweep(
+                graph, args.arch, args.pes, values, config=cfg, jobs=args.jobs
+            )
+            label = "slowdown"
+    finally:
+        if session is not None:
+            session.finish()
+    if session is not None:
+        session.record_history(
+            "sweep",
+            workload=graph.name,
+            arch=args.arch,
+            config={
+                "param": args.param,
+                "values": values,
+                "iterations": args.iterations,
+                "jobs": args.jobs,
+                "cyclo": cfg.to_dict(),
+            },
+            attrs={"points": len(points)},
         )
-        label = "PEs"
-    elif args.param == "volume":
-        points = volume_sweep(
-            graph, args.arch, args.pes, values, config=cfg, jobs=args.jobs
-        )
-        label = "volume x"
-    else:
-        points = slowdown_sweep(
-            graph, args.arch, args.pes, values, config=cfg, jobs=args.jobs
-        )
-        label = "slowdown"
     print(f"{args.param} sweep: {graph.name} on {args.arch} "
           f"({len(points)} point(s), jobs={args.jobs})")
     print(f"  {label:>10s}  {'init':>5s}  {'after':>5s}  {'bound':>7s}")
@@ -843,16 +1028,40 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                 f"known: {', '.join(PROPERTIES)}"
             )
     profile = GraphProfile(max_nodes=args.max_nodes)
-    report = run_fuzz(
-        trials=args.trials,
-        seed=args.seed,
-        properties=properties,
-        profile=profile,
-        max_pes=args.max_pes,
-        shrink=not args.no_shrink,
-        time_budget_seconds=args.time_budget,
-        jobs=args.jobs,
-    )
+    session = _obs_session(args)
+    try:
+        report = run_fuzz(
+            trials=args.trials,
+            seed=args.seed,
+            properties=properties,
+            profile=profile,
+            max_pes=args.max_pes,
+            shrink=not args.no_shrink,
+            time_budget_seconds=args.time_budget,
+            jobs=args.jobs,
+        )
+    finally:
+        if session is not None:
+            session.finish()
+    if session is not None:
+        session.record_history(
+            "fuzz",
+            workload="pipeline-fuzz",
+            arch=f"maxpes{args.max_pes}",
+            config={
+                "trials": args.trials,
+                "seed": args.seed,
+                "max_nodes": args.max_nodes,
+                "max_pes": args.max_pes,
+                "properties": sorted(properties) if properties else "all",
+                "shrink": not args.no_shrink,
+                "jobs": args.jobs,
+            },
+            attrs={
+                "trials_run": len(report.trials),
+                "failures": len(report.failures),
+            },
+        )
     print(report.describe())
     if args.out and report.failures:
         _write_reproducers(args.out, report)
@@ -1137,17 +1346,187 @@ def _cmd_faults_repair(args: argparse.Namespace) -> int:
 def _cmd_faults_campaign(args: argparse.Namespace) -> int:
     from repro.resilience import run_chaos_campaign
 
-    report = run_chaos_campaign(
-        trials=args.trials,
-        seed=args.seed,
-        num_pes=args.pes,
-        max_faults=args.max_faults,
-        transient_fraction=args.transient,
-        time_budget_seconds=args.time_budget,
-        jobs=args.jobs,
-    )
+    session = _obs_session(args)
+    try:
+        report = run_chaos_campaign(
+            trials=args.trials,
+            seed=args.seed,
+            num_pes=args.pes,
+            max_faults=args.max_faults,
+            transient_fraction=args.transient,
+            time_budget_seconds=args.time_budget,
+            jobs=args.jobs,
+        )
+    finally:
+        if session is not None:
+            session.finish()
+    if session is not None:
+        session.record_history(
+            "chaos",
+            workload="chaos-campaign",
+            arch=f"pes{args.pes}",
+            config={
+                "trials": args.trials,
+                "seed": args.seed,
+                "pes": args.pes,
+                "max_faults": args.max_faults,
+                "transient": args.transient,
+                "jobs": args.jobs,
+            },
+            attrs={
+                "trials_run": len(report.trials),
+                "invariant_holds": report.invariant_holds,
+            },
+        )
     print(report.describe())
     return 0 if report.invariant_holds else 1
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "report":
+        return _cmd_obs_report(args)
+    if args.obs_command == "top":
+        return _cmd_obs_top(args)
+    if args.obs_command == "diff":
+        return _cmd_obs_diff(args)
+    if args.obs_command == "regressions":
+        return _cmd_obs_regressions(args)
+    return _cmd_obs_matrix(args)
+
+
+def _is_history_path(raw: str) -> bool:
+    from pathlib import Path
+
+    p = Path(raw)
+    return p.is_dir() or p.suffix == ".ndjson"
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs.aggregate import (
+        format_history_summary,
+        hotspot_table,
+        trace_file_span_events,
+    )
+    from repro.obs.history import load_records
+
+    history_paths = [p for p in args.paths if _is_history_path(p)]
+    trace_paths = [p for p in args.paths if not _is_history_path(p)]
+    events: list[dict] = []
+    for path in trace_paths:
+        events.extend(trace_file_span_events(path))
+    if trace_paths:
+        print(f"## hotspots ({len(trace_paths)} trace file(s))")
+        print()
+        print(hotspot_table(events, limit=args.limit))
+    if history_paths:
+        records = load_records(history_paths)
+        if trace_paths:
+            print()
+        print(f"## run history ({len(records)} record(s))")
+        print()
+        print(format_history_summary(records))
+    return 0
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.aggregate import trace_file_span_events, trace_stats
+    from repro.obs.collapse import collapsed_stacks
+
+    events: list[dict] = []
+    for path in args.paths:
+        events.extend(trace_file_span_events(path))
+    stats = trace_stats(events)
+    if args.limit > 0:
+        stats = stats[: args.limit]
+    if not stats:
+        print("(no spans recorded)")
+    else:
+        width = max(len(s.name) for s in stats)
+        print(f"{'span':<{width}}  {'calls':>7}  {'self (ms)':>10}  "
+              f"{'total (ms)':>10}")
+        for s in stats:
+            print(f"{s.name:<{width}}  {s.calls:>7}  {s.self_ms:>10.3f}  "
+                  f"{s.total_ms:>10.3f}")
+    if args.collapsed:
+        target = Path(args.collapsed)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            "\n".join(collapsed_stacks(events)) + "\n", encoding="utf-8"
+        )
+        print(f"collapsed stacks written to {target}")
+    return 0
+
+
+def _obs_diff_phases(raw: str, kind: str | None) -> dict[str, float]:
+    from repro.obs.aggregate import (
+        phase_totals,
+        record_phases,
+        trace_file_span_events,
+    )
+    from repro.obs.history import load_records
+
+    if _is_history_path(raw):
+        records = load_records([raw])
+        if kind is not None:
+            records = [r for r in records if r.kind == kind]
+        return record_phases(records)
+    return phase_totals(trace_file_span_events(raw))
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.obs.aggregate import diff_tables, format_diff
+
+    a = _obs_diff_phases(args.a, args.kind)
+    b = _obs_diff_phases(args.b, args.kind)
+    rows = diff_tables(a, b)
+    print(format_diff(rows, a_label=args.a, b_label=args.b))
+    return 0
+
+
+def _cmd_obs_regressions(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.aggregate import (
+        detect_regressions,
+        fit_baselines,
+        format_regressions,
+    )
+    from repro.obs.history import HistoryStore
+
+    if args.threshold <= 1.0:
+        raise ReproError(
+            f"--threshold must exceed 1.0, got {args.threshold}"
+        )
+    root = Path(args.history_dir)
+    store = HistoryStore(root)
+    records = store.load(args.kind)
+    if not records:
+        print(f"no history records under {root}")
+        return 0
+    found = detect_regressions(
+        records, threshold=args.threshold, min_seconds=args.min_seconds
+    )
+    checked = len(fit_baselines(records))
+    print(format_regressions(found, checked=checked))
+    return 1 if found else 0
+
+
+def _cmd_obs_matrix(args: argparse.Namespace) -> int:
+    from repro.obs.gate import run_gate_matrix
+
+    records = run_gate_matrix(
+        args.history_dir, collapsed_dir=args.collapsed_dir
+    )
+    print(f"gate matrix: {len(records)} cell(s) into {args.history_dir}")
+    for rec in records:
+        print(f"  {rec.workload} on {rec.arch}: "
+              f"{rec.duration_seconds:.3f}s, "
+              f"length {rec.attrs.get('final_length')}")
+    if args.collapsed_dir:
+        print(f"collapsed stacks under {args.collapsed_dir}")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

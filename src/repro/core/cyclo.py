@@ -154,6 +154,13 @@ def cyclo_compact(
             passes=len(result.trace.records),
             stop_reason=result.stop_reason,
         )
+        # publish the hot-subsystem tallies exactly once per run (the
+        # working table carries the probe/shift counts; best/initial
+        # copies start from fresh zeros)
+        if comm is not None:
+            comm.publish_stats()
+        if result.final_schedule is not None:
+            result.final_schedule.publish_stats()
     return result
 
 

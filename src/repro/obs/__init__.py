@@ -15,12 +15,32 @@ the scheduling pipeline:
   Chrome trace-event JSON (``chrome://tracing`` / Perfetto) and
   markdown metrics reports;
 * **profiling** (:func:`phase_breakdown`) — per-phase time/percentage
-  aggregation behind ``repro profile`` and ``--profile``.
+  aggregation behind ``repro profile`` and ``--profile``;
+* **run history** (:mod:`repro.obs.history`) — the append-only NDJSON
+  store of provenance-stamped run records that ``repro obs
+  report|diff|regressions`` and the CI perf gate aggregate over;
+* **analysis** (:mod:`repro.obs.aggregate`,
+  :mod:`repro.obs.collapse`) — hotspot/self-time tables, phase diffs,
+  baseline fitting + regression detection, and flamegraph-compatible
+  collapsed stacks.
 
 See ``docs/observability.md`` for a guided tour.
 """
 
 from repro.obs import metrics
+from repro.obs.aggregate import (
+    detect_regressions,
+    diff_tables,
+    hotspot_table,
+    trace_stats,
+)
+from repro.obs.collapse import collapsed_stacks, self_times
+from repro.obs.history import (
+    DEFAULT_HISTORY_DIR,
+    HistoryStore,
+    RunRecord,
+    config_hash,
+)
 from repro.obs.export import (
     chrome_trace_events,
     metrics_report,
@@ -40,7 +60,17 @@ from repro.obs.sinks import EventSink, InMemorySink, NDJSONSink
 from repro.obs.spans import NO_OP_SPAN, Span, span
 
 __all__ = [
+    "DEFAULT_HISTORY_DIR",
     "EventSink",
+    "HistoryStore",
+    "RunRecord",
+    "collapsed_stacks",
+    "config_hash",
+    "detect_regressions",
+    "diff_tables",
+    "hotspot_table",
+    "self_times",
+    "trace_stats",
     "InMemorySink",
     "NDJSONSink",
     "NO_OP_SPAN",

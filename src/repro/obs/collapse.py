@@ -1,0 +1,123 @@
+"""Span self-time analysis and flamegraph-compatible collapsed stacks.
+
+Sink events record each span as a flat ``{"name", "start_ns",
+"dur_ns", "depth", "attrs"}`` dict emitted at span *exit*.  This module
+rebuilds the span hierarchy from those three ordering facts — a span's
+parent is the innermost span at ``depth - 1`` whose interval contains
+it — and derives:
+
+* **self time** — a span's duration minus the durations of its direct
+  children (the time actually spent *in* that phase, not delegated);
+* **collapsed stacks** — the classic semicolon-joined
+  ``root;child;leaf <self_us>`` lines that ``flamegraph.pl``,
+  speedscope and Brendan Gregg's tooling all consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["SpanNode", "build_span_tree", "self_times", "collapsed_stacks"]
+
+
+@dataclass
+class SpanNode:
+    """One span with its reconstructed ancestry."""
+
+    name: str
+    start_ns: int
+    dur_ns: int
+    depth: int
+    stack: tuple[str, ...]  # root .. self
+    children_dur_ns: int = 0
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def end_ns(self) -> int:
+        return self.start_ns + self.dur_ns
+
+    @property
+    def self_ns(self) -> int:
+        """Duration not attributable to any direct child (clamped at 0:
+        overlapping children can only arise from clock jitter)."""
+        return max(0, self.dur_ns - self.children_dur_ns)
+
+
+def build_span_tree(span_events: Sequence[dict]) -> list[SpanNode]:
+    """Rebuild the span forest; returns every node (roots first within
+    equal start times).
+
+    Events are matched to parents by interval containment at
+    ``depth - 1``; spans at depth 0 (or orphans whose parent interval
+    is missing from the recording) become roots.
+    """
+    spans = sorted(
+        (e for e in span_events if e.get("type") == "span"),
+        key=lambda e: (e["start_ns"], -e["dur_ns"], e.get("depth", 0)),
+    )
+    nodes: list[SpanNode] = []
+    # innermost open span per depth, maintained as a stack of candidates
+    open_by_depth: dict[int, SpanNode] = {}
+    for e in spans:
+        depth = e.get("depth", 0)
+        parent = None
+        d = depth - 1
+        while d >= 0:
+            candidate = open_by_depth.get(d)
+            if (
+                candidate is not None
+                and candidate.start_ns <= e["start_ns"]
+                and e["start_ns"] + e["dur_ns"] <= candidate.end_ns
+            ):
+                parent = candidate
+                break
+            d -= 1
+        stack = (parent.stack if parent else ()) + (e["name"],)
+        node = SpanNode(
+            name=e["name"],
+            start_ns=e["start_ns"],
+            dur_ns=e["dur_ns"],
+            depth=depth,
+            stack=stack,
+        )
+        if parent is not None:
+            parent.children.append(node)
+            parent.children_dur_ns += node.dur_ns
+        nodes.append(node)
+        open_by_depth[depth] = node
+    return nodes
+
+
+def self_times(span_events: Sequence[dict]) -> dict[tuple[str, ...], dict]:
+    """Aggregate self time per distinct stack.
+
+    Returns ``stack -> {"calls", "self_ns", "total_ns"}`` where
+    ``self_ns`` sums each occurrence's duration minus its direct
+    children — so summing ``self_ns`` over all stacks reproduces the
+    root wall time (modulo clock jitter).
+    """
+    out: dict[tuple[str, ...], dict] = {}
+    for node in build_span_tree(span_events):
+        row = out.setdefault(
+            node.stack, {"calls": 0, "self_ns": 0, "total_ns": 0}
+        )
+        row["calls"] += 1
+        row["self_ns"] += node.self_ns
+        row["total_ns"] += node.dur_ns
+    return out
+
+
+def collapsed_stacks(span_events: Sequence[dict]) -> list[str]:
+    """Flamegraph-collapsed lines: ``a;b;c <self_microseconds>``.
+
+    One line per distinct stack, self time in integer microseconds,
+    sorted by stack for reproducible output.  Stacks whose self time
+    rounds to zero are kept (flamegraph tools tolerate zero weights and
+    dropping them would hide call structure).
+    """
+    rows = self_times(span_events)
+    return [
+        ";".join(stack) + f" {row['self_ns'] // 1000}"
+        for stack, row in sorted(rows.items())
+    ]

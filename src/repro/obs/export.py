@@ -144,6 +144,10 @@ def write_chrome_trace(
     return target
 
 
+def _fmt_pct(value) -> str:
+    return "-" if value is None else f"{value:.3g}"
+
+
 def metrics_report(snapshot: dict, *, title: str = "metrics") -> str:
     """Render a registry snapshot (:func:`repro.obs.metrics.snapshot`)
     as a markdown report."""
@@ -163,11 +167,13 @@ def metrics_report(snapshot: dict, *, title: str = "metrics") -> str:
         lines.append("")
     if histograms:
         lines += [
-            "| histogram | count | mean | min | max |",
-            "|---|---:|---:|---:|---:|",
+            "| histogram | count | mean | min | p50 | p95 | max |",
+            "|---|---:|---:|---:|---:|---:|---:|",
         ]
         lines += [
-            f"| {k} | {h['count']} | {h['mean']:.3g} | {h['min']} | {h['max']} |"
+            f"| {k} | {h['count']} | {h['mean']:.3g} | {h['min']} "
+            f"| {_fmt_pct(h.get('p50'))} | {_fmt_pct(h.get('p95'))} "
+            f"| {h['max']} |"
             for k, h in histograms.items()
         ]
         lines.append("")

@@ -54,16 +54,30 @@ class Gauge:
             self.max_value = value
 
 
-class Histogram:
-    """Streaming summary statistics (count / sum / min / max / mean)."""
+#: Per-histogram sample cap: enough for stable p99 estimates on every
+#: campaign the repo runs, small enough that a runaway producer cannot
+#: grow the registry unboundedly.  Overflow keeps the first samples
+#: seen (deterministic — no random eviction).
+SAMPLE_CAP = 4096
 
-    __slots__ = ("count", "total", "min", "max")
+
+class Histogram:
+    """Streaming summary statistics plus a bounded sample reservoir.
+
+    ``count``/``total``/``min``/``max`` are exact over every observed
+    value; percentiles (:meth:`percentile`) are computed from the first
+    :data:`SAMPLE_CAP` samples, which covers every campaign size the
+    repo runs exactly and degrades deterministically beyond it.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "samples")
 
     def __init__(self) -> None:
         self.count = 0
         self.total: float = 0
         self.min: float | None = None
         self.max: float | None = None
+        self.samples: list[float] = []
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -72,10 +86,23 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if len(self.samples) < SAMPLE_CAP:
+            self.samples.append(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float | None:
+        """Nearest-rank percentile of the retained samples (``None``
+        when the histogram is empty).  ``q`` is in ``(0, 100]``."""
+        if not self.samples:
+            return None
+        if not 0 < q <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {q}")
+        ordered = sorted(self.samples)
+        rank = max(1, -(-len(ordered) * q // 100))  # ceil without floats
+        return ordered[int(rank) - 1]
 
     def summary(self) -> dict:
         return {
@@ -84,6 +111,10 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "samples": list(self.samples),
         }
 
 
@@ -142,7 +173,10 @@ class MetricsRegistry:
         into the parent process: counters add, gauges keep the largest
         value seen across processes (last-writer order is meaningless
         once runs interleave), histograms combine their summary
-        statistics (count/total/min/max — ``mean`` stays derived).
+        statistics (count/total/min/max — ``mean`` stays derived) and
+        concatenate their sample reservoirs up to :data:`SAMPLE_CAP`
+        (snapshots are merged in item order, so the combined percentiles
+        are deterministic regardless of worker finish order).
         """
         for name, value in snap.get("counters", {}).items():
             self.counter(name).inc(value)
@@ -161,6 +195,9 @@ class MetricsRegistry:
                 h.min = data["min"]
             if h.max is None or data["max"] > h.max:
                 h.max = data["max"]
+            room = SAMPLE_CAP - len(h.samples)
+            if room > 0:
+                h.samples.extend(data.get("samples", ())[:room])
 
 
 REGISTRY = MetricsRegistry()

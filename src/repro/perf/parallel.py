@@ -43,14 +43,27 @@ def _worker(payload: tuple) -> tuple[Any, dict | None]:
     unless the parent asked for metrics.  A fresh in-memory sink flips
     the worker's observability flag on so the instrumented hot paths
     actually record — the event stream itself is discarded, only the
-    metrics registry travels back.
+    metrics registry travels back.  ``submitted`` is the parent's
+    ``time.monotonic()`` at dispatch (system-wide on the platforms the
+    repo targets), so ``queue_wait_seconds`` measures how long the item
+    sat waiting for a worker slot.
     """
-    fn, item, collect = payload
+    fn, item, collect, submitted = payload
     if not collect:
         return fn(item), None
     metrics.reset()
     with runtime.sink_installed(InMemorySink()):
+        begun = time.monotonic()
+        if submitted is not None:
+            metrics.observe(
+                "perf.parallel.queue_wait_seconds",
+                max(0.0, begun - submitted),
+            )
         result = fn(item)
+        metrics.inc("perf.parallel.tasks")
+        metrics.observe(
+            "perf.parallel.task_seconds", time.monotonic() - begun
+        )
         snap = metrics.snapshot()
     return result, snap
 
@@ -95,11 +108,21 @@ def run_parallel(
     )
 
     if jobs == 1 or len(work) <= 1:
+        observing = runtime.enabled()
         results = []
         for item in work:
             if deadline is not None and time.perf_counter() >= deadline:
                 break
-            results.append(fn(item))
+            if observing:
+                begun = time.monotonic()
+                results.append(fn(item))
+                metrics.inc("perf.parallel.tasks")
+                metrics.observe(
+                    "perf.parallel.task_seconds", time.monotonic() - begun
+                )
+                metrics.observe("perf.parallel.queue_wait_seconds", 0.0)
+            else:
+                results.append(fn(item))
         return results
 
     collect = runtime.enabled()
@@ -111,7 +134,10 @@ def run_parallel(
         pending: deque = deque()
         next_index = 0
         while next_index < len(work) and len(pending) < width:
-            pending.append(pool.submit(_worker, (fn, work[next_index], collect)))
+            pending.append(pool.submit(
+                _worker,
+                (fn, work[next_index], collect, time.monotonic()),
+            ))
             next_index += 1
         while pending:
             result, snap = pending.popleft().result()
@@ -121,8 +147,9 @@ def run_parallel(
             if next_index < len(work) and (
                 deadline is None or time.perf_counter() < deadline
             ):
-                pending.append(
-                    pool.submit(_worker, (fn, work[next_index], collect))
-                )
+                pending.append(pool.submit(
+                    _worker,
+                    (fn, work[next_index], collect, time.monotonic()),
+                ))
                 next_index += 1
     return results

@@ -163,6 +163,7 @@ def _run_trial(params: tuple) -> FuzzTrial:
         outcome="ok" if failed_prop is None else "failed",
         violations=violations,
     )
+    metrics.inc(f"qa.fuzz.outcome.{trial.outcome}")
     if failed_prop is not None:
         metrics.inc("qa.fuzz.failures")
         failing = ReproCase(

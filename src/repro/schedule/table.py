@@ -130,6 +130,11 @@ class ScheduleTable:
         self._starts: list[list[int]] = [[] for _ in range(num_pes)]
         self._busy: list[int] = [0] * num_pes
         self._makespan: int | None = 0  # lazy cache; None = recompute
+        # plain-int instrumentation tallies: one increment per interval-
+        # index probe / whole-table shift, published to the metrics
+        # registry once per run by the engine (see :meth:`publish_stats`)
+        self.probes = 0
+        self.shifts = 0
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -187,6 +192,7 @@ class ScheduleTable:
         """The task occupying ``(pe, cs)``, or ``None``."""
         if not (0 <= pe < self.num_pes):
             return None
+        self.probes += 1
         idx = bisect_right(self._starts[pe], cs) - 1
         if idx >= 0:
             _s, busy_until, node = self._intervals[pe][idx]
@@ -314,6 +320,7 @@ class ScheduleTable:
             return
         if not delta:
             return
+        self.shifts += 1
         # raises ScheduleError before any mutation if a start drops < 1;
         # clones are built inline (this runs for every placement on
         # every rotation) with the same check/message as Placement.shifted
@@ -362,6 +369,7 @@ class ScheduleTable:
             return False
         if not (0 <= pe < self.num_pes):
             return True
+        self.probes += 1
         idx = bisect_right(self._starts[pe], start + duration - 1) - 1
         return idx < 0 or self._intervals[pe][idx][1] < start
 
@@ -382,6 +390,7 @@ class ScheduleTable:
             limit = (self._length if self._length > cs else cs) + duration
         if not (0 <= pe < self.num_pes):
             return cs if cs + duration - 1 <= limit else None
+        self.probes += 1
         starts = self._starts[pe]
         intervals = self._intervals[pe]
         idx = bisect_right(starts, cs) - 1
@@ -416,6 +425,7 @@ class ScheduleTable:
                 yield cs
                 cs += 1
             return
+        self.probes += 1
         starts = self._starts[pe]
         intervals = self._intervals[pe]
         idx = bisect_right(starts, cs) - 1
@@ -467,6 +477,19 @@ class ScheduleTable:
         if not (0 <= pe < self.num_pes):
             return 0
         return self._busy[pe]
+
+    def stats(self) -> dict:
+        """Plain-data view of the instrumentation tallies."""
+        return {"probes": self.probes, "shifts": self.shifts}
+
+    def publish_stats(self) -> None:
+        """Push the tallies into the metrics registry (no-op while
+        observability is off).  Publish exactly once per run — counter
+        deltas across repeated publishes double-count."""
+        from repro.obs import metrics
+
+        metrics.inc("schedule.table.probes", self.probes)
+        metrics.inc("schedule.table.shifts", self.shifts)
 
     # ------------------------------------------------------------------
     def copy(self, name: str | None = None) -> "ScheduleTable":

@@ -130,3 +130,152 @@ class TestReportProfileFlag:
         assert "# Reproduction report" in out
         assert "phase" in out
         assert trace.exists()
+
+
+class TestHistoryRecording:
+    def test_schedule_appends_a_provenance_stamped_record(
+        self, tmp_path, capsys
+    ):
+        from repro.obs.history import HistoryStore
+
+        hist = tmp_path / "history"
+        assert main(["schedule", "figure1", "--arch", "ring",
+                     "--render", "none", "--history-dir", str(hist)]) == 0
+        assert "history record (schedule) appended" in capsys.readouterr().out
+        records = HistoryStore(hist).load("schedule")
+        assert len(records) == 1
+        rec = records[0]
+        assert rec.workload == "figure1" and rec.kind == "schedule"
+        assert rec.engine_version and rec.config_hash
+        assert rec.duration_seconds > 0
+        assert "remap" in rec.phases
+        assert rec.attrs["final_length"] <= rec.attrs["initial_length"]
+
+    def test_repeat_runs_accumulate_append_only(self, tmp_path):
+        from repro.obs.history import HistoryStore
+
+        hist = tmp_path / "history"
+        for _ in range(2):
+            assert main(["schedule", "figure1", "--arch", "ring",
+                         "--render", "none",
+                         "--history-dir", str(hist)]) == 0
+        records = HistoryStore(hist).load("schedule")
+        assert len(records) == 2
+        # identical invocation => identical provenance group
+        assert records[0].key() == records[1].key()
+
+    def test_fuzz_appends_a_fuzz_record(self, tmp_path, capsys):
+        from repro.obs.history import HistoryStore
+
+        hist = tmp_path / "history"
+        assert main(["fuzz", "--trials", "3", "--seed", "7",
+                     "--max-nodes", "6",
+                     "--history-dir", str(hist)]) == 0
+        records = HistoryStore(hist).load("fuzz")
+        assert len(records) == 1
+        assert records[0].attrs["trials_run"] == 3
+        assert records[0].attrs["failures"] == 0
+
+
+class TestObsReportAndTop:
+    def _make_trace(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert main(["schedule", "figure1", "--arch", "mesh", "--pes", "4",
+                     "--render", "none", "--trace", str(trace)]) == 0
+        return trace
+
+    def test_report_over_a_trace_ranks_hotspots(self, tmp_path, capsys):
+        trace = self._make_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "## hotspots" in out
+        assert "| span |" in out and "remap" in out
+
+    def test_report_over_history_summarises_groups(self, tmp_path, capsys):
+        hist = tmp_path / "history"
+        assert main(["schedule", "figure1", "--arch", "ring",
+                     "--render", "none", "--history-dir", str(hist)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", str(hist)]) == 0
+        out = capsys.readouterr().out
+        assert "## run history (1 record(s))" in out
+        assert "| schedule | figure1 |" in out
+
+    def test_top_writes_collapsed_stacks(self, tmp_path, capsys):
+        trace = self._make_trace(tmp_path)
+        collapsed = tmp_path / "stacks.collapsed"
+        capsys.readouterr()
+        assert main(["obs", "top", str(trace),
+                     "--collapsed", str(collapsed)]) == 0
+        out = capsys.readouterr().out
+        assert "self (ms)" in out
+        lines = collapsed.read_text(encoding="utf-8").splitlines()
+        assert lines
+        for line in lines:
+            stack, _, value = line.rpartition(" ")
+            assert stack and value.isdigit()
+        assert any(line.startswith("cyclo_compact;") for line in lines)
+
+    def test_diff_of_a_run_against_itself_is_flat(self, tmp_path, capsys):
+        trace = self._make_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "diff", str(trace), str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "| remap |" in out
+        assert "1.000" in out  # every ratio is exactly 1
+
+
+class TestRegressionGate:
+    def test_identical_matrix_runs_report_no_regression(
+        self, tmp_path, capsys
+    ):
+        hist = tmp_path / "history"
+        for _ in range(2):
+            assert main(["obs", "matrix", "--history-dir", str(hist)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "regressions", "--history-dir", str(hist),
+                     "--kind", "gate"]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_seeded_slowdown_trips_the_gate(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.obs.gate import GATE_SLEEP_ENV
+
+        hist = tmp_path / "history"
+        for _ in range(2):
+            assert main(["obs", "matrix", "--history-dir", str(hist)]) == 0
+        monkeypatch.setenv(GATE_SLEEP_ENV, "1.0")
+        assert main(["obs", "matrix", "--history-dir", str(hist)]) == 0
+        monkeypatch.delenv(GATE_SLEEP_ENV)
+        capsys.readouterr()
+        assert main(["obs", "regressions", "--history-dir", str(hist),
+                     "--kind", "gate", "--threshold", "1.5"]) == 1
+        out = capsys.readouterr().out
+        assert "regression(s)" in out and "gate" in out
+
+    def test_matrix_writes_collapsed_stacks_per_cell(
+        self, tmp_path, capsys
+    ):
+        hist = tmp_path / "history"
+        coll = tmp_path / "collapsed"
+        assert main(["obs", "matrix", "--history-dir", str(hist),
+                     "--collapsed-dir", str(coll)]) == 0
+        files = sorted(p.name for p in coll.iterdir())
+        assert files == [
+            "figure7-hypercube8.collapsed",
+            "figure7-mesh8.collapsed",
+            "lattice4-ring4.collapsed",
+        ]
+
+    def test_empty_history_is_not_a_failure(self, tmp_path, capsys):
+        assert main(["obs", "regressions",
+                     "--history-dir", str(tmp_path / "nothing")]) == 0
+        assert "no history records" in capsys.readouterr().out
+
+    def test_bad_threshold_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["obs", "regressions",
+                     "--history-dir", str(tmp_path),
+                     "--threshold", "0.9"]) == 1
+        assert "--threshold" in capsys.readouterr().err

@@ -150,6 +150,27 @@ class TestRulesFire:
         found, _ = lint_source(src, module="repro.graph.csdfg")
         assert found == []
 
+    @pytest.mark.parametrize("module", [
+        "repro.core.cyclo", "repro.perf.bench", "repro.obs.runtime",
+    ])
+    def test_rl107_print_in_instrumented_code(self, module):
+        found, _ = lint_source("print('debug')\n", module=module)
+        assert codes(found) == ["RL107"]
+
+    @pytest.mark.parametrize("module", [
+        "repro.cli", "repro.obs.export", "repro.qa.fuzz",
+    ])
+    def test_rl107_cli_and_exporters_may_print(self, module):
+        found, _ = lint_source("print('output')\n", module=module)
+        assert found == []
+
+    def test_rl107_suppressible(self):
+        found, suppressed = lint_source(
+            "print('x')  # repro-lint: disable=RL107\n",
+            module="repro.perf.bench",
+        )
+        assert found == [] and suppressed == 1
+
     def test_syntax_error_is_analysis_error(self):
         with pytest.raises(AnalysisError, match="cannot parse"):
             lint_source("def f(:\n", module="repro.core.x")

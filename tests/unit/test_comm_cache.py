@@ -81,6 +81,66 @@ class TestDegraded:
             cache.cost(2, 0, 1)
 
 
+class TestStats:
+    def test_warm_lookup_raises_hit_rate(self):
+        arch = make_architecture("hypercube", 8)
+        cache = CommCostCache(arch, (1,))
+        assert cache.hits == cache.misses == 0
+        assert cache.hit_rate == 0.0
+        cache.cost(0, 5, 7)  # uncached volume: a miss
+        cold_rate = cache.hit_rate
+        cache.cost(0, 5, 1)  # warm lookup served from the tables
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate > cold_rate
+        cache.cost(0, 5, 1)
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_entries_count_covers_alive_pairs(self):
+        arch = make_architecture("ring", 5)
+        cache = CommCostCache(arch, (1, 2))
+        assert cache.entries == 2 * 5 * 5
+
+    def test_stats_dict(self):
+        arch = make_architecture("complete", 4)
+        cache = CommCostCache(arch, (1,))
+        cache.cost(0, 1, 1)
+        cache.cost(0, 1, 9)
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "entries": 16,
+            "hit_rate": 0.5,
+        }
+
+    def test_publish_stats_lands_in_registry(self):
+        from repro.obs import InMemorySink, metrics, sink_installed
+
+        arch = make_architecture("complete", 4)
+        cache = CommCostCache(arch, (1,))
+        cache.cost(0, 1, 1)
+        cache.cost(0, 1, 1)
+        cache.cost(0, 1, 9)
+        with sink_installed(InMemorySink()):
+            cache.publish_stats()
+        snap = metrics.snapshot()
+        assert snap["counters"]["arch.cache.hits"] == 2
+        assert snap["counters"]["arch.cache.misses"] == 1
+        assert snap["gauges"]["arch.cache.entries"]["value"] == 16
+        assert snap["gauges"]["arch.cache.hit_rate"]["value"] == pytest.approx(
+            2 / 3, abs=1e-6
+        )
+
+    def test_publish_stats_noop_while_disabled(self):
+        from repro.obs import metrics
+
+        arch = make_architecture("complete", 4)
+        cache = CommCostCache(arch, (1,))
+        cache.cost(0, 1, 1)
+        cache.publish_stats()
+        assert metrics.snapshot()["counters"] == {}
+
+
 class TestFallbacks:
     def test_uncached_volume_defers_to_arch(self):
         arch = make_architecture("mesh", 4)

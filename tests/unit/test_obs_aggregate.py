@@ -1,0 +1,169 @@
+"""Hotspot stats, phase diffs, and regression detection."""
+
+import pytest
+
+from repro.obs.aggregate import (
+    DiffRow,
+    detect_regressions,
+    diff_tables,
+    fit_baselines,
+    format_diff,
+    format_regressions,
+    hotspot_table,
+    percentile,
+    phase_totals,
+    record_phases,
+    trace_stats,
+)
+from repro.obs.history import RunRecord
+
+
+def _span_event(name, start, dur, depth):
+    return {
+        "type": "span",
+        "name": name,
+        "start_ns": start,
+        "dur_ns": dur,
+        "depth": depth,
+        "attrs": {},
+    }
+
+
+def _record(duration, *, kind="gate", workload="w", arch="a", cfg="h",
+            phases=None):
+    return RunRecord(
+        kind=kind, workload=workload, arch=arch, config_hash=cfg,
+        engine_version="1.0.0", timestamp=0.0,
+        duration_seconds=duration, phases=phases or {},
+    )
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 99) == 99
+
+    def test_empty(self):
+        assert percentile([], 50) is None
+
+    def test_domain(self):
+        with pytest.raises(ValueError):
+            percentile([1], 0)
+
+
+class TestTraceStats:
+    EVENTS = [
+        _span_event("root", 0, 100, 0),
+        _span_event("a", 0, 60, 1),
+        _span_event("a", 60, 30, 1),
+    ]
+
+    def test_ranked_by_self_time(self):
+        stats = trace_stats(self.EVENTS)
+        assert [s.name for s in stats] == ["a", "root"]
+        a = stats[0]
+        assert a.calls == 2
+        assert a.self_ns == 90
+        assert a.p50_ns == 30 and a.p99_ns == 60
+
+    def test_hotspot_table_renders(self):
+        text = hotspot_table(self.EVENTS)
+        assert "| span |" in text and "| a |" in text
+
+    def test_hotspot_table_empty(self):
+        assert hotspot_table([]) == "(no spans recorded)"
+
+    def test_hotspot_table_limit(self):
+        text = hotspot_table(self.EVENTS, limit=1)
+        assert "| a |" in text and "| root |" not in text
+
+
+class TestDiff:
+    def test_phase_totals(self):
+        totals = phase_totals([
+            _span_event("remap", 0, 2_000_000_000, 1),
+            _span_event("remap", 0, 1_000_000_000, 1),
+        ])
+        assert totals == {"remap": pytest.approx(3.0)}
+
+    def test_diff_union_of_phases(self):
+        rows = diff_tables({"a": 1.0, "b": 2.0}, {"b": 3.0, "c": 4.0})
+        assert [r.phase for r in rows] == ["a", "b", "c"]
+        by = {r.phase: r for r in rows}
+        assert by["b"].delta_seconds == pytest.approx(1.0)
+        assert by["b"].ratio == pytest.approx(1.5)
+        assert by["c"].ratio is None  # new phase
+
+    def test_format_diff(self):
+        text = format_diff(
+            [DiffRow("remap", 1.0, 2.0)], a_label="old", b_label="new"
+        )
+        assert "| remap |" in text and "old" in text and "2.00" in text
+        assert format_diff([]) == "(nothing to compare)"
+
+    def test_record_phases_averages_window(self):
+        recs = [
+            _record(1.0, phases={"remap": 0.5}),
+            _record(3.0, phases={"remap": 1.5}),
+        ]
+        assert record_phases(recs) == {
+            "remap": pytest.approx(1.0),
+            "total": pytest.approx(2.0),
+        }
+        assert record_phases([]) == {}
+
+
+class TestRegressions:
+    def test_identical_runs_no_regression(self):
+        recs = [_record(1.0), _record(1.0)]
+        assert detect_regressions(recs, threshold=1.3) == []
+
+    def test_seeded_slowdown_detected(self):
+        recs = [_record(1.0), _record(1.0), _record(1.0), _record(2.0)]
+        found = detect_regressions(recs, threshold=1.3)
+        assert len(found) == 1
+        r = found[0]
+        assert r.baseline_seconds == pytest.approx(1.0)
+        assert r.latest_seconds == pytest.approx(2.0)
+        assert r.ratio == pytest.approx(2.0)
+        assert r.samples == 3
+
+    def test_single_run_fits_no_baseline(self):
+        assert detect_regressions([_record(5.0)], threshold=1.3) == []
+        fit = fit_baselines([_record(5.0)])
+        assert fit[("gate", "w", "a", "h")]["baseline"] is None
+
+    def test_groups_isolated_by_provenance(self):
+        # same workload, different config hash: no cross-contamination
+        recs = [
+            _record(1.0, cfg="old"),
+            _record(10.0, cfg="new"),  # first run of the new config
+        ]
+        assert detect_regressions(recs, threshold=1.3) == []
+
+    def test_min_seconds_suppresses_noise(self):
+        recs = [_record(0.0001), _record(0.001)]
+        assert detect_regressions(
+            recs, threshold=1.3, min_seconds=0.01
+        ) == []
+        assert detect_regressions(recs, threshold=1.3, min_seconds=0.0)
+
+    def test_threshold_domain(self):
+        with pytest.raises(ValueError):
+            detect_regressions([], threshold=1.0)
+
+    def test_baseline_is_median_of_priors(self):
+        recs = [_record(1.0), _record(100.0), _record(1.2), _record(1.3)]
+        fit = fit_baselines(recs)[("gate", "w", "a", "h")]
+        assert fit["baseline"] == pytest.approx(1.2)  # median, not mean
+        assert fit["latest"] == pytest.approx(1.3)
+
+    def test_format_regressions(self):
+        recs = [_record(1.0), _record(1.0), _record(3.0)]
+        found = detect_regressions(recs, threshold=1.3)
+        text = format_regressions(found, checked=1)
+        assert "1 regression(s)" in text and "3.00x" in text
+        assert format_regressions([], checked=2) == (
+            "no regressions across 2 run group(s)"
+        )

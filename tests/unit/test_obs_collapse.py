@@ -1,0 +1,107 @@
+"""Span-tree reconstruction, self time, and collapsed stacks."""
+
+from repro.obs import InMemorySink, sink_installed, span
+from repro.obs.collapse import build_span_tree, collapsed_stacks, self_times
+
+
+def _span_event(name, start, dur, depth):
+    return {
+        "type": "span",
+        "name": name,
+        "start_ns": start,
+        "dur_ns": dur,
+        "depth": depth,
+        "attrs": {},
+    }
+
+
+class TestBuildSpanTree:
+    def test_parent_child_linking(self):
+        events = [
+            _span_event("root", 0, 100, 0),
+            _span_event("a", 10, 30, 1),
+            _span_event("b", 50, 40, 1),
+            _span_event("leaf", 55, 10, 2),
+        ]
+        nodes = {n.name: n for n in build_span_tree(events)}
+        assert nodes["a"].stack == ("root", "a")
+        assert nodes["b"].stack == ("root", "b")
+        assert nodes["leaf"].stack == ("root", "b", "leaf")
+        assert nodes["root"].children_dur_ns == 70
+        assert nodes["b"].children_dur_ns == 10
+
+    def test_orphan_depth_becomes_root(self):
+        # a depth-2 span with no recorded ancestors roots its own stack
+        nodes = build_span_tree([_span_event("lonely", 5, 10, 2)])
+        assert nodes[0].stack == ("lonely",)
+
+    def test_sibling_at_same_depth_not_parent(self):
+        events = [
+            _span_event("first", 0, 10, 0),
+            _span_event("second", 20, 10, 0),
+            _span_event("child", 22, 5, 1),
+        ]
+        nodes = {n.name: n for n in build_span_tree(events)}
+        assert nodes["child"].stack == ("second", "child")
+
+    def test_from_real_recording(self):
+        sink = InMemorySink()
+        with sink_installed(sink):
+            with span("outer"):
+                with span("inner"):
+                    pass
+        nodes = {n.name: n for n in build_span_tree(sink.events)}
+        assert nodes["inner"].stack == ("outer", "inner")
+        assert nodes["outer"].self_ns + nodes["inner"].dur_ns == (
+            nodes["outer"].dur_ns
+        )
+
+
+class TestSelfTimes:
+    def test_self_excludes_children(self):
+        events = [
+            _span_event("root", 0, 100, 0),
+            _span_event("a", 10, 30, 1),
+        ]
+        rows = self_times(events)
+        assert rows[("root",)]["self_ns"] == 70
+        assert rows[("root", "a")]["self_ns"] == 30
+
+    def test_repeated_stacks_aggregate(self):
+        events = [
+            _span_event("root", 0, 100, 0),
+            _span_event("a", 10, 20, 1),
+            _span_event("a", 40, 25, 1),
+        ]
+        rows = self_times(events)
+        assert rows[("root", "a")] == {
+            "calls": 2, "self_ns": 45, "total_ns": 45,
+        }
+
+    def test_total_self_equals_root_duration(self):
+        events = [
+            _span_event("root", 0, 100, 0),
+            _span_event("a", 0, 60, 1),
+            _span_event("b", 60, 40, 1),
+            _span_event("c", 65, 10, 2),
+        ]
+        assert sum(r["self_ns"] for r in self_times(events).values()) == 100
+
+
+class TestCollapsedStacks:
+    def test_format_and_order(self):
+        events = [
+            _span_event("root", 0, 100_000, 0),
+            _span_event("a", 10_000, 30_000, 1),
+        ]
+        assert collapsed_stacks(events) == [
+            "root 70",        # 70_000 ns self -> 70 us
+            "root;a 30",
+        ]
+
+    def test_empty_events(self):
+        assert collapsed_stacks([]) == []
+
+    def test_non_ascii_names_survive(self):
+        events = [_span_event("época", 0, 2_000, 0)]
+        assert collapsed_stacks(events) == ["época 2"]

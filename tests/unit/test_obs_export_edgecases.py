@@ -1,0 +1,147 @@
+"""Exporter edge cases: empty traces, unclosed/orphan spans, deep
+nesting, and non-ASCII names surviving the Chrome-trace round trip."""
+
+import json
+
+from repro.obs import InMemorySink, metrics, sink_installed, span
+from repro.obs.aggregate import trace_file_span_events
+from repro.obs.collapse import collapsed_stacks
+from repro.obs.export import (
+    chrome_trace_events,
+    metrics_report,
+    write_chrome_trace,
+)
+
+
+def _span_event(name, start, dur, depth, attrs=None):
+    return {
+        "type": "span",
+        "name": name,
+        "start_ns": start,
+        "dur_ns": dur,
+        "depth": depth,
+        "attrs": attrs or {},
+    }
+
+
+class TestEmptyTrace:
+    def test_no_events_no_tracks(self):
+        assert chrome_trace_events([]) == []
+
+    def test_non_span_events_are_ignored(self):
+        assert chrome_trace_events([{"type": "metric", "name": "x"}]) == []
+
+    def test_written_file_is_valid_and_round_trips_empty(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "empty.json", [])
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["traceEvents"] == []
+        assert trace_file_span_events(path) == []
+
+    def test_empty_metrics_report(self):
+        report = metrics_report({})
+        assert "(no metrics recorded)" in report
+
+
+class TestUnclosedSpan:
+    def test_entered_but_never_exited_span_emits_nothing(self):
+        sink = InMemorySink()
+        with sink_installed(sink):
+            handle = span("never-closed")
+            handle.__enter__()
+            try:
+                with span("survivor"):
+                    pass
+            finally:
+                # unwind the leaked depth without recording the span
+                from repro.obs import spans as spans_mod
+
+                spans_mod._depth = handle.depth
+        names = [e["name"] for e in sink.events if e["type"] == "span"]
+        assert names == ["survivor"]
+        assert chrome_trace_events(sink.events)[-1]["name"] == "survivor"
+
+    def test_orphan_child_of_unclosed_parent_round_trips_as_root(
+        self, tmp_path
+    ):
+        # the parent at depth 0 never emitted; its child must not crash
+        # the exporter and comes back as a root after the round trip
+        events = [_span_event("orphan", 10, 20, 1)]
+        path = write_chrome_trace(tmp_path / "orphan.json", events)
+        back = trace_file_span_events(path)
+        assert [(e["name"], e["depth"]) for e in back] == [("orphan", 0)]
+        assert collapsed_stacks(back) == ["orphan 0"]
+
+    def test_exception_exited_span_keeps_error_attr(self, tmp_path):
+        sink = InMemorySink()
+        with sink_installed(sink):
+            try:
+                with span("doomed"):
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+        path = write_chrome_trace(tmp_path / "err.json", sink.events)
+        (back,) = trace_file_span_events(path)
+        assert back["name"] == "doomed"
+        assert back["attrs"]["error"] == "RuntimeError"
+
+
+class TestDeepNesting:
+    DEPTH = 50
+
+    def _tower(self):
+        # spans nested DEPTH deep, each 2 ns of self time per side
+        return [
+            _span_event(f"level{d}", d, 2 * (self.DEPTH - d) + 1, d)
+            for d in range(self.DEPTH)
+        ]
+
+    def test_round_trip_preserves_every_depth(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "deep.json", self._tower())
+        back = trace_file_span_events(path)
+        assert [e["depth"] for e in back] == list(range(self.DEPTH))
+
+    def test_collapsed_stack_carries_all_frames(self):
+        lines = collapsed_stacks(self._tower())
+        deepest = max(lines, key=lambda s: s.count(";"))
+        stack, _, _ = deepest.rpartition(" ")
+        assert stack.split(";") == [
+            f"level{d}" for d in range(self.DEPTH)
+        ]
+
+    def test_real_recursive_recording(self):
+        sink = InMemorySink()
+
+        def recurse(n):
+            if n == 0:
+                return
+            with span("recurse", n=n):
+                recurse(n - 1)
+
+        with sink_installed(sink):
+            recurse(self.DEPTH)
+        spans = [e for e in sink.events if e["type"] == "span"]
+        assert sorted(e["depth"] for e in spans) == list(range(self.DEPTH))
+
+
+class TestNonAscii:
+    def test_span_names_survive_the_chrome_round_trip(self, tmp_path):
+        events = [
+            _span_event("época", 0, 100_000, 0),
+            _span_event("λ-rotate", 10_000, 30_000, 1, {"città": "naïve"}),
+        ]
+        path = write_chrome_trace(tmp_path / "uni.json", events)
+        back = trace_file_span_events(path)
+        assert [e["name"] for e in back] == ["época", "λ-rotate"]
+        assert back[1]["attrs"]["città"] == "naïve"
+        assert collapsed_stacks(back) == ["época 70", "época;λ-rotate 30"]
+
+    def test_metrics_report_renders_non_ascii_names(self):
+        metrics.reset()
+        try:
+            metrics.REGISTRY.counter("métrica.ñ").inc(3)
+            metrics.REGISTRY.histogram("durée").observe(1.5)
+            report = metrics_report(metrics.snapshot())
+        finally:
+            metrics.reset()
+        assert "| métrica.ñ | 3 |" in report
+        assert "durée" in report

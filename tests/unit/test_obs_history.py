@@ -1,0 +1,150 @@
+"""The append-only run-history store (repro.obs.history)."""
+
+import json
+
+import pytest
+
+import repro
+from repro.obs.history import (
+    HistoryError,
+    HistoryStore,
+    RunRecord,
+    config_hash,
+    load_records,
+)
+
+
+def _store(tmp_path, t0=1_000_000.0):
+    """Store with a deterministic injected clock (1s per record)."""
+    ticks = iter(range(10_000))
+    return HistoryStore(
+        tmp_path / "history", clock=lambda: t0 + next(ticks)
+    )
+
+
+class TestConfigHash:
+    def test_key_order_irrelevant(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_content_sensitive(self):
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+    def test_none_is_empty_object(self):
+        assert config_hash(None) == config_hash({})
+
+
+class TestRecordRoundTrip:
+    def test_append_and_load(self, tmp_path):
+        store = _store(tmp_path)
+        rec = store.record(
+            "schedule",
+            workload="figure7",
+            arch="hypercube8",
+            config={"relaxation": True},
+            duration_seconds=0.5,
+            phases={"startup": 0.1, "remap": 0.3},
+            counters={"cyclo.passes": 12},
+            attrs={"final_length": 6},
+        )
+        loaded = store.load("schedule")
+        assert loaded == [rec]
+        assert loaded[0].engine_version == repro.__version__
+        assert loaded[0].config_hash == config_hash({"relaxation": True})
+        assert loaded[0].counters == {"cyclo.passes": 12}
+
+    def test_append_only_across_store_instances(self, tmp_path):
+        a = _store(tmp_path)
+        a.record("sweep", workload="w", arch="ring4", duration_seconds=1.0)
+        b = HistoryStore(tmp_path / "history", clock=lambda: 42.0)
+        b.record("sweep", workload="w", arch="ring4", duration_seconds=2.0)
+        assert [r.duration_seconds for r in b.load("sweep")] == [1.0, 2.0]
+
+    def test_kinds_are_separate_files(self, tmp_path):
+        store = _store(tmp_path)
+        store.record("schedule", workload="w", arch="a", duration_seconds=1)
+        store.record("fuzz", workload="w", arch="a", duration_seconds=1)
+        assert store.kinds() == ["fuzz", "schedule"]
+        assert len(store.load()) == 2
+        assert len(store.load("fuzz")) == 1
+
+    def test_invalid_kind_rejected(self, tmp_path):
+        store = _store(tmp_path)
+        for bad in ("", "../evil", ".hidden", "a/b"):
+            with pytest.raises(HistoryError):
+                store.record(bad, workload="w", arch="a", duration_seconds=1)
+
+
+class TestByteStability:
+    def test_same_inputs_same_bytes(self, tmp_path):
+        kwargs = dict(
+            kind="schedule",
+            workload="figure7",
+            arch="hypercube8",
+            config_hash=config_hash({"seed": 7}),
+            engine_version="1.0.0",
+            timestamp=1000.0,
+            duration_seconds=0.123456789,  # rounded on serialization
+            phases={"remap": 0.1, "startup": 0.02},
+            counters={"cyclo.passes": 3},
+            attrs={"seed": 7},
+        )
+        assert RunRecord(**kwargs).to_json() == RunRecord(**kwargs).to_json()
+
+    def test_serialized_form_is_sorted_single_line(self, tmp_path):
+        rec = RunRecord(
+            kind="x", workload="w", arch="a", config_hash="h",
+            engine_version="1.0.0", timestamp=1.0, duration_seconds=2.0,
+        )
+        text = rec.to_json()
+        assert "\n" not in text
+        data = json.loads(text)
+        assert list(data) == sorted(data)
+
+    def test_floats_rounded_to_fixed_precision(self):
+        rec = RunRecord(
+            kind="x", workload="w", arch="a", config_hash="h",
+            engine_version="1.0.0", timestamp=1.0,
+            duration_seconds=0.1234567891234,
+            phases={"p": 0.9999999999},
+        )
+        data = json.loads(rec.to_json())
+        assert data["duration_seconds"] == 0.123457
+        assert data["phases"]["p"] == 1.0
+
+    def test_fixed_clock_store_is_byte_stable(self, tmp_path):
+        def run(root):
+            store = HistoryStore(root, clock=lambda: 12345.0)
+            store.record(
+                "gate", workload="figure7", arch="hypercube8",
+                config={"seed": 1}, duration_seconds=0.25,
+                phases={"remap": 0.2}, counters={"cyclo.passes": 2},
+            )
+            return (root / "gate.ndjson").read_bytes()
+
+        assert run(tmp_path / "h1") == run(tmp_path / "h2")
+
+
+class TestLoadRecords:
+    def test_loads_files_and_directories(self, tmp_path):
+        store = _store(tmp_path)
+        store.record("schedule", workload="w", arch="a", duration_seconds=1)
+        by_dir = load_records([tmp_path / "history"])
+        by_file = load_records([tmp_path / "history" / "schedule.ndjson"])
+        assert by_dir == by_file
+        assert len(by_dir) == 1
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(HistoryError):
+            load_records([tmp_path / "nope"])
+
+    def test_corrupt_line_raises_with_location(self, tmp_path):
+        target = tmp_path / "bad.ndjson"
+        target.write_text('{"kind": "x"\n')
+        with pytest.raises(HistoryError, match="bad.ndjson:1"):
+            load_records([target])
+
+    def test_incomplete_record_raises(self, tmp_path):
+        target = tmp_path / "bad.ndjson"
+        target.write_text('{"kind": "x"}\n')
+        with pytest.raises(HistoryError, match="malformed"):
+            load_records([target])

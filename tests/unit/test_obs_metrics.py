@@ -1,7 +1,9 @@
 """Unit tests for the metrics registry (repro.obs.metrics)."""
 
+import pytest
+
 from repro.obs import InMemorySink, metrics, sink_installed
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import SAMPLE_CAP, MetricsRegistry
 
 
 class TestInstruments:
@@ -34,6 +36,54 @@ class TestInstruments:
         assert MetricsRegistry().histogram("x").mean == 0.0
 
 
+class TestHistogramPercentiles:
+    def test_nearest_rank(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.percentile(50) == 50.0
+        assert h.percentile(95) == 95.0
+        assert h.percentile(99) == 99.0
+        assert h.percentile(100) == 100.0
+
+    def test_single_sample(self):
+        h = MetricsRegistry().histogram("lat")
+        h.observe(7.0)
+        assert h.percentile(50) == 7.0
+        assert h.percentile(99) == 7.0
+
+    def test_empty_returns_none(self):
+        h = MetricsRegistry().histogram("lat")
+        assert h.percentile(50) is None
+
+    def test_out_of_range_raises(self):
+        h = MetricsRegistry().histogram("lat")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_summary_includes_percentiles(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in (4.0, 1.0, 3.0, 2.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["p50"] == 2.0
+        assert s["p95"] == 4.0
+        assert s["p99"] == 4.0
+        assert s["samples"] == [4.0, 1.0, 3.0, 2.0]
+
+    def test_sample_cap_keeps_first(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in range(SAMPLE_CAP + 10):
+            h.observe(float(v))
+        assert len(h.samples) == SAMPLE_CAP
+        assert h.samples[0] == 0.0
+        assert h.samples[-1] == float(SAMPLE_CAP - 1)
+        assert h.count == SAMPLE_CAP + 10  # exact stats keep counting
+
+
 class TestRegistry:
     def test_snapshot_shape(self):
         reg = MetricsRegistry()
@@ -44,6 +94,43 @@ class TestRegistry:
         assert snap["counters"] == {"c": 1}
         assert snap["gauges"] == {"g": {"value": 1.5, "max": 1.5}}
         assert snap["histograms"]["h"]["count"] == 1
+
+    def test_merge_combines_samples(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        for v in (1.0, 2.0):
+            a.histogram("h").observe(v)
+        for v in (3.0, 4.0):
+            b.histogram("h").observe(v)
+        a.merge(b.snapshot())
+        h = a.histogram("h")
+        assert h.count == 4
+        assert h.samples == [1.0, 2.0, 3.0, 4.0]
+        assert h.percentile(50) == 2.0
+        assert h.percentile(100) == 4.0
+
+    def test_merge_respects_sample_cap(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        for v in range(SAMPLE_CAP - 1):
+            a.histogram("h").observe(float(v))
+        for v in (101.0, 102.0, 103.0):
+            b.histogram("h").observe(v)
+        a.merge(b.snapshot())
+        h = a.histogram("h")
+        assert len(h.samples) == SAMPLE_CAP
+        assert h.samples[-1] == 101.0  # keep-first, deterministic
+        assert h.count == SAMPLE_CAP + 2
+
+    def test_merge_tolerates_legacy_snapshot_without_samples(self):
+        a = MetricsRegistry()
+        a.merge({"histograms": {
+            "h": {"count": 2, "total": 6.0, "min": 2.0, "max": 4.0}
+        }})
+        h = a.histogram("h")
+        assert h.count == 2
+        assert h.samples == []
+        assert h.percentile(50) is None
 
     def test_reset_clears_everything(self):
         reg = MetricsRegistry()

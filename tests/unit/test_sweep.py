@@ -91,3 +91,41 @@ class TestParallelDeterminism:
         # the optimiser's own counters ran in the workers, not here;
         # run_parallel must have merged their snapshots home
         assert any(v > 0 for v in counters.values()), counters
+
+    def test_merged_worker_latency_metrics_deterministic(self, figure7):
+        from repro.obs import InMemorySink, install_sink, metrics, remove_sink
+
+        def _snapshot_once():
+            sink = InMemorySink()
+            install_sink(sink)
+            try:
+                metrics.reset()
+                pe_count_sweep(
+                    figure7, "complete", [2, 4], config=FAST, jobs=2
+                )
+                return metrics.snapshot()
+            finally:
+                remove_sink(sink)
+                metrics.reset()
+
+        first = _snapshot_once()
+        second = _snapshot_once()
+        for snap in (first, second):
+            hists = snap["histograms"]
+            assert snap["counters"]["perf.parallel.tasks"] == 2
+            for name in (
+                "perf.parallel.queue_wait_seconds",
+                "perf.parallel.task_seconds",
+            ):
+                h = hists[name]
+                assert h["count"] == 2  # one per sweep point
+                assert h["p50"] is not None and h["p95"] is not None
+                assert h["min"] <= h["p50"] <= h["p95"] <= h["max"]
+        # determinism: the merged metric *names and counts* are stable
+        # across runs (durations themselves are wall-clock)
+        assert sorted(first["histograms"]) == sorted(second["histograms"])
+        assert sorted(first["counters"]) == sorted(second["counters"])
+        assert (
+            first["counters"]["perf.parallel.tasks"]
+            == second["counters"]["perf.parallel.tasks"]
+        )

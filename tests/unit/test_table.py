@@ -188,3 +188,48 @@ class TestCopy:
         c.remove("a")
         c.place("a", 0, 2, 1)
         assert not t.same_placements(c)
+
+
+class TestInstrumentationTallies:
+    def test_probes_count_index_queries(self):
+        t = ScheduleTable(2)
+        t.place("a", 0, 1, 2)
+        assert t.probes == 0
+        t.cell(0, 1)
+        t.is_free(0, 3, 1)
+        t.earliest_slot(0, 1, 1)
+        list(t.free_slots(0, 1, 1, 5))
+        assert t.probes == 4
+        t.cell(9, 1)  # out-of-range PE: answered without an index probe
+        assert t.probes == 4
+
+    def test_shifts_count_whole_table_moves(self):
+        t = ScheduleTable(1)
+        t.place("a", 0, 2, 1)
+        t.shift_all(1)
+        t.shift_all(-1)
+        t.shift_all(0)  # no-op shift is not counted
+        assert t.shifts == 2
+
+    def test_copy_starts_from_fresh_tallies(self):
+        t = ScheduleTable(1)
+        t.place("a", 0, 2, 1)
+        t.cell(0, 2)
+        t.shift_all(1)
+        c = t.copy()
+        assert (t.probes, t.shifts) == (1, 1)
+        assert (c.probes, c.shifts) == (0, 0)
+
+    def test_publish_stats_lands_in_registry(self):
+        from repro.obs import InMemorySink, metrics, sink_installed
+
+        t = ScheduleTable(1)
+        t.place("a", 0, 2, 1)
+        t.cell(0, 2)
+        t.cell(0, 1)
+        t.shift_all(-1)
+        with sink_installed(InMemorySink()):
+            t.publish_stats()
+        snap = metrics.snapshot()
+        assert snap["counters"]["schedule.table.probes"] == 2
+        assert snap["counters"]["schedule.table.shifts"] == 1
