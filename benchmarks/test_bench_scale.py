@@ -1,0 +1,82 @@
+"""Experiment EXT-SCALE: the thousand-node benchmark tier.
+
+Runs the pinned :data:`repro.perf.scale.SCALE_MATRIX` — seeded
+exact-size structural-family graphs (1k–10k nodes) across mesh,
+hypercube, torus, ring and complete machines — through full
+cyclo-compaction with :mod:`repro.obs` instrumentation, and writes
+``BENCH_scale.json`` at the repo root tracking **nodes per second**
+per cell.
+
+Two hard gates ride along: the 1k-node mesh cell must fully compact in
+under 60 seconds, and every cell's warm comm-cost cache hit rate
+(published ``arch.cache.hits`` / ``arch.cache.misses`` tallies) must
+stay at or above 99% — the lazy band-at-a-time cache counts row builds
+as neither hit nor miss, so anything lower means the remap inner loop
+started missing.  ``BENCH_QUICK=1`` trims to the first cell (the CI
+``scale-smoke`` mode).
+"""
+
+import json
+import os
+from pathlib import Path
+
+from _report import write_report
+
+from repro.perf.scale import SCALE_MATRIX, cache_hit_rate, run_scale_matrix
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_JSON = REPO_ROOT / "BENCH_scale.json"
+
+QUICK = os.environ.get("BENCH_QUICK") == "1"
+
+
+def test_bench_scale_tier():
+    rows, _records = run_scale_matrix(None, quick=QUICK)
+    results = []
+    for row in rows:
+        hit_rate = cache_hit_rate(row["counters"])
+        results.append(
+            {
+                "workload": row["workload"],
+                "family": row["family"],
+                "size": row["size"],
+                "arch": row["arch"],
+                "passes": row["passes"],
+                "seed": row["seed"],
+                "duration_seconds": round(row["duration_seconds"], 4),
+                "nodes_per_second": round(row["nodes_per_second"], 1),
+                "initial_length": row["initial_length"],
+                "final_length": row["final_length"],
+                "stop_reason": row["stop_reason"],
+                "cache_hit_rate": round(hit_rate, 6),
+            }
+        )
+
+    payload = {
+        "matrix_cells": len(SCALE_MATRIX),
+        "quick": QUICK,
+        "results": results,
+    }
+    OUT_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        f"{r['workload']:>18s} on {r['arch']:>10s}: "
+        f"{r['duration_seconds']:7.2f}s  {r['nodes_per_second']:8.0f} "
+        f"nodes/s  len {r['initial_length']} -> {r['final_length']} "
+        f"({r['stop_reason']}, hit {r['cache_hit_rate']:.4f})"
+        for r in results
+    ]
+    write_report("scale", "\n".join(lines))
+
+    # acceptance gate: the 1k-node cell fully compacts inside a minute
+    first = results[0]
+    assert first["size"] == 1000
+    assert first["stop_reason"] == "completed", first
+    assert first["duration_seconds"] < 60.0, first
+
+    for r in results:
+        # every cell makes schedule progress and completes its budget
+        assert r["final_length"] <= r["initial_length"], r
+        assert r["stop_reason"] == "completed", r
+        # warm comm-cost rows must serve the remap loop: >= 99% hits
+        assert r["cache_hit_rate"] >= 0.99, r

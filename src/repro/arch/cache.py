@@ -3,20 +3,29 @@
 The scheduling inner loops evaluate ``M(p_u, p_v; c(e))`` millions of
 times, and :meth:`Architecture.comm_cost` pays for two PE bound checks,
 a numpy scalar index and a cost-model call on every one of them.  A
-:class:`CommCostCache` collapses all of that into a nested-list lookup:
-built once per (graph, architecture) pair, it tabulates the cost for
-every *distinct edge volume* x *alive PE pair* from the architecture's
-dense ``distance_matrix``.  The cost model is consulted only once per
-distinct (hop count, volume) combination.
+:class:`CommCostCache` collapses all of that into a nested-list lookup
+keyed ``volume -> src PE -> dst PE``.
+
+Rows are built **lazily, one (source PE, volume) band at a time**: the
+cache starts empty and materialises a row the first time any lookup
+touches it, using the batched row kernel
+(:func:`repro.core.kernels.comm_cost_row`) over the architecture's
+dense ``distance_matrix``.  On large machines this avoids the
+``O(volumes * n^2)`` cold-start the old eager build paid before the
+first pass could run — a 10k-node graph on a 64-PE machine touches a
+few dozen rows, not all of them.  The cost model is still consulted at
+most once per distinct (hop count, volume) combination, shared across
+the rows of one volume.
 
 Degraded topologies are handled by construction: only PEs reported by
-``arch.processors`` are tabulated, so a lookup touching a failed PE
-falls back to ``arch.comm_cost`` — which raises the same typed
+``arch.processors`` get entries, so a lookup touching a failed PE falls
+back to ``arch.comm_cost`` — which raises the same typed
 ``DeadProcessorError`` the uncached path would.
 
-The cache is *read-only* and keyed to the architecture instance it was
-built from; build a fresh one after any topology change (e.g. after
-injecting faults).
+The cache is *read-only* in effect (row materialisation is invisible to
+callers) and keyed to the architecture instance it was built from;
+build a fresh one after any topology change (e.g. after injecting
+faults).
 """
 
 from __future__ import annotations
@@ -32,7 +41,7 @@ __all__ = ["CommCostCache"]
 
 
 class CommCostCache:
-    """Dense ``volume -> src PE -> dst PE -> cost`` lookup tables.
+    """Lazy ``volume -> src PE -> dst PE -> cost`` lookup tables.
 
     Parameters
     ----------
@@ -40,42 +49,48 @@ class CommCostCache:
         The architecture to tabulate.  Kept as the fallback for
         volumes or PEs outside the cached tables.
     volumes:
-        The edge volumes to precompute (typically the distinct volumes
-        of one graph; see :meth:`for_graph`).
+        The edge volumes the tables cover (typically the distinct
+        volumes of one graph; see :meth:`for_graph`).  Lookups for
+        other volumes miss to ``arch.comm_cost``.
     """
 
-    __slots__ = ("arch", "_tables", "_tables_t", "hits", "misses", "entries")
+    __slots__ = (
+        "arch",
+        "_tables",
+        "_tables_t",
+        "_by_hops",
+        "_alive",
+        "hits",
+        "misses",
+        "entries",
+    )
 
     def __init__(self, arch: Architecture, volumes: Iterable[int]):
         self.arch = arch
         # plain-int tallies (a few thousand increments per run — far
         # cheaper than conditional metric calls on the hot path); the
         # engine publishes them to the metrics registry once per run
-        # via :meth:`publish_stats`
+        # via :meth:`publish_stats`.  Row materialisation is neither a
+        # hit nor a miss: the tallies count lookups, not builds.
         self.hits = 0
         self.misses = 0
+        self.entries = 0
+        self._alive = tuple(arch.processors)
         n = arch.num_pes
-        alive = list(arch.processors)
-        dist = arch.distance_matrix
-        model_cost = arch.comm_model.cost
-        self._tables: dict[int, list[list[int | None]]] = {}
-        self._tables_t: dict[int, list[list[int | None]]] = {}
-        for vol in set(volumes):
-            by_hops: dict[int, int] = {}
-            table: list[list[int | None]] = [[None] * n for _ in range(n)]
-            for src in alive:
-                dist_row = dist[src]
-                out_row = table[src]
-                for dst in alive:
-                    hops = int(dist_row[dst])
-                    cost = by_hops.get(hops)
-                    if cost is None:
-                        cost = model_cost(hops, vol)
-                        by_hops[hops] = cost
-                    out_row[dst] = cost
-            self._tables[vol] = table
-            self._tables_t[vol] = [list(col) for col in zip(*table)]
-        self.entries = len(self._tables) * len(alive) * len(alive)
+        # rows start unmaterialised (None); _tables holds src -> dst
+        # rows, _tables_t holds the column view (dst -> src) built
+        # independently so a consumer-side scan does not force the full
+        # transpose.  _by_hops memoises the cost model per volume,
+        # shared by both orientations.
+        self._tables: dict[int, list[list[int | None] | None]] = {
+            vol: [None] * n for vol in set(volumes)
+        }
+        self._tables_t: dict[int, list[list[int | None] | None]] = {
+            vol: [None] * n for vol in self._tables
+        }
+        self._by_hops: dict[int, dict[int, int]] = {
+            vol: {} for vol in self._tables
+        }
 
     @classmethod
     def for_graph(cls, arch: Architecture, graph: "CSDFG") -> "CommCostCache":
@@ -87,6 +102,34 @@ class CommCostCache:
         """The edge volumes covered by the tables."""
         return frozenset(self._tables)
 
+    # ------------------------------------------------------------------
+    def _build_row(
+        self, table: list, volume: int, pe: int, *, transposed: bool
+    ) -> list[int | None] | None:
+        """Materialise one (PE, volume) band; ``None`` for dead PEs."""
+        arch = self.arch
+        if pe not in self._alive:
+            return None
+        by_hops = self._by_hops[volume]
+        model_cost = arch.comm_model.cost
+
+        def cost_of(hops: int) -> int:
+            cost = by_hops.get(hops)
+            if cost is None:
+                cost = model_cost(hops, volume)
+                by_hops[hops] = cost
+            return cost
+
+        from repro.core.kernels import comm_cost_row
+
+        dist = arch.distance_matrix
+        hops_row = dist[:, pe] if transposed else dist[pe]
+        row = comm_cost_row(hops_row, self._alive, cost_of, arch.num_pes)
+        table[pe] = row
+        self.entries += len(self._alive)
+        return row
+
+    # ------------------------------------------------------------------
     def cost(self, src: int, dst: int, volume: int) -> int:
         """The paper's ``M(p_src, p_dst; volume)``.
 
@@ -96,7 +139,15 @@ class CommCostCache:
         path exactly.
         """
         try:
-            cached = self._tables[volume][src][dst]
+            row = self._tables[volume][src]
+            if row is None:
+                row = self._build_row(
+                    self._tables[volume], volume, src, transposed=False
+                )
+                if row is None:  # dead source PE
+                    self.misses += 1
+                    return self.arch.comm_cost(src, dst, volume)
+            cached = row[dst]
         except (KeyError, IndexError):
             self.misses += 1
             return self.arch.comm_cost(src, dst, volume)
@@ -113,15 +164,22 @@ class CommCostCache:
         table = self._tables.get(volume)
         if table is None or not (0 <= src < self.arch.num_pes):
             return None
-        return table[src]
+        row = table[src]
+        if row is None:
+            row = self._build_row(table, volume, src, transposed=False)
+        return row
 
     def row_to(self, dst: int, volume: int) -> list[int | None] | None:
         """Costs ``p -> dst`` for every PE id ``p`` — the column view
-        of :meth:`row_from` (served from a precomputed transpose)."""
+        of :meth:`row_from` (materialised per band from the distance
+        column, sharing the per-volume cost-model memo)."""
         table = self._tables_t.get(volume)
         if table is None or not (0 <= dst < self.arch.num_pes):
             return None
-        return table[dst]
+        row = table[dst]
+        if row is None:
+            row = self._build_row(table, volume, dst, transposed=True)
+        return row
 
     @property
     def hit_rate(self) -> float:
@@ -130,7 +188,9 @@ class CommCostCache:
         return self.hits / lookups if lookups else 0.0
 
     def stats(self) -> dict:
-        """Plain-data view of the lookup tallies."""
+        """Plain-data view of the lookup tallies.  ``entries`` counts
+        the cache cells actually materialised (grows as bands are
+        touched), not the eager full-matrix size."""
         return {
             "hits": self.hits,
             "misses": self.misses,

@@ -77,6 +77,7 @@ run-history store that ``repro obs`` aggregates; see
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 from typing import Sequence
@@ -144,6 +145,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--refine",
         action="store_true",
         help="alternate compaction with local-search refinement",
+    )
+    p_sched.add_argument(
+        "--restarts", type=int, default=1, metavar="N",
+        help="best-of-N jittered restarts (deterministic per seed; "
+             "N=1 is a plain single run)",
+    )
+    p_sched.add_argument(
+        "--jobs", type=int, default=1, metavar="M",
+        help="worker processes for sharded restarts (wall-clock only; "
+             "never changes the winner)",
+    )
+    p_sched.add_argument(
+        "--restart-seed", type=int, default=0, metavar="SEED",
+        help="seed for the per-restart priority jitter",
     )
 
     p_code = sub.add_parser(
@@ -490,6 +505,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--collapsed-dir", default=None, metavar="DIR",
         help="also write per-cell flamegraph-collapsed stacks here",
     )
+
+    p_scale = sub.add_parser(
+        "scale",
+        help="run the thousand-node scale benchmark tier "
+             "(repro.perf.scale)",
+    )
+    p_scale.add_argument(
+        "--quick", action="store_true",
+        help="first matrix cell only (CI smoke mode)",
+    )
+    p_scale.add_argument(
+        "--jobs", type=int, default=1, metavar="M",
+        help="worker processes (one cell per worker; timings are "
+             "taken inside the worker)",
+    )
+    p_scale.add_argument(
+        "--history-dir", default=None, metavar="DIR",
+        help="also append one `scale` history record per cell here",
+    )
+    p_scale.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the per-cell results as JSON here",
+    )
     return parser
 
 
@@ -679,6 +717,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_lint(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "scale":
+        return _cmd_scale(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -723,6 +763,18 @@ def _make_pair(args: argparse.Namespace):
     return graph, arch
 
 
+@dataclasses.dataclass(frozen=True)
+class _RestartResultView:
+    """Adapts a RestartReport to the CycloResult fields the schedule
+    command renders, so both paths share one output pipeline."""
+
+    graph: object
+    schedule: object
+    initial_length: int
+    final_length: int
+    stop_reason: str
+
+
 def _cmd_schedule(args: argparse.Namespace) -> int:
     graph, arch = _make_pair(args)
     cfg = CycloConfig(
@@ -731,9 +783,30 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         pipelined_pes=args.pipelined,
         validate_each_step=False,
     )
+    if args.restarts > 1 and args.refine:
+        raise ReproError("--refine cannot be combined with --restarts")
+    report = None
     session = _obs_session(args)
     try:
-        if args.refine:
+        if args.restarts > 1:
+            from repro.perf import best_of_restarts
+
+            report = best_of_restarts(
+                graph,
+                arch,
+                cfg,
+                restarts=args.restarts,
+                jobs=args.jobs,
+                seed=args.restart_seed,
+            )
+            result = _RestartResultView(
+                graph=report.graph,
+                schedule=report.schedule,
+                initial_length=report.winner.initial_length,
+                final_length=report.final_length,
+                stop_reason=report.winner.stop_reason,
+            )
+        elif args.refine:
             result = optimize(graph, arch, config=cfg)
         else:
             result = cyclo_compact(graph, arch, config=cfg)
@@ -769,6 +842,14 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     print(f"{graph.name} on {arch.name}: "
           f"{result.initial_length} -> {result.final_length} control steps "
           f"(lower bound {bounds.lower}, sequential {bounds.sequential})")
+    if report is not None:
+        print(f"best of {report.restarts} restarts "
+              f"(seed {report.seed}, {report.stages} stages): "
+              f"winner restart {report.winner.index}")
+        for o in report.outcomes:
+            marker = "*" if o.index == report.winner.index else " "
+            print(f"  {marker} restart {o.index}: length {o.length} "
+                  f"after {o.passes} passes ({o.stop_reason})")
     metrics = compute_metrics(result.graph, arch, result.schedule)
     print(f"utilization {metrics.utilization:.2f}, speedup "
           f"{metrics.speedup:.2f}, comm cost {metrics.comm_cost}")
@@ -1526,6 +1607,33 @@ def _cmd_obs_matrix(args: argparse.Namespace) -> int:
               f"length {rec.attrs.get('final_length')}")
     if args.collapsed_dir:
         print(f"collapsed stacks under {args.collapsed_dir}")
+    return 0
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.perf.scale import cache_hit_rate, run_scale_matrix
+
+    rows, records = run_scale_matrix(
+        args.history_dir, quick=args.quick, jobs=args.jobs
+    )
+    mode = "quick" if args.quick else "full"
+    print(f"scale tier ({mode}): {len(rows)} cell(s)")
+    for row in rows:
+        print(f"  {row['workload']:>18s} on {row['arch']:>10s}: "
+              f"{row['duration_seconds']:7.2f}s "
+              f"{row['nodes_per_second']:9.0f} nodes/s  "
+              f"len {row['initial_length']} -> {row['final_length']} "
+              f"({row['stop_reason']}, "
+              f"hit {cache_hit_rate(row['counters']):.4f})")
+    if records:
+        print(f"{len(records)} scale record(s) into {args.history_dir}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump({"quick": args.quick, "results": rows}, fh, indent=2)
+            fh.write("\n")
+        print(f"results written to {args.out}")
     return 0
 
 

@@ -43,6 +43,7 @@ from repro.core.trace import CompactionTrace, IterationRecord
 from repro.errors import ScheduleValidationError, SchedulingError
 from repro.obs import metrics, span
 from repro.graph.csdfg import CSDFG, Node
+from repro.graph.validation import topological_order_zero_delay
 from repro.retiming.basic import apply_retiming
 from repro.schedule.table import ScheduleTable
 from repro.schedule.validate import collect_violations
@@ -119,6 +120,73 @@ class _LoopState:
     trace: CompactionTrace
     stall: int = 0
     next_index: int = 1
+
+
+def _zero_delay_flipped(graph: CSDFG, rotated: list[Node]) -> bool:
+    """Whether the last rotation changed the zero-delay subgraph.
+
+    Rotation draws one delay from each edge entering the rotated set
+    and pushes one onto each edge leaving it (edges internal to the
+    set are untouched), so the zero-delay structure changed iff some
+    entering edge just reached delay 0 or some leaving edge sits at
+    delay 1 now (0 before).
+    """
+    rot = set(rotated)
+    pred, succ = graph._pred, graph._succ
+    for v in rotated:
+        for e in pred[v].values():
+            if e.delay == 0 and e.src not in rot:
+                return True
+        for e in succ[v].values():
+            if e.delay == 1 and e.dst not in rot:
+                return True
+    return False
+
+
+class _TopoRankCache:
+    """Cross-pass cache of the zero-delay topological ranks feeding
+    :func:`remap_nodes`'s placement order.
+
+    Kahn's walk over the full graph is O(V + E) *per pass*; on
+    thousand-node graphs it dominated everything the remapping fast
+    path had saved.  The placement order only depends on the zero-delay
+    subgraph, which a rotation leaves untouched unless it flips some
+    edge's zero-delay status — so the ranks are rebuilt exactly on a
+    flip (and dropped when a rollback reverts one) and reused
+    otherwise.  Rank uniqueness makes the cached full-graph order sort
+    identically to the per-pass restricted order it replaces.
+    """
+
+    __slots__ = ("_rank", "_fresh")
+
+    def __init__(self) -> None:
+        self._rank: dict[Node, int] | None = None
+        self._fresh = False
+
+    def ranks(self, graph: CSDFG, rotated: list[Node]) -> dict[Node, int] | None:
+        """Ranks valid for ``graph`` as rotated; ``None`` only when the
+        remap cannot need them (fewer than two rotated nodes)."""
+        if self._rank is not None and _zero_delay_flipped(graph, rotated):
+            self._rank = None
+        self._fresh = False
+        if len(rotated) <= 1:
+            return self._rank
+        if self._rank is None:
+            metrics.inc("remap.toporank_rebuilds")
+            self._rank = {
+                v: i
+                for i, v in enumerate(topological_order_zero_delay(graph))
+            }
+            self._fresh = True
+        else:
+            metrics.inc("remap.toporank_reuses")
+        return self._rank
+
+    def note_rollback(self) -> None:
+        """A rejected pass undid its rotation: ranks built from the
+        rotated graph no longer match the restored one."""
+        if self._fresh:
+            self._rank = None
 
 
 def cyclo_compact(
@@ -228,6 +296,7 @@ def _run_passes(
             pipelined_pes=cfg.pipelined_pes,
         )
 
+    topo_cache = _TopoRankCache()
     for index in range(state.next_index, total + 1):
         if (
             cfg.deadline_seconds is not None
@@ -238,7 +307,13 @@ def _run_passes(
             break
         try:
             outcome_reason = _one_pass(
-                state, arch, cfg, index, comm=comm, tracker=tracker
+                state,
+                arch,
+                cfg,
+                index,
+                comm=comm,
+                tracker=tracker,
+                topo_cache=topo_cache,
             )
         except Exception:  # repro-lint: disable=RL105 (recover_on_error boundary)
             if not cfg.recover_on_error:
@@ -282,6 +357,7 @@ def _one_pass(
     *,
     comm: CommCostCache | None = None,
     tracker: PSLTracker | None = None,
+    topo_cache: _TopoRankCache | None = None,
 ) -> str | None:
     """One rotate+remap pass; a stop reason string ends the loop."""
     working, schedule, retiming = state.working, state.schedule, state.retiming
@@ -292,6 +368,11 @@ def _one_pass(
             rotated, old_placements = rotate_schedule(working, schedule)
         for node in rotated:
             retiming[node] += 1
+        topo_rank = (
+            topo_cache.ranks(working, rotated)
+            if topo_cache is not None
+            else None
+        )
         with span("remap", index=index, nodes=len(rotated)):
             outcome = remap_nodes(
                 working,
@@ -304,11 +385,14 @@ def _one_pass(
                 strategy=cfg.remap_strategy,
                 comm=comm,
                 psl=tracker,
+                topo_rank=topo_rank,
                 debug_check=cfg.validate_each_step,
             )
         if not outcome.accepted:
             metrics.inc("cyclo.rejected")
             metrics.inc("cyclo.rollbacks")
+            if topo_cache is not None:
+                topo_cache.note_rollback()
             undo_rotation(
                 working, schedule, rotated, old_placements, previous_length
             )

@@ -1,0 +1,290 @@
+"""Array-at-a-time kernels for the fast path (numpy-optional).
+
+The thousand-node scale tier (``repro.perf.scale``) showed three
+python-level loops dominating the profile: communication-cost row
+construction (:mod:`repro.arch.cache`), the batch PSL edge-bound
+evaluation (:class:`repro.core.psl.PSLTracker.refresh`) and the per-PE
+anticipation folds of the remapping slot search
+(:func:`repro.core.remapping._find_spot`).  This module provides each
+of them as an array-at-a-time kernel with **two interchangeable
+backends**:
+
+* ``numpy`` — vectorised over the edge/PE axis, used automatically
+  when numpy imports;
+* ``python`` — a dependency-free fallback with *identical* outputs.
+
+The backend is selected **once, at import time**: ``REPRO_KERNELS=python``
+or ``REPRO_KERNELS=numpy`` in the environment forces a backend
+(forcing numpy without numpy installed is a hard error — a silent
+fallback would defeat the dual-backend equality tests), anything else
+auto-detects.  Both implementations stay importable
+(``py_kernels`` / ``np_kernels``) so the parametrized suite in
+``tests/unit/test_batch_kernels.py`` and the ``kernels-agree`` fuzz
+property can pin them exactly equal on the same inputs.
+
+All arithmetic is integer-exact in both backends: ceil division is
+``-(-a // b)``, which numpy's int64 ``//`` matches elementwise, so
+"equal" means ``==`` on every element, never approximate.
+
+Keep per-node python loops out of this module — ``repro lint`` rule
+RL108 flags iteration over ``graph.nodes()``/``graph.edges()`` here;
+kernels take flat sequences, callers do the (single) gather.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Sequence
+
+from repro.errors import ReproError
+
+__all__ = [
+    "BACKEND",
+    "BACKENDS",
+    "comm_cost_row",
+    "edge_bounds",
+    "fold_max",
+    "fold_min",
+    "py_kernels",
+    "np_kernels",
+]
+
+#: The selectable backend names.
+BACKENDS = ("python", "numpy")
+
+try:  # pragma: no cover - exercised via both-backend tests
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-free environments
+    _np = None
+
+_forced = os.environ.get("REPRO_KERNELS", "").strip().lower()
+if _forced and _forced not in BACKENDS:
+    raise ReproError(
+        f"REPRO_KERNELS must be one of {BACKENDS}, got {_forced!r}"
+    )
+if _forced == "python":
+    _np = None
+elif _forced == "numpy" and _np is None:
+    raise ReproError("REPRO_KERNELS=numpy but numpy is not importable")
+
+#: The backend active in this process ("numpy" or "python").
+BACKEND = "python" if _np is None else "numpy"
+
+
+# ----------------------------------------------------------------------
+# pure-python backend
+# ----------------------------------------------------------------------
+def _py_comm_cost_row(
+    hops_row: Sequence[int],
+    alive: Sequence[int],
+    cost_of: Callable[[int], int],
+    n: int,
+) -> list:
+    """One communication-cost cache row from a distance-matrix row.
+
+    ``out[p] = cost_of(hops_row[p])`` for every ``p`` in ``alive``,
+    ``None`` elsewhere (failed PEs).  ``cost_of`` is consulted at most
+    once per distinct hop count.
+    """
+    by_hops: dict[int, int] = {}
+    out: list = [None] * n
+    for p in alive:
+        hops = int(hops_row[p])
+        cost = by_hops.get(hops)
+        if cost is None:
+            cost = cost_of(hops)
+            by_hops[hops] = cost
+        out[p] = cost
+    return out
+
+
+def _py_edge_bounds(
+    finishes: Sequence[int],
+    comms: Sequence[int],
+    starts: Sequence[int],
+    delays: Sequence[int],
+) -> tuple[list[int], int | None]:
+    """Per-edge PSL bounds: ``ceil((CE + M + 1 - CB) / delay)``.
+
+    A zero-delay edge contributes bound 0 when satisfied; the first
+    violated zero-delay edge short-circuits to ``([], index)`` so the
+    caller can name the offending edge.
+    """
+    bounds: list[int] = []
+    for i, delay in enumerate(delays):
+        slack = finishes[i] + comms[i] + 1 - starts[i]
+        if delay == 0:
+            if slack > 0:
+                return [], i
+            bounds.append(0)
+        else:
+            bounds.append(-(-slack // delay))
+    return bounds, None
+
+
+def _py_fold_max(
+    rows_consts: Sequence[tuple[Sequence, int]],
+    pes: Sequence[int],
+    base: int,
+) -> list[int]:
+    """``out[j] = max(base, max_i(rows[i][pes[j]] + consts[i]))``.
+
+    The anticipation floor of the remapping slot search, evaluated for
+    every candidate PE at once (one entry per element of ``pes``).
+    """
+    out = [base] * len(pes)
+    for row, const in rows_consts:
+        for j, p in enumerate(pes):
+            v = row[p] + const
+            if v > out[j]:
+                out[j] = v
+    return out
+
+
+def _py_fold_min(
+    rows_consts: Sequence[tuple[Sequence, int]],
+    pes: Sequence[int],
+) -> list[int]:
+    """``out[j] = min_i(consts[i] - rows[i][pes[j]])`` — the zero-delay
+    consumer ceiling, per candidate PE.  ``rows_consts`` must be
+    non-empty (an empty constraint set means "no ceiling")."""
+    first_row, first_const = rows_consts[0]
+    out = [first_const - first_row[p] for p in pes]
+    for row, const in rows_consts[1:]:
+        for j, p in enumerate(pes):
+            v = const - row[p]
+            if v < out[j]:
+                out[j] = v
+    return out
+
+
+# ----------------------------------------------------------------------
+# numpy backend (int64 throughout; ceil division matches -(-a // b))
+# ----------------------------------------------------------------------
+def _np_comm_cost_row(
+    hops_row: Sequence[int],
+    alive: Sequence[int],
+    cost_of: Callable[[int], int],
+    n: int,
+) -> list:
+    hops = _np.asarray(hops_row, dtype=_np.int64)[
+        _np.asarray(alive, dtype=_np.intp)
+    ]
+    uniq = _np.unique(hops)
+    lookup = _np.empty(int(uniq[-1]) + 1 if uniq.size else 1, dtype=_np.int64)
+    for h in uniq.tolist():
+        lookup[h] = cost_of(h)
+    costs = lookup[hops].tolist()
+    out: list = [None] * n
+    for p, cost in zip(alive, costs):
+        out[p] = cost
+    return out
+
+
+def _np_edge_bounds(
+    finishes: Sequence[int],
+    comms: Sequence[int],
+    starts: Sequence[int],
+    delays: Sequence[int],
+) -> tuple[list[int], int | None]:
+    if not len(delays):
+        return [], None
+    f = _np.asarray(finishes, dtype=_np.int64)
+    m = _np.asarray(comms, dtype=_np.int64)
+    s = _np.asarray(starts, dtype=_np.int64)
+    d = _np.asarray(delays, dtype=_np.int64)
+    slack = f + m + 1 - s
+    zero = d == 0
+    violated = zero & (slack > 0)
+    if violated.any():
+        return [], int(_np.argmax(violated))
+    bounds = _np.where(zero, 0, -(-slack // _np.where(zero, 1, d)))
+    return bounds.tolist(), None
+
+
+def _np_rows_matrix(
+    rows_consts: Sequence[tuple[Sequence, int]], pes: Sequence[int]
+):
+    """Stack constraint rows gathered at ``pes`` into a (k, |pes|)
+    int64 matrix, or ``None`` when some row holds ``None`` entries a
+    direct conversion would choke on (degraded topologies)."""
+    idx = _np.asarray(pes, dtype=_np.intp)
+    gathered = []
+    for row, _const in rows_consts:
+        try:
+            arr = _np.asarray(row, dtype=_np.int64)
+        except (TypeError, ValueError):
+            return None
+        gathered.append(arr[idx])
+    return _np.stack(gathered)
+
+
+def _np_fold_max(
+    rows_consts: Sequence[tuple[Sequence, int]],
+    pes: Sequence[int],
+    base: int,
+) -> list[int]:
+    if not rows_consts:
+        return [base] * len(pes)
+    matrix = _np_rows_matrix(rows_consts, pes)
+    if matrix is None:
+        return _py_fold_max(rows_consts, pes, base)
+    consts = _np.asarray(
+        [c for _row, c in rows_consts], dtype=_np.int64
+    ).reshape(-1, 1)
+    out = (matrix + consts).max(axis=0)
+    return _np.maximum(out, base).tolist()
+
+
+def _np_fold_min(
+    rows_consts: Sequence[tuple[Sequence, int]],
+    pes: Sequence[int],
+) -> list[int]:
+    matrix = _np_rows_matrix(rows_consts, pes)
+    if matrix is None:
+        return _py_fold_min(rows_consts, pes)
+    consts = _np.asarray(
+        [c for _row, c in rows_consts], dtype=_np.int64
+    ).reshape(-1, 1)
+    return (consts - matrix).min(axis=0).tolist()
+
+
+# ----------------------------------------------------------------------
+# backend handles
+# ----------------------------------------------------------------------
+class _Backend:
+    """One named kernel set (importable for the dual-backend tests)."""
+
+    __slots__ = ("name", "comm_cost_row", "edge_bounds", "fold_max", "fold_min")
+
+    def __init__(self, name, comm_cost_row, edge_bounds, fold_max, fold_min):
+        self.name = name
+        self.comm_cost_row = comm_cost_row
+        self.edge_bounds = edge_bounds
+        self.fold_max = fold_max
+        self.fold_min = fold_min
+
+
+#: The pure-python kernel set (always available).
+py_kernels = _Backend(
+    "python", _py_comm_cost_row, _py_edge_bounds, _py_fold_max, _py_fold_min
+)
+
+#: The numpy kernel set (``None`` when numpy is unavailable or the
+#: python backend was forced).
+np_kernels = (
+    _Backend(
+        "numpy", _np_comm_cost_row, _np_edge_bounds, _np_fold_max, _np_fold_min
+    )
+    if _np is not None
+    else None
+)
+
+_active = np_kernels if np_kernels is not None else py_kernels
+
+#: Module-level aliases bound to the active backend at import time —
+#: the hot paths call these without any per-call dispatch.
+comm_cost_row = _active.comm_cost_row
+edge_bounds = _active.edge_bounds
+fold_max = _active.fold_max
+fold_min = _active.fold_min

@@ -43,7 +43,9 @@ def paper_priority(
     cs_cur: int,
 ) -> float:
     """The paper's PF (Definition 3.6)."""
-    mb = mobility(dict(alap), node, cs_cur)
+    # no defensive copy: mobility() only reads, and this runs once per
+    # ready node per control step — a copy here is O(V) per evaluation
+    mb = mobility(alap, node, cs_cur)
     best: float | None = None
     for e in graph.in_edges(node):
         if e.delay != 0 or e.src not in finish:
@@ -65,7 +67,7 @@ def mobility_only_priority(
     cs_cur: int,
 ) -> float:
     """Classic list scheduling: least mobility first (ablation)."""
-    return float(-mobility(dict(alap), node, cs_cur))
+    return float(-mobility(alap, node, cs_cur))
 
 
 def fifo_priority(

@@ -21,11 +21,25 @@ uniform :meth:`~repro.schedule.table.ScheduleTable.shift_all` leaves
 every bound's numerator ``CE + M + 1 - CB`` unchanged), so the tracker
 recomputes a handful of edges per pass instead of rescanning the whole
 graph through :func:`minimum_feasible_length`.
+
+Two scale-tier refinements keep the tracker O(touched edges) even on
+thousand-edge graphs:
+
+* :meth:`refresh` evaluates all edge bounds through the batched
+  :func:`repro.core.kernels.edge_bounds` kernel (one gather pass, one
+  array expression) instead of a per-edge python loop;
+* :meth:`projected_length` reads the maximum bound from a lazy-deletion
+  max-heap maintained alongside ``_bounds`` — updated edges are pushed
+  and stale heap tops discarded on read, so the per-pass cost tracks
+  the dirty set instead of rescanning every edge's bound.
 """
 
 from __future__ import annotations
 
+from heapq import heapify, heappop, heappush
 from typing import TYPE_CHECKING, Iterable
+
+from repro.core import kernels
 
 from repro.arch.topology import Architecture
 from repro.errors import InfeasibleScheduleError
@@ -94,7 +108,15 @@ class PSLTracker:
     wholesale.
     """
 
-    __slots__ = ("graph", "arch", "schedule", "pipelined_pes", "_cost", "_bounds")
+    __slots__ = (
+        "graph",
+        "arch",
+        "schedule",
+        "pipelined_pes",
+        "_cost",
+        "_bounds",
+        "_heap",
+    )
 
     def __init__(
         self,
@@ -111,35 +133,45 @@ class PSLTracker:
         self.pipelined_pes = pipelined_pes
         self._cost = comm.cost if comm is not None else arch.comm_cost
         self._bounds: dict[tuple[Node, Node], int] = {}
+        # lazy-deletion max-heap of (-bound, key); entries go stale when
+        # a key's bound changes — projected_length() discards tops whose
+        # value no longer matches _bounds
+        self._heap: list[tuple[int, tuple[Node, Node]]] = []
         self.refresh()
 
     # ------------------------------------------------------------------
     def refresh(self) -> None:
-        """Recompute every edge bound from scratch.
+        """Recompute every edge bound from scratch (batched).
 
         Raises :class:`InfeasibleScheduleError` when the current
         placements violate a zero-delay dependence (the tracker must be
         seeded from a legal schedule).
         """
-        self._bounds.clear()
+        placements = self.schedule._placements
+        cost = self._cost
+        keys: list[tuple[Node, Node]] = []
+        finishes: list[int] = []
+        comms: list[int] = []
+        starts: list[int] = []
+        delays: list[int] = []
         for e in self.graph.edges():
-            bound = self._edge_bound(e)
-            if bound is None:
-                raise InfeasibleScheduleError(
-                    f"edge ({e.src!r}, {e.dst!r}) violates an "
-                    "intra-iteration dependence as placed"
-                )
-            self._bounds[e.key] = bound
-
-    def _edge_bound(self, e) -> int | None:
-        """The edge's length bound, or ``None`` on a zero-delay
-        violation; 0 when the edge does not constrain ``L``."""
-        pu = self.schedule.placement(e.src)
-        pv = self.schedule.placement(e.dst)
-        slack = pu.finish + self._cost(pu.pe, pv.pe, e.volume) + 1 - pv.start
-        if e.delay == 0:
-            return None if slack > 0 else 0
-        return -(-slack // e.delay)  # ceil division
+            pu = placements[e.src]
+            pv = placements[e.dst]
+            keys.append(e.key)
+            finishes.append(pu.start + pu.duration - 1)
+            comms.append(cost(pu.pe, pv.pe, e.volume))
+            starts.append(pv.start)
+            delays.append(e.delay)
+        bounds, violated = kernels.edge_bounds(finishes, comms, starts, delays)
+        if violated is not None:
+            src, dst = keys[violated]
+            raise InfeasibleScheduleError(
+                f"edge ({src!r}, {dst!r}) violates an "
+                "intra-iteration dependence as placed"
+            )
+        self._bounds = dict(zip(keys, bounds))
+        self._heap = [(-b, k) for k, b in self._bounds.items()]
+        heapify(self._heap)
 
     def _incident_edges(self, nodes: Iterable[Node]):
         seen: set[tuple[Node, Node]] = set()
@@ -213,18 +245,42 @@ class PSLTracker:
                     fresh[key] = 0
                 else:
                     fresh[key] = -(-slack // delay)
-        self._bounds.update(fresh)
+        bounds = self._bounds
+        heap = self._heap
+        for key, bound in fresh.items():
+            if bounds.get(key) != bound:
+                bounds[key] = bound
+                heappush(heap, (-bound, key))
         return self.projected_length()
 
     def restore(self, snapshot: dict[tuple[Node, Node], int]) -> None:
         """Re-install bounds saved by :meth:`snapshot`."""
-        self._bounds.update(snapshot)
+        bounds = self._bounds
+        heap = self._heap
+        for key, bound in snapshot.items():
+            if bounds.get(key) != bound:
+                bounds[key] = bound
+                heappush(heap, (-bound, key))
 
     def projected_length(self) -> int:
         """``max(makespan, all edge bounds, 1)`` — identical to
         :func:`projected_schedule_length` for a complete, conflict-free
-        placement set."""
-        bound = max(self._bounds.values(), default=0)
+        placement set.
+
+        The maximum bound comes from the lazy-deletion heap: tops whose
+        recorded value no longer matches ``_bounds`` are popped (their
+        key was updated since the entry was pushed — the fresh entry
+        sits further down), so the read is O(stale entries) instead of
+        O(edges)."""
+        heap = self._heap
+        bounds = self._bounds
+        bound = 0
+        while heap:
+            neg, key = heap[0]
+            if bounds.get(key) == -neg:
+                bound = -neg
+                break
+            heappop(heap)
         makespan = self.schedule.makespan
         if makespan > bound:
             bound = makespan

@@ -37,6 +37,26 @@ past which the PE's scan stops early — later slots can only violate
 them.  The pruning changes the ``remap.candidate_slots`` metric (fewer
 doomed slots are visited) but never the chosen placement.
 
+Three scale-tier refinements keep the search cheap on thousand-node
+tables:
+
+* on wide machines the per-PE floor/ceiling folds run through the
+  batched :func:`repro.core.kernels.fold_max` / ``fold_min`` kernels —
+  one array expression over all candidate PEs instead of a python loop
+  per PE;
+* when the node has **no delayed in-edges**, every component of the
+  slot key (implied length, ``ce``, ``cb``) is non-decreasing along
+  the slot walk, so the first admissible start on a PE decides the
+  whole PE; the scan then walks the interval index's gap skip-list
+  (:meth:`~repro.schedule.table.ScheduleTable.free_gaps`) instead of
+  every free cell — O(1) candidates instead of O(free cells);
+* callers that already hold the zero-delay topological ranks (the
+  compaction loop caches them across passes) pass them via
+  ``topo_rank`` and skip the per-pass full-graph Kahn walk.
+
+As with the earlier prunings these change only scan-size metrics,
+never the chosen placement.
+
 An optional :class:`~repro.core.psl.PSLTracker` replaces the full
 ``projected_schedule_length`` rescan after the placements with an
 incremental update over edges incident to the remapped set.
@@ -48,6 +68,7 @@ from dataclasses import dataclass, field
 
 from repro.arch.cache import CommCostCache
 from repro.arch.topology import Architecture
+from repro.core import kernels
 from repro.core.psl import PSLTracker, projected_schedule_length
 from repro.errors import InfeasibleScheduleError, SchedulingError
 from repro.graph.csdfg import CSDFG, Node
@@ -56,6 +77,10 @@ from repro.obs import metrics
 from repro.schedule.table import ScheduleTable
 
 __all__ = ["RemapOutcome", "remap_nodes"]
+
+# below this many candidate PEs the batched floor/ceiling folds cost
+# more in array setup than the plain python loop saves
+_FOLD_MIN_PES = 16
 
 
 @dataclass
@@ -90,6 +115,7 @@ def remap_nodes(
     strategy: str = "implied",
     comm: CommCostCache | None = None,
     psl: PSLTracker | None = None,
+    topo_rank: dict[Node, int] | None = None,
     debug_check: bool = False,
 ) -> RemapOutcome:
     """Place ``nodes`` (already rotated out of ``schedule``) back in.
@@ -104,11 +130,14 @@ def remap_nodes(
     ``comm`` supplies precomputed communication costs; ``psl`` supplies
     incremental projected-schedule-length bounds (its edge snapshot is
     restored on every rejected pass, so the tracker always reflects the
-    schedule the caller sees).  ``debug_check=True`` cross-checks the
-    incremental length against the full rescan and raises
+    schedule the caller sees).  ``topo_rank`` optionally supplies the
+    full-graph zero-delay topological ranks (node -> position) so the
+    placement order need not re-run Kahn's algorithm — it must match
+    the graph's *current* delays.  ``debug_check=True`` cross-checks
+    the incremental length against the full rescan and raises
     :class:`SchedulingError` on divergence.
     """
-    ordered = _placement_order(graph, nodes)
+    ordered = _placement_order(graph, nodes, topo_rank)
     placed: list[Node] = []
     outcome = RemapOutcome(accepted=True, new_length=previous_length)
     cap = None if relaxation else previous_length
@@ -173,15 +202,26 @@ def remap_nodes(
     return outcome
 
 
-def _placement_order(graph: CSDFG, nodes: list[Node]) -> list[Node]:
+def _placement_order(
+    graph: CSDFG,
+    nodes: list[Node],
+    topo_rank: dict[Node, int] | None = None,
+) -> list[Node]:
     """Zero-delay topological order restricted to the rotated set, so a
-    node's intra-iteration producers inside the set are placed first;
-    longer tasks go earlier among order-equivalent nodes."""
+    node's intra-iteration producers inside the set are placed first.
+
+    Ranks are unique per node, so sorting by the full-graph rank and by
+    the set-restricted rank produce the same list — which is what lets
+    the compaction loop cache ``topo_rank`` across passes (the
+    secondary time/name keys are kept for signature stability; unique
+    ranks mean they never decide)."""
     if len(nodes) <= 1:
         return list(nodes)
-    node_set = set(nodes)
-    topo = [v for v in topological_order_zero_delay(graph) if v in node_set]
-    rank = {v: i for i, v in enumerate(topo)}
+    if topo_rank is None:
+        topo_rank = {
+            v: i for i, v in enumerate(topological_order_zero_delay(graph))
+        }
+    rank = topo_rank
     return sorted(nodes, key=lambda v: (rank[v], -graph.time(v), str(v)))
 
 
@@ -282,9 +322,22 @@ def _find_spot(
     best: tuple[int, int, int, int, int] | None = None
     pes_scanned = 0
     slots_scanned = 0
+    processors = arch.processors
+    # on wide machines fold the zero-delay floor/ceiling rows over all
+    # candidate PEs at once through the batched kernels; narrow ones
+    # keep the plain loops (array setup would dominate)
+    floors: list[int] | None = None
+    ceilings: list[int] | None = None
+    if len(processors) >= _FOLD_MIN_PES:
+        if in_zero:
+            floors = kernels.fold_max(
+                [(row, ce_u + 1) for row, ce_u in in_zero], processors, 1
+            )
+        if out_zero:
+            ceilings = kernels.fold_min(out_zero, processors)
     # key: (implied, ce, cb, pe) for "implied"; (cb, ce, pe) lifted into
     # the same tuple shape for "first-fit"
-    for pe in arch.processors:
+    for j, pe in enumerate(processors):
         pes_scanned += 1
         duration = base_time * time_scales[pe]
         occupancy = 1 if pipelined_pes else duration
@@ -296,18 +349,24 @@ def _find_spot(
                 self_loop_bound = bound
         # earliest start admissible w.r.t. zero-delay producers; every
         # slot at or past the floor satisfies all zero-delay in-edges
-        floor = 1
-        for row, ce_u in in_zero:
-            need = ce_u + row[pe] + 1
-            if need > floor:
-                floor = need
+        if floors is not None:
+            floor = floors[j]
+        else:
+            floor = 1
+            for row, ce_u in in_zero:
+                need = ce_u + row[pe] + 1
+                if need > floor:
+                    floor = need
         # latest start admissible w.r.t. zero-delay consumers: beyond
         # the ceiling every later slot violates some zero-delay out-edge
         ceiling: int | None = None
-        for row, cb_x in out_zero:
-            latest = cb_x - row[pe] - duration
-            if ceiling is None or latest < ceiling:
-                ceiling = latest
+        if ceilings is not None:
+            ceiling = ceilings[j] - duration
+        else:
+            for row, cb_x in out_zero:
+                latest = cb_x - row[pe] - duration
+                if ceiling is None or latest < ceiling:
+                    ceiling = latest
         # with a cap, slots beyond it are pointless; without one, scan
         # far enough past the tail (and past the floor) that a free
         # slot is guaranteed on every PE
@@ -339,7 +398,20 @@ def _find_spot(
             if out_delayed
             else ()
         )
-        for cb in schedule.free_slots(pe, floor, occupancy, horizon):
+        if in_del:
+            slots = schedule.free_slots(pe, floor, occupancy, horizon)
+        else:
+            # gap skip-list fast path: with no delayed in-edges every
+            # key component (implied, ce, cb) is non-decreasing along
+            # the slot walk, so the first reachable start decides the
+            # whole PE — walk maximal gaps instead of free cells
+            slots = (
+                first
+                for first, _last in schedule.free_gaps(
+                    pe, floor, occupancy, horizon
+                )
+            )
+        for cb in slots:
             if ceiling is not None and cb > ceiling:
                 break
             ce = cb + duration - 1
@@ -370,6 +442,10 @@ def _find_spot(
                     # per PE; implied-scoring stops once no later
                     # slot on this PE can score better
                     break
+            if not in_del:
+                # monotone keys again: whether this slot was admissible
+                # or capped out, every later slot repeats or worsens it
+                break
     metrics.inc("remap.candidate_pes", pes_scanned)
     metrics.inc("remap.candidate_slots", slots_scanned)
     if best is None:

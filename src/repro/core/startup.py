@@ -84,6 +84,10 @@ def start_up_schedule(
             v: sum(1 for e in graph.in_edges(v) if e.delay == 0)
             for v in graph.nodes()
         }
+        # static zero-delay in-degrees (pending_preds decays to 0):
+        # nodes without zero-delay producers share the placement-failure
+        # memo below
+        no_zero_preds = {v for v, k in pending_preds.items() if k == 0}
         ready: list[Node] = [v for v, k in pending_preds.items() if k == 0]
         remaining = graph.num_nodes
 
@@ -107,12 +111,32 @@ def start_up_schedule(
             )
             deferred: list[Node] = []
             newly_ready: list[Node] = []
+            # failure memo for nodes *without* zero-delay producers:
+            # their _best_processor outcome depends only on (cs, base
+            # execution time, schedule occupancy), so one failure rules
+            # out every same-duration node until the next placement
+            # mutates the table.  Exact — all-ready families (rings)
+            # would otherwise rescan every PE for thousands of deferred
+            # nodes at every control step.
+            fail_gen: dict[int, int] = {}
             for node in ready:
+                memo_key = (
+                    graph.time(node) if node in no_zero_preds else None
+                )
+                if (
+                    memo_key is not None
+                    and fail_gen.get(memo_key) == placements_made
+                ):
+                    deferred.append(node)
+                    deferrals += 1
+                    continue
                 choice = _best_processor(
                     graph, arch, schedule, finish, node, cs, pipelined_pes,
                     comm=comm,
                 )
                 if choice is None:
+                    if memo_key is not None:
+                        fail_gen[memo_key] = placements_made
                     deferred.append(node)
                     deferrals += 1
                     continue

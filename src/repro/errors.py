@@ -28,6 +28,7 @@ __all__ = [
     "WorkloadError",
     "QAError",
     "AnalysisError",
+    "WorkerCrashedError",
 ]
 
 
@@ -136,6 +137,23 @@ class WorkloadError(ReproError):
 class QAError(ReproError):
     """A fuzzing/shrinking driver was misused (unknown property name,
     malformed reproducer case, invalid sampling profile)."""
+
+
+class WorkerCrashedError(ReproError):
+    """A :func:`repro.perf.run_parallel` worker process died abruptly
+    (killed, OOMed, or crashed the interpreter) instead of raising a
+    python exception.
+
+    Attributes
+    ----------
+    completed:
+        The in-item-order prefix of results that finished before the
+        crash — everything the run produced that is still trustworthy.
+    """
+
+    def __init__(self, message: str, completed: list | None = None):
+        self.completed = list(completed) if completed is not None else []
+        super().__init__(message)
 
 
 class AnalysisError(ReproError):

@@ -7,6 +7,13 @@ Two halves:
   suites, benchmark sweeps, resilience chaos campaigns), with
   per-worker observability metrics merged back into the parent
   registry.
+* :mod:`repro.perf.restarts` — :func:`best_of_restarts`, sharded
+  best-of-N priority-jittered compaction restarts with best-known-length
+  pruning between stages, deterministic for a fixed ``(seed, restarts)``
+  regardless of the worker count.
+* :mod:`repro.perf.scale` — the thousand-node benchmark tier
+  (``repro scale``): seeded structural families from :mod:`repro.qa`
+  pushed through full compaction with nodes-per-second accounting.
 * :mod:`repro.perf.reference` — the *pre-optimisation* scheduling
   engine, preserved verbatim: the naive cell-dict
   :class:`~repro.perf.reference.ReferenceScheduleTable`, the per-slot
@@ -20,5 +27,13 @@ See ``docs/performance.md``.
 
 from repro.perf.parallel import run_parallel
 from repro.perf.reference import ReferenceScheduleTable, reference_cyclo_compact
+from repro.perf.restarts import RestartOutcome, RestartReport, best_of_restarts
 
-__all__ = ["ReferenceScheduleTable", "reference_cyclo_compact", "run_parallel"]
+__all__ = [
+    "ReferenceScheduleTable",
+    "RestartOutcome",
+    "RestartReport",
+    "best_of_restarts",
+    "reference_cyclo_compact",
+    "run_parallel",
+]

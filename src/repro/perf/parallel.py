@@ -18,6 +18,12 @@ embarrassingly-parallel work: parameter sweeps
 * **Budgets** — ``time_budget_seconds`` stops dispatching new items
   once the wall-clock budget is spent; completed items are returned (a
   prefix of the item list), never partial results.
+* **Typed failure** — a worker process dying abruptly (killed, OOMed,
+  interpreter crash) raises :class:`repro.errors.WorkerCrashedError`
+  carrying the in-item-order prefix of results completed before the
+  crash, instead of leaking ``concurrent.futures``' raw
+  ``BrokenProcessPool``.  Ordinary exceptions *raised by* ``fn``
+  propagate unchanged.
 
 ``fn`` and every item must be picklable for ``jobs > 1`` (plain
 functions and the repo's graphs/architectures/configs all are).
@@ -28,8 +34,10 @@ from __future__ import annotations
 import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.errors import WorkerCrashedError
 from repro.obs import metrics, runtime
 from repro.obs.sinks import InMemorySink
 
@@ -139,17 +147,26 @@ def run_parallel(
                 (fn, work[next_index], collect, time.monotonic()),
             ))
             next_index += 1
-        while pending:
-            result, snap = pending.popleft().result()
-            results.append(result)
-            if snap is not None:
-                metrics.merge_snapshot(snap)
-            if next_index < len(work) and (
-                deadline is None or time.perf_counter() < deadline
-            ):
-                pending.append(pool.submit(
-                    _worker,
-                    (fn, work[next_index], collect, time.monotonic()),
-                ))
-                next_index += 1
+        try:
+            while pending:
+                result, snap = pending.popleft().result()
+                results.append(result)
+                if snap is not None:
+                    metrics.merge_snapshot(snap)
+                if next_index < len(work) and (
+                    deadline is None or time.perf_counter() < deadline
+                ):
+                    pending.append(pool.submit(
+                        _worker,
+                        (fn, work[next_index], collect, time.monotonic()),
+                    ))
+                    next_index += 1
+        except BrokenProcessPool as exc:
+            metrics.inc("perf.parallel.worker_crashes")
+            raise WorkerCrashedError(
+                f"worker process died after {len(results)} of "
+                f"{len(work)} items completed (killed, out of memory, "
+                "or interpreter crash)",
+                completed=results,
+            ) from exc
     return results

@@ -13,11 +13,13 @@ from repro.qa.case import ReproCase, load_cases, replay_case
 from repro.qa.fuzz import FuzzReport, FuzzTrial, run_fuzz, trial_seed
 from repro.qa.generate import (
     GRAPH_FAMILIES,
+    SIZED_FAMILIES,
     ArchSpec,
     GraphProfile,
     sample_arch_spec,
     sample_config,
     sample_graph,
+    sample_sized_graph,
 )
 from repro.qa.properties import (
     PROPERTIES,
@@ -36,6 +38,7 @@ __all__ = [
     "GraphProfile",
     "PROPERTIES",
     "ReproCase",
+    "SIZED_FAMILIES",
     "ShrinkResult",
     "architecture_automorphism",
     "check_all",
@@ -47,6 +50,7 @@ __all__ = [
     "sample_arch_spec",
     "sample_config",
     "sample_graph",
+    "sample_sized_graph",
     "shrink_case",
     "trial_seed",
 ]

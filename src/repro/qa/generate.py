@@ -46,9 +46,11 @@ __all__ = [
     "GraphProfile",
     "ArchSpec",
     "sample_graph",
+    "sample_sized_graph",
     "sample_arch_spec",
     "sample_config",
     "GRAPH_FAMILIES",
+    "SIZED_FAMILIES",
 ]
 
 #: Structural families the graph sampler draws from.
@@ -226,6 +228,94 @@ def sample_graph(
             time=rng.randint(1, prof.max_time),
             volume=rng.randint(1, prof.max_volume),
             loop_delay=rng.randint(1, max(1, prof.max_delay)),
+        )
+    if not is_legal(graph):  # pragma: no cover - generator invariant
+        raise QAError(
+            f"sampled graph {graph.name!r} is illegal (generator bug)"
+        )
+    return graph
+
+
+#: Families :func:`sample_sized_graph` can build at an exact node
+#: count.  "random" is deliberately absent: its edge sampler is
+#: quadratic in the node count, which the thousand-node scale tier
+#: cannot afford (and its density profile is not size-stable anyway).
+SIZED_FAMILIES: tuple[str, ...] = ("layered", "ring", "chain", "fork-join")
+
+
+def sample_sized_graph(
+    family: str,
+    size: int,
+    *,
+    seed: int = 0,
+    max_time: int = 3,
+    max_volume: int = 3,
+) -> CSDFG:
+    """Draw one paper-legal CSDFG with **exactly** ``size`` nodes.
+
+    The scale benchmark tier (:mod:`repro.perf.scale`) needs instances
+    whose node count is the independent variable, which
+    :func:`sample_graph` cannot promise (its family parameters are
+    sampled, so counts wobble).  Same determinism contract: one
+    ``(family, size, seed)`` triple always builds the same graph,
+    byte-stable across processes.
+    """
+    if family not in SIZED_FAMILIES:
+        raise QAError(
+            f"unknown sized family {family!r}; known: {list(SIZED_FAMILIES)}"
+        )
+    if size < 3:
+        raise QAError(f"size must be >= 3, got {size}")
+    rng = random.Random((seed, family, size).__repr__())
+    name = f"{family.replace('-', '')}{size}-s{seed}"
+    if family == "layered":
+        widths: list[int] = []
+        remaining = size
+        while remaining > 0:
+            width = min(remaining, rng.randint(2, 8))
+            widths.append(width)
+            remaining -= width
+        graph = layered_csdfg(
+            widths,
+            seed=rng.randrange(1 << 30),
+            fanout=2,
+            feedback_edges=2,
+            feedback_delay=2,
+            max_time=max_time,
+            max_volume=max_volume,
+            name=name,
+        )
+    elif family == "ring":
+        graph = ring_csdfg(
+            size,
+            delay_per_edge=1,
+            time=rng.randint(1, max_time),
+            volume=rng.randint(1, max_volume),
+            name=name,
+        )
+    elif family == "chain":
+        graph = chain_csdfg(
+            size,
+            time=rng.randint(1, max_time),
+            volume=rng.randint(1, max_volume),
+            loop_delay=2,
+            name=name,
+        )
+    else:  # fork-join
+        body = size - 2
+        stages = 2 if body % 2 == 0 else 1
+        graph = fork_join_csdfg(
+            body // stages,
+            stages=stages,
+            time=rng.randint(1, max_time),
+            volume=rng.randint(1, max_volume),
+            loop_delay=2,
+            name=name,
+        )
+    if graph.num_nodes != size:  # pragma: no cover - generator invariant
+        raise QAError(
+            f"sized generator built {graph.num_nodes} nodes for "
+            f"requested {size} (generator bug)"
         )
     if not is_legal(graph):  # pragma: no cover - generator invariant
         raise QAError(

@@ -446,6 +446,48 @@ class ScheduleTable:
             cs = next_until + 1
             idx += 1
 
+    def free_gaps(
+        self, pe: int, not_before: int, duration: int, horizon: int
+    ) -> Iterator[tuple[int, int]]:
+        """Yield ``(first, last)`` start ranges of the maximal free gaps
+        on ``pe``: every start in ``first..last`` fits ``duration``
+        consecutive free cells ending by ``horizon``, and ``first - 1``
+        does not (it is occupied, or before ``not_before``).
+
+        This is the gap skip-list view of the interval index: the
+        remapping slot search uses it to evaluate one candidate per gap
+        instead of walking every start :meth:`free_slots` would yield —
+        on tables with thousands of occupied intervals the scan cost
+        drops from O(free cells) to O(gaps).  Concatenating the ranges
+        reproduces :meth:`free_slots` exactly.
+        """
+        cs = not_before if not_before > 1 else 1
+        last = horizon - duration + 1  # latest admissible start
+        if not (0 <= pe < self.num_pes):
+            if cs <= last:
+                yield cs, last
+            return
+        self.probes += 1
+        starts = self._starts[pe]
+        intervals = self._intervals[pe]
+        idx = bisect_right(starts, cs) - 1
+        if idx >= 0 and intervals[idx][1] >= cs:
+            cs = intervals[idx][1] + 1
+        idx += 1
+        count = len(intervals)
+        while cs <= last:
+            if idx >= count:
+                yield cs, last
+                return
+            next_start, next_until, _node = intervals[idx]
+            gap_last = next_start - duration  # last start fitting the gap
+            if gap_last > last:
+                gap_last = last
+            if cs <= gap_last:
+                yield cs, gap_last
+            cs = next_until + 1
+            idx += 1
+
     def first_row(self) -> list[Node]:
         """Tasks starting at control step 1, by PE order (the set the
         rotation phase deallocates)."""

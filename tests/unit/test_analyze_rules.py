@@ -49,6 +49,7 @@ class TestCatalogue:
             "RA301", "RA302", "RA303", "RA304", "RA305",
             "RA401", "RA402", "RA403", "RA404", "RA405",
             "RL101", "RL102", "RL103", "RL104", "RL105", "RL106",
+            "RL107", "RL108",
         }
 
     def test_make_uses_catalogue_defaults(self):

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -130,6 +132,58 @@ class TestSchedule:
         )
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_schedule_with_restarts(self, capsys):
+        assert main(
+            [
+                "schedule",
+                "figure7",
+                "--arch",
+                "mesh",
+                "--pes",
+                "8",
+                "--iterations",
+                "12",
+                "--restarts",
+                "2",
+                "--render",
+                "none",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "best of 2 restarts" in out
+        assert "restart 0" in out and "restart 1" in out
+        assert "control steps" in out
+
+    def test_restarts_reject_refine(self, capsys):
+        assert main(
+            ["schedule", "figure7", "--restarts", "2", "--refine"]
+        ) == 1
+        assert "--refine" in capsys.readouterr().err
+
+
+class TestScale:
+    def test_scale_quick(self, tmp_path, capsys):
+        out_file = tmp_path / "scale.json"
+        hist = tmp_path / "hist"
+        assert main(
+            [
+                "scale",
+                "--quick",
+                "--history-dir",
+                str(hist),
+                "--out",
+                str(out_file),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scale tier (quick): 1 cell(s)" in out
+        assert "nodes/s" in out
+        assert "1 scale record(s)" in out
+        assert (hist / "scale.ndjson").exists()
+        payload = json.loads(out_file.read_text())
+        assert payload["quick"] is True
+        assert payload["results"][0]["size"] == 1000
 
 
 class TestSimulate:

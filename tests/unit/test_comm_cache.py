@@ -96,10 +96,31 @@ class TestStats:
         cache.cost(0, 5, 1)
         assert cache.hit_rate == pytest.approx(2 / 3)
 
-    def test_entries_count_covers_alive_pairs(self):
+    def test_entries_grow_lazily_per_touched_band(self):
         arch = make_architecture("ring", 5)
         cache = CommCostCache(arch, (1, 2))
+        # rows are built on first touch, one (src, volume) band at a time
+        assert cache.entries == 0
+        cache.cost(0, 3, 1)
+        assert cache.entries == 5
+        cache.cost(0, 4, 1)  # same band: no new entries
+        assert cache.entries == 5
+        cache.cost(2, 0, 2)  # other volume: its own band
+        assert cache.entries == 10
+        # a full warm sweep materialises at most every band once
+        for vol in (1, 2):
+            for src in arch.processors:
+                for dst in arch.processors:
+                    cache.cost(src, dst, vol)
         assert cache.entries == 2 * 5 * 5
+
+    def test_row_build_is_neither_hit_nor_miss(self):
+        arch = make_architecture("ring", 5)
+        cache = CommCostCache(arch, (1,))
+        assert cache.row_from(0, 1) is not None
+        assert cache.row_to(1, 1) is not None
+        assert cache.hits == cache.misses == 0
+        assert cache.entries == 10
 
     def test_stats_dict(self):
         arch = make_architecture("complete", 4)
@@ -109,7 +130,7 @@ class TestStats:
         assert cache.stats() == {
             "hits": 1,
             "misses": 1,
-            "entries": 16,
+            "entries": 4,
             "hit_rate": 0.5,
         }
 
@@ -126,7 +147,7 @@ class TestStats:
         snap = metrics.snapshot()
         assert snap["counters"]["arch.cache.hits"] == 2
         assert snap["counters"]["arch.cache.misses"] == 1
-        assert snap["gauges"]["arch.cache.entries"]["value"] == 16
+        assert snap["gauges"]["arch.cache.entries"]["value"] == 4
         assert snap["gauges"]["arch.cache.hit_rate"]["value"] == pytest.approx(
             2 / 3, abs=1e-6
         )

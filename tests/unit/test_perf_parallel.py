@@ -1,9 +1,11 @@
 """The deterministic process-pool driver (`repro.perf.parallel`)."""
 
+import os
 import time
 
 import pytest
 
+from repro.errors import ReproError, WorkerCrashedError
 from repro.obs import (
     InMemorySink,
     install_sink,
@@ -14,6 +16,13 @@ from repro.perf.parallel import run_parallel
 
 
 def _square(x):
+    return x * x
+
+
+def _die_on_four(x):
+    if x == 4:
+        os._exit(13)  # hard interpreter death, not an exception
+    time.sleep(0.02)  # let earlier items land before the crash surfaces
     return x * x
 
 
@@ -66,6 +75,31 @@ def test_budget_prefix_serial():
     )
     assert 0 < len(got) < len(items)
     assert got == items[: len(got)]
+
+
+def test_killed_worker_raises_typed_error_with_completed_prefix():
+    items = list(range(8))
+    with pytest.raises(WorkerCrashedError) as excinfo:
+        run_parallel(_die_on_four, items, jobs=2)
+    err = excinfo.value
+    assert isinstance(err, ReproError)  # catchable with the base class
+    # results popped before the crash surfaced, in item order: always a
+    # prefix, and never anything at or past the item that died
+    expected = [x * x for x in items]
+    assert err.completed == expected[: len(err.completed)]
+    assert len(err.completed) <= 4
+    assert "worker process died" in str(err)
+
+
+def test_fn_exceptions_propagate_unwrapped():
+    with pytest.raises(ValueError):
+        run_parallel(_raise_on_two, [1, 2, 3], jobs=2)
+
+
+def _raise_on_two(x):
+    if x == 2:
+        raise ValueError("bad item 2")
+    return x
 
 
 def test_worker_metrics_merge_into_parent():

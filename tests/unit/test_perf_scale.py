@@ -1,0 +1,87 @@
+"""Unit tests for the thousand-node scale tier (repro.perf.scale).
+
+The full matrix belongs to ``benchmarks/test_bench_scale.py``; here we
+pin the tier's *shape* on a downsized cell so the unit suite stays
+fast: one instrumented measurement, its history record, the warm
+cache-hit-rate tally, and quick/jobs behaviour of the matrix driver.
+"""
+
+from repro.obs.history import HistoryStore
+from repro.perf.scale import (
+    SCALE_MATRIX,
+    ScaleCell,
+    cache_hit_rate,
+    run_scale_cell,
+    run_scale_matrix,
+)
+
+# downsized: same code path as the 1k+ cells, unit-test wall-clock
+SMALL = ScaleCell("layered", 60, "mesh", 4, 4, seed=5)
+
+
+class TestMatrixShape:
+    def test_pinned_matrix_covers_required_span(self):
+        sizes = {c.size for c in SCALE_MATRIX}
+        kinds = {c.arch_kind for c in SCALE_MATRIX}
+        assert len(sizes & {1000, 2000, 5000, 10000}) >= 3
+        assert len(kinds) >= 4
+        assert all(c.passes >= 1 for c in SCALE_MATRIX)
+        assert SCALE_MATRIX[0].size == 1000  # the quick/smoke cell
+
+    def test_labels(self):
+        assert SMALL.label == "layered-60@mesh4"
+
+
+class TestRunScaleCell:
+    def test_measurement_shape(self):
+        row = run_scale_cell(SMALL)
+        assert row["size"] == 60
+        assert row["workload"] == "layered60-s5"
+        assert row["arch"] == "mesh4"
+        assert row["duration_seconds"] > 0
+        assert row["nodes_per_second"] > 0
+        assert row["final_length"] <= row["initial_length"]
+        assert row["stop_reason"] == "completed"
+        assert "startup" in row["phases"]
+        assert row["counters"]["remap.nodes"] > 0
+
+    def test_warm_cache_hit_rate_tallied(self):
+        row = run_scale_cell(SMALL)
+        # lazy rows count builds as neither hit nor miss, so a warm
+        # run must stay >= 99% hits — the scale tier's acceptance bar
+        assert cache_hit_rate(row["counters"]) >= 0.99
+
+    def test_cache_hit_rate_of_empty_counters(self):
+        assert cache_hit_rate({}) == 0.0
+
+
+class TestRunScaleMatrix:
+    def test_quick_takes_first_cell_only(self, tmp_path):
+        rows, records = run_scale_matrix(
+            tmp_path / "hist", matrix=[SMALL], quick=True
+        )
+        assert len(rows) == len(records) == 1
+        rec = records[0]
+        assert rec.kind == "scale"
+        assert rec.attrs["nodes_per_second"] > 0
+        assert rec.attrs["cache_hit_rate"] >= 0.99
+        store = HistoryStore(tmp_path / "hist")
+        assert store.kinds() == ["scale"]
+
+    def test_no_history_dir_writes_nothing(self):
+        rows, records = run_scale_matrix(None, matrix=[SMALL])
+        assert len(rows) == 1 and records == []
+
+    def test_jobs_do_not_change_measurement_results(self):
+        serial, _ = run_scale_matrix(None, matrix=[SMALL, SMALL], jobs=1)
+        sharded, _ = run_scale_matrix(None, matrix=[SMALL, SMALL], jobs=2)
+        keys = [
+            (r["initial_length"], r["final_length"], r["stop_reason"],
+             r["counters"])
+            for r in serial
+        ]
+        assert keys == [
+            (r["initial_length"], r["final_length"], r["stop_reason"],
+             r["counters"])
+            for r in sharded
+        ]

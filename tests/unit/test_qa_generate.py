@@ -7,11 +7,13 @@ from repro.errors import QAError
 from repro.graph.validation import is_legal
 from repro.qa import (
     GRAPH_FAMILIES,
+    SIZED_FAMILIES,
     ArchSpec,
     GraphProfile,
     sample_arch_spec,
     sample_config,
     sample_graph,
+    sample_sized_graph,
 )
 
 
@@ -99,6 +101,39 @@ class TestSampleArchSpec:
     def test_malformed_spec_raises(self):
         with pytest.raises(QAError):
             ArchSpec.from_dict({"kind": "mesh"})  # num_pes missing
+
+
+class TestSampleSizedGraph:
+    @pytest.mark.parametrize("family", SIZED_FAMILIES)
+    def test_exact_node_count_and_legality(self, family):
+        for size in (3, 17, 250):
+            graph = sample_sized_graph(family, size, seed=2)
+            assert graph.num_nodes == size, (family, size)
+            assert is_legal(graph)
+
+    @pytest.mark.parametrize("family", SIZED_FAMILIES)
+    def test_byte_stable_per_key(self, family):
+        a = sample_sized_graph(family, 120, seed=9)
+        b = sample_sized_graph(family, 120, seed=9)
+        assert a.name == b.name
+        assert [
+            (str(e.src), str(e.dst), e.delay, e.volume) for e in a.edges()
+        ] == [
+            (str(e.src), str(e.dst), e.delay, e.volume) for e in b.edges()
+        ]
+
+    def test_seed_changes_the_instance(self):
+        a = sample_sized_graph("layered", 120, seed=0)
+        b = sample_sized_graph("layered", 120, seed=1)
+        assert a.name != b.name
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(QAError):
+            sample_sized_graph("random", 100)
+
+    def test_too_small_raises(self):
+        with pytest.raises(QAError):
+            sample_sized_graph("ring", 2)
 
 
 class TestSampleConfig:
