@@ -14,10 +14,17 @@ from __future__ import annotations
 from repro.analyze.diagnostics import Diagnostic
 from repro.analyze.rules import make
 from repro.arch.degraded import DegradedTopology
+from repro.arch.routing import route
 from repro.arch.topology import Architecture
 from repro.graph.csdfg import CSDFG
 
 __all__ = ["check_arch"]
+
+#: Skip the O(n^2) route sweep of RA207 beyond this machine size.
+_HOTSPOT_MAX_PES = 128
+
+#: Hot-link threshold: max per-link load >= this multiple of the mean.
+_HOTSPOT_RATIO = 3.0
 
 
 def check_arch(
@@ -43,6 +50,9 @@ def check_arch(
                 f"{degraded_diameter} over {len(alive)} surviving PE(s)",
             ))
 
+    out.extend(_contention_bridges(arch, alive))
+    out.extend(_contention_hotspot(arch, alive))
+
     if graph is not None and graph.num_nodes > 0:
         out.extend(_comm_blowup(arch, graph))
         if len(alive) > graph.num_nodes:
@@ -53,6 +63,135 @@ def check_arch(
                 f"never be busy",
             ))
     return out
+
+
+def _usable_links(
+    arch: Architecture, alive: list[int]
+) -> list[tuple[int, int]]:
+    """Canonical links whose endpoints are both usable."""
+    alive_set = set(alive)
+    if isinstance(arch, DegradedTopology):
+        return [
+            (a, b)
+            for a, b in arch.links
+            if a in alive_set and b in alive_set
+        ]
+    return [(a, b) for a, b in arch.links]
+
+
+def _bridge_links(
+    alive: list[int], links: list[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """Bridges of the usable topology (iterative Tarjan low-link)."""
+    adjacency: dict[int, list[int]] = {pe: [] for pe in alive}
+    for a, b in links:
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    disc: dict[int, int] = {}
+    low: dict[int, int] = {}
+    bridges: list[tuple[int, int]] = []
+    counter = 0
+    for root in alive:
+        if root in disc:
+            continue
+        disc[root] = low[root] = counter
+        counter += 1
+        stack = [(root, None, iter(adjacency[root]))]
+        while stack:
+            node, parent, neighbours = stack[-1]
+            child = next(neighbours, None)
+            if child is None:
+                stack.pop()
+                if stack:
+                    up = stack[-1][0]
+                    low[up] = min(low[up], low[node])
+                    if low[node] > disc[up]:
+                        bridges.append((min(up, node), max(up, node)))
+                continue
+            if child == parent:
+                continue
+            if child in disc:
+                low[node] = min(low[node], disc[child])
+                continue
+            disc[child] = low[child] = counter
+            counter += 1
+            stack.append((child, node, iter(adjacency[child])))
+    return sorted(bridges)
+
+
+def _split_sizes(
+    alive: list[int],
+    links: list[tuple[int, int]],
+    bridge: tuple[int, int],
+) -> tuple[int, int]:
+    """Component sizes after cutting ``bridge``."""
+    adjacency: dict[int, set[int]] = {pe: set() for pe in alive}
+    for a, b in links:
+        if (min(a, b), max(a, b)) == bridge:
+            continue
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    seen = {bridge[0]}
+    frontier = [bridge[0]]
+    while frontier:
+        node = frontier.pop()
+        for nxt in adjacency[node]:
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    one = len(seen)
+    return one, len(alive) - one
+
+
+def _contention_bridges(
+    arch: Architecture, alive: list[int]
+) -> list[Diagnostic]:
+    """RA206 when the usable topology funnels traffic over bridges."""
+    if len(alive) < 3:
+        return []
+    links = _usable_links(arch, alive)
+    bridges = _bridge_links(alive, links)
+    if not bridges:
+        return []
+    # report the most balanced split: it carries the most cross traffic
+    worst = max(bridges, key=lambda br: min(_split_sizes(alive, links, br)))
+    a, b = _split_sizes(alive, links, worst)
+    return [make(
+        "RA206",
+        f"{len(bridges)} of {len(links)} usable link(s) are bridges; "
+        f"cutting the worst, {worst}, splits {arch.name!r} into "
+        f"{a} + {b} PE(s), so all traffic between the sides "
+        f"serialises on that one link under contention",
+    )]
+
+
+def _contention_hotspot(
+    arch: Architecture, alive: list[int]
+) -> list[Diagnostic]:
+    """RA207 when deterministic routes concentrate uniform traffic."""
+    links = _usable_links(arch, alive)
+    if len(links) < 2 or len(alive) < 3 or len(alive) > _HOTSPOT_MAX_PES:
+        return []
+    loads: dict[tuple[int, int], int] = {link: 0 for link in links}
+    for i, src in enumerate(alive):
+        for dst in alive[i + 1:]:
+            path = route(arch, src, dst)
+            for a, b in zip(path, path[1:]):
+                loads[(min(a, b), max(a, b))] += 1
+    total = sum(loads.values())
+    if total == 0:
+        return []
+    mean = total / len(links)
+    hot_link, hot_load = max(loads.items(), key=lambda kv: (kv[1], kv[0]))
+    if hot_load < _HOTSPOT_RATIO * mean:
+        return []
+    return [make(
+        "RA207",
+        f"uniform all-pairs routing pushes {hot_load} of {total} "
+        f"route-hops over link {hot_link} of {arch.name!r} "
+        f"({hot_load / mean:.1f}x the per-link mean): a contention "
+        f"hotspot any shared-bottleneck workload will queue on",
+    )]
 
 
 def _comm_blowup(arch: Architecture, graph: CSDFG) -> list[Diagnostic]:

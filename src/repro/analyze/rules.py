@@ -138,6 +138,24 @@ RULES: dict[str, Rule] = _catalogue([
         "to the healthy machine.",
         "re-optimise schedules produced for the healthy machine",
     ),
+    Rule(
+        "RA206", "warning", "contention-bottleneck-bridge",
+        "The usable topology contains bridge links: every transfer "
+        "between the two sides of a bridge crosses that one link, so "
+        "under contention-aware pricing (serialised links) the bridge "
+        "serialises all cross-partition traffic.",
+        "add redundant links, or schedule with a contention model so "
+        "the optimiser is charged for the bottleneck",
+    ),
+    Rule(
+        "RA207", "warning", "contention-hotspot",
+        "Deterministic routing concentrates traffic: under uniform "
+        "all-pairs communication one link carries several times the "
+        "mean per-link load, so contended prices on routes through it "
+        "will dwarf the contention-free estimate.",
+        "balance the topology, or enable contention-aware scheduling "
+        "to steer traffic off the hot link",
+    ),
     # ------------------------------------------------------------- RA3xx
     Rule(
         "RA301", "error", "infeasible-target",

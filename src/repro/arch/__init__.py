@@ -8,15 +8,34 @@ models.
 """
 
 from repro.arch.cache import CommCostCache
+from repro.arch.cayley import (
+    BubbleSortGraph,
+    CayleyTopology,
+    Circulant,
+    PancakeGraph,
+    StarGraph,
+)
 from repro.arch.comm import (
+    CONTENTION_MODELS,
     CommModel,
     ConstantLatencyModel,
+    ContentionModel,
+    NoContention,
+    ScaledContention,
+    SerializedContention,
     StoreAndForwardModel,
     WormholeModel,
     ZeroCommModel,
+    make_contention_model,
 )
 from repro.arch.complete import CompletelyConnected
-from repro.arch.contention import LinkLoadReport, link_loads
+from repro.arch.contention import (
+    ContendedCostReport,
+    LinkLoadReport,
+    LinkOccupancy,
+    contended_cost,
+    link_loads,
+)
 from repro.arch.custom import (
     CustomArchitecture,
     from_adjacency,
@@ -44,27 +63,41 @@ __all__ = [
     "ARCHITECTURE_KINDS",
     "Architecture",
     "BalancedTree",
+    "BubbleSortGraph",
+    "CONTENTION_MODELS",
+    "CayleyTopology",
+    "Circulant",
     "CommCostCache",
     "CommModel",
     "CompletelyConnected",
     "ConstantLatencyModel",
+    "ContendedCostReport",
+    "ContentionModel",
     "CustomArchitecture",
     "DegradedTopology",
     "Hypercube",
     "LinearArray",
     "LinkLoadReport",
+    "LinkOccupancy",
     "Mesh2D",
+    "NoContention",
+    "PancakeGraph",
     "Ring",
+    "ScaledContention",
+    "SerializedContention",
     "Star",
+    "StarGraph",
     "StoreAndForwardModel",
     "Torus2D",
     "WormholeModel",
     "ZeroCommModel",
+    "contended_cost",
     "ecube_route",
     "from_adjacency",
     "link_loads",
     "load_architecture",
     "make_architecture",
+    "make_contention_model",
     "paper_architectures",
     "render_architecture",
     "render_processor_load",

@@ -26,13 +26,26 @@ The cache is *read-only* in effect (row materialisation is invisible to
 callers) and keyed to the architecture instance it was built from;
 build a fresh one after any topology change (e.g. after injecting
 faults).
+
+Contention-aware pricing is an optional dimension on the same tables:
+give the constructor a :class:`~repro.arch.comm.ContentionModel` and a
+frozen :class:`~repro.arch.contention.LinkOccupancy` snapshot and every
+banded row is surcharged ``price(base, load_between(src, dst))`` as it
+materialises.  Because the snapshot is frozen, prices remain a pure
+function of ``(src, dst, volume)`` — the start-up scheduler, the remap
+inner loop and the validator consume the same cache and therefore agree
+on every ``M`` by construction.  The default (no model) prices
+bit-identically to ``arch.comm_cost``.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable
 
+from repro.arch.comm import ContentionModel
+from repro.arch.contention import LinkOccupancy
 from repro.arch.topology import Architecture
+from repro.errors import ArchitectureError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.graph.csdfg import CSDFG
@@ -52,6 +65,20 @@ class CommCostCache:
         The edge volumes the tables cover (typically the distinct
         volumes of one graph; see :meth:`for_graph`).  Lookups for
         other volumes miss to ``arch.comm_cost``.
+    contention:
+        Optional :class:`~repro.arch.comm.ContentionModel`.  When set,
+        every tabulated (and fallback) price is surcharged against the
+        frozen ``occupancy`` snapshot:
+        ``price(base, occupancy.load_between(src, dst))``.  The
+        default ``None`` keeps prices bit-identical to
+        ``arch.comm_cost``.
+    occupancy:
+        The frozen :class:`~repro.arch.contention.LinkOccupancy` the
+        surcharge is computed against (defaults to an empty ledger,
+        which prices exactly like the contention-free cache).  The
+        snapshot must belong to ``arch`` and must not be mutated after
+        rows materialise — freeze-then-reprice keeps the price a pure
+        function of ``(src, dst, volume)`` for the whole run.
     """
 
     __slots__ = (
@@ -60,13 +87,33 @@ class CommCostCache:
         "_tables_t",
         "_by_hops",
         "_alive",
+        "_contention",
+        "_occupancy",
         "hits",
         "misses",
         "entries",
     )
 
-    def __init__(self, arch: Architecture, volumes: Iterable[int]):
+    def __init__(
+        self,
+        arch: Architecture,
+        volumes: Iterable[int],
+        *,
+        contention: ContentionModel | None = None,
+        occupancy: LinkOccupancy | None = None,
+    ):
         self.arch = arch
+        if contention is None:
+            occupancy = None
+        elif occupancy is None:
+            occupancy = LinkOccupancy(arch)
+        elif occupancy.arch is not arch:
+            raise ArchitectureError(
+                "occupancy snapshot belongs to a different architecture "
+                "than the cache"
+            )
+        self._contention = contention
+        self._occupancy = occupancy
         # plain-int tallies (a few thousand increments per run — far
         # cheaper than conditional metric calls on the hot path); the
         # engine publishes them to the metrics registry once per run
@@ -93,14 +140,41 @@ class CommCostCache:
         }
 
     @classmethod
-    def for_graph(cls, arch: Architecture, graph: "CSDFG") -> "CommCostCache":
+    def for_graph(
+        cls,
+        arch: Architecture,
+        graph: "CSDFG",
+        *,
+        contention: ContentionModel | None = None,
+        occupancy: LinkOccupancy | None = None,
+    ) -> "CommCostCache":
         """Cache covering every edge volume of ``graph`` on ``arch``."""
-        return cls(arch, {e.volume for e in graph.edges()})
+        return cls(
+            arch,
+            {e.volume for e in graph.edges()},
+            contention=contention,
+            occupancy=occupancy,
+        )
 
     @property
     def volumes(self) -> frozenset[int]:
         """The edge volumes covered by the tables."""
         return frozenset(self._tables)
+
+    @property
+    def contended(self) -> bool:
+        """Whether prices carry a contention surcharge."""
+        return self._contention is not None
+
+    @property
+    def contention(self) -> ContentionModel | None:
+        """The contention model pricing this cache, if any."""
+        return self._contention
+
+    @property
+    def occupancy(self) -> LinkOccupancy | None:
+        """The frozen link-occupancy snapshot, if contended."""
+        return self._occupancy
 
     # ------------------------------------------------------------------
     def _build_row(
@@ -125,6 +199,16 @@ class CommCostCache:
         dist = arch.distance_matrix
         hops_row = dist[:, pe] if transposed else dist[pe]
         row = comm_cost_row(hops_row, self._alive, cost_of, arch.num_pes)
+        if self._contention is not None:
+            # surcharge the banded row against the frozen occupancy:
+            # rows stay plain ints, so the hot-path lookup is unchanged
+            price = self._contention.price
+            load = self._occupancy.load_between
+            row = [
+                base if base is None or base == 0
+                else price(base, load(p, pe) if transposed else load(pe, p))
+                for p, base in enumerate(row)
+            ]
         table[pe] = row
         self.entries += len(self._alive)
         return row
@@ -146,16 +230,28 @@ class CommCostCache:
                 )
                 if row is None:  # dead source PE
                     self.misses += 1
-                    return self.arch.comm_cost(src, dst, volume)
+                    return self._fallback(src, dst, volume)
             cached = row[dst]
         except (KeyError, IndexError):
             self.misses += 1
-            return self.arch.comm_cost(src, dst, volume)
+            return self._fallback(src, dst, volume)
         if cached is None or src < 0 or dst < 0:
             self.misses += 1
-            return self.arch.comm_cost(src, dst, volume)
+            return self._fallback(src, dst, volume)
         self.hits += 1
         return cached
+
+    def _fallback(self, src: int, dst: int, volume: int) -> int:
+        """Uncached pricing, contention surcharge included.
+
+        ``arch.comm_cost`` runs first so bound checks and
+        ``DeadProcessorError`` semantics match the uncached path."""
+        base = self.arch.comm_cost(src, dst, volume)
+        if self._contention is None or base == 0:
+            return base
+        return self._contention.price(
+            base, self._occupancy.load_between(src, dst)
+        )
 
     def row_from(self, src: int, volume: int) -> list[int | None] | None:
         """Costs ``src -> p`` for every PE id ``p`` (``None`` entries

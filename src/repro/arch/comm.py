@@ -25,6 +25,12 @@ __all__ = [
     "WormholeModel",
     "ConstantLatencyModel",
     "ZeroCommModel",
+    "ContentionModel",
+    "NoContention",
+    "SerializedContention",
+    "ScaledContention",
+    "CONTENTION_MODELS",
+    "make_contention_model",
 ]
 
 
@@ -99,3 +105,114 @@ class ZeroCommModel(CommModel):
     def cost(self, hops: int, volume: int) -> int:
         self._check(hops, volume)
         return 0
+
+
+# --------------------------------------------------------------------
+# Contention pricing: base cost x concurrent link load -> contended cost
+# --------------------------------------------------------------------
+
+
+class ContentionModel(ABC):
+    """Maps a contention-free base cost and a concurrent link load to a
+    contended cost in control steps.
+
+    ``load`` is the data volume already queued on the busiest link of
+    the transfer's route (see
+    :class:`~repro.arch.contention.LinkOccupancy`).  Implementations
+    must satisfy two laws the rest of the engine relies on:
+
+    * **identity at zero load** — ``price(base, 0) == base``, so the
+      contention-free default stays bit-identical;
+    * **monotonicity** — ``price(base, a) <= price(base, b)`` whenever
+      ``a <= b``: more traffic never makes a transfer cheaper.
+
+    Same-processor transfers (``base == 0``) are never contended:
+    ``price(0, load) == 0`` for any load.
+    """
+
+    #: Short identifier used in configs and experiment reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def price(self, base: int, load: int) -> int:
+        """Contended communication cost in control steps."""
+
+    def _check(self, base: int, load: int) -> None:
+        if base < 0:
+            raise ArchitectureError(f"negative base cost {base}")
+        if load < 0:
+            raise ArchitectureError(f"negative link load {load}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class NoContention(ContentionModel):
+    """Infinite per-link bandwidth: the paper's contention-free model."""
+
+    name = "none"
+
+    def price(self, base: int, load: int) -> int:
+        self._check(base, load)
+        return base
+
+
+class SerializedContention(ContentionModel):
+    """Per-link serialisation: a transfer queues behind the volume
+    already reserved on the busiest link of its route, paying ``weight``
+    control steps per queued unit (``base + weight * load``)."""
+
+    name = "serialized"
+
+    def __init__(self, weight: int = 1):
+        if weight < 1:
+            raise ArchitectureError(f"weight must be >= 1, got {weight}")
+        self.weight = weight
+
+    def price(self, base: int, load: int) -> int:
+        self._check(base, load)
+        return base if base == 0 else base + self.weight * load
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SerializedContention(weight={self.weight})"
+
+
+class ScaledContention(ContentionModel):
+    """Proportional slowdown: each queued unit stretches the transfer
+    by ``weight / 8`` of its base cost (integer arithmetic, floor)."""
+
+    name = "scaled"
+
+    def __init__(self, weight: int = 1):
+        if weight < 1:
+            raise ArchitectureError(f"weight must be >= 1, got {weight}")
+        self.weight = weight
+
+    def price(self, base: int, load: int) -> int:
+        self._check(base, load)
+        return base + (base * load * self.weight) // 8
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ScaledContention(weight={self.weight})"
+
+
+#: Contention model factories by config name.
+CONTENTION_MODELS: dict[str, type[ContentionModel]] = {
+    "none": NoContention,
+    "serialized": SerializedContention,
+    "scaled": ScaledContention,
+}
+
+
+def make_contention_model(name: str, *, weight: int = 1) -> ContentionModel:
+    """Build a contention model from its config-level name."""
+    try:
+        cls = CONTENTION_MODELS[name]
+    except KeyError:
+        raise ArchitectureError(
+            f"unknown contention model {name!r}; "
+            f"known: {sorted(CONTENTION_MODELS)}"
+        ) from None
+    if cls is NoContention:
+        return cls()
+    return cls(weight=weight)

@@ -3,18 +3,22 @@
 ``2**n`` PEs; PEs are adjacent iff their ids differ in exactly one bit,
 so the hop distance is the Hamming distance and the diameter is ``n``.
 The paper's fifth experimental architecture is the 3-cube (8 PEs).
+
+As a Cayley graph this is the boolean group ``Z_2^n`` (PE ids under
+XOR) with the unit bit-flips as connection set; each flip is its own
+inverse, so the set is trivially symmetric.
 """
 
 from __future__ import annotations
 
+from repro.arch.cayley import CayleyTopology
 from repro.arch.comm import CommModel
-from repro.arch.topology import Architecture
 from repro.errors import ArchitectureError
 
 __all__ = ["Hypercube"]
 
 
-class Hypercube(Architecture):
+class Hypercube(CayleyTopology):
     """An ``n``-dimensional binary hypercube (``2**n`` processors)."""
 
     def __init__(self, dimension: int, *, comm_model: CommModel | None = None):
@@ -26,15 +30,11 @@ class Hypercube(Architecture):
             )
         self.dimension = dimension
         n = 1 << dimension
-        links = [
-            (pe, pe ^ (1 << bit))
-            for pe in range(n)
-            for bit in range(dimension)
-            if pe < (pe ^ (1 << bit))
-        ]
         super().__init__(
-            n,
-            links,
+            range(n),
+            lambda x, g: x ^ g,
+            0,
+            [1 << bit for bit in range(dimension)],
             name=f"{dimension}-cube",
             comm_model=comm_model,
         )

@@ -12,6 +12,13 @@ from __future__ import annotations
 import math
 from typing import Callable
 
+from repro.arch.cayley import (
+    BubbleSortGraph,
+    Circulant,
+    PancakeGraph,
+    StarGraph,
+    _permutation_order,
+)
 from repro.arch.comm import CommModel
 from repro.arch.complete import CompletelyConnected
 from repro.arch.hypercube import Hypercube
@@ -64,6 +71,24 @@ def _make_tree(num_pes: int, comm_model: CommModel | None) -> BalancedTree:
     return BalancedTree(2, height, comm_model=comm_model)
 
 
+def _make_star_graph(num_pes: int, comm_model: CommModel | None) -> StarGraph:
+    return StarGraph(
+        _permutation_order(num_pes, "cayley-star"), comm_model=comm_model
+    )
+
+
+def _make_bubble(num_pes: int, comm_model: CommModel | None) -> BubbleSortGraph:
+    return BubbleSortGraph(
+        _permutation_order(num_pes, "cayley-bubble"), comm_model=comm_model
+    )
+
+
+def _make_pancake(num_pes: int, comm_model: CommModel | None) -> PancakeGraph:
+    return PancakeGraph(
+        _permutation_order(num_pes, "pancake"), comm_model=comm_model
+    )
+
+
 ARCHITECTURE_KINDS: dict[str, Callable[[int, CommModel | None], Architecture]] = {
     "linear": lambda n, cm: LinearArray(n, comm_model=cm),
     "ring": lambda n, cm: Ring(n, comm_model=cm),
@@ -73,6 +98,12 @@ ARCHITECTURE_KINDS: dict[str, Callable[[int, CommModel | None], Architecture]] =
     "hypercube": _make_hypercube,
     "star": lambda n, cm: Star(n, comm_model=cm),
     "tree": _make_tree,
+    # Cayley family (repro.arch.cayley): vertex-transitive machines
+    # built from group presentations.
+    "circulant": lambda n, cm: Circulant(n, comm_model=cm),
+    "cayley-star": _make_star_graph,
+    "cayley-bubble": _make_bubble,
+    "pancake": _make_pancake,
 }
 
 
@@ -82,8 +113,10 @@ def make_architecture(
     """Build an architecture by kind name.
 
     ``kind`` is one of :data:`ARCHITECTURE_KINDS`
-    (``linear, ring, complete, mesh, torus, hypercube, star, tree``).
-    Meshes/tori use the most-square factorisation of ``num_pes``.
+    (``linear, ring, complete, mesh, torus, hypercube, star, tree``
+    plus the Cayley family ``circulant, cayley-star, cayley-bubble,
+    pancake``).  Meshes/tori use the most-square factorisation of
+    ``num_pes``; the permutation-group kinds need a factorial PE count.
     """
     try:
         factory = ARCHITECTURE_KINDS[kind]

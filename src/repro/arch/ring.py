@@ -3,28 +3,31 @@
 A linear array whose terminal PEs are joined; every PE has degree 2 and
 the diameter halves to ``floor(N / 2)``.  The paper uses bidirectional
 channels; messages take the shorter way around.
+
+The ring is the smallest Cayley graph in the zoo: the cyclic group
+``Z_n`` with connection set ``{+1, -1}`` — i.e. a
+:class:`~repro.arch.cayley.Circulant` with the single step ``1``.
 """
 
 from __future__ import annotations
 
+from repro.arch.cayley import Circulant
 from repro.arch.comm import CommModel
-from repro.arch.topology import Architecture
 from repro.errors import ArchitectureError
 
 __all__ = ["Ring"]
 
 
-class Ring(Architecture):
+class Ring(Circulant):
     """A bidirectional ring of ``num_pes`` processors (``num_pes >= 3``;
     a 2-ring would duplicate its single link)."""
 
     def __init__(self, num_pes: int, *, comm_model: CommModel | None = None):
         if num_pes < 3:
             raise ArchitectureError(f"a ring needs >= 3 PEs, got {num_pes}")
-        links = [(i, (i + 1) % num_pes) for i in range(num_pes)]
         super().__init__(
             num_pes,
-            links,
-            name=f"ring{num_pes}",
+            steps=(1,),
             comm_model=comm_model,
+            name=f"ring{num_pes}",
         )

@@ -83,7 +83,12 @@ import time
 from typing import Sequence
 
 from repro.analysis import format_cells, format_table11, run_cell, run_grid
-from repro.arch import ARCHITECTURE_KINDS, make_architecture, paper_architectures
+from repro.arch import (
+    ARCHITECTURE_KINDS,
+    CONTENTION_MODELS,
+    make_architecture,
+    paper_architectures,
+)
 from repro.baselines import schedule_bounds
 from repro.codegen import generate_program
 from repro.core import CycloConfig, cyclo_compact, optimize
@@ -159,6 +164,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_sched.add_argument(
         "--restart-seed", type=int, default=0, metavar="SEED",
         help="seed for the per-restart priority jitter",
+    )
+    p_sched.add_argument(
+        "--contention",
+        choices=sorted(CONTENTION_MODELS),
+        default=None,
+        help="contention model for the two-phase contention-aware "
+             "pipeline (default: contention-free pricing, the paper's "
+             "multiple-channel assumption)",
+    )
+    p_sched.add_argument(
+        "--contention-weight", type=int, default=1, metavar="W",
+        help="per-unit-load surcharge weight of the contention model",
+    )
+    p_sched.add_argument(
+        "--contention-rounds", type=int, default=2, metavar="R",
+        help="reprice-and-reschedule rounds of the contention pipeline",
     )
 
     p_code = sub.add_parser(
@@ -777,18 +798,41 @@ class _RestartResultView:
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
     graph, arch = _make_pair(args)
+    contention = args.contention if args.contention != "none" else None
     cfg = CycloConfig(
         relaxation=not args.no_relax,
         max_iterations=args.iterations,
         pipelined_pes=args.pipelined,
         validate_each_step=False,
+        contention_model=contention,
+        contention_weight=args.contention_weight,
+        contention_rounds=args.contention_rounds,
     )
     if args.restarts > 1 and args.refine:
         raise ReproError("--refine cannot be combined with --restarts")
+    if contention is not None and (args.restarts > 1 or args.refine):
+        raise ReproError(
+            "--contention cannot be combined with --restarts or --refine"
+        )
     report = None
+    contended = None
     session = _obs_session(args)
     try:
-        if args.restarts > 1:
+        if contention is not None:
+            from repro.core import contention_aware_schedule
+
+            contended = contention_aware_schedule(graph, arch, config=cfg)
+            winner = (
+                contended.blind if contended.comm is None else contended.aware
+            )
+            result = _RestartResultView(
+                graph=contended.graph,
+                schedule=contended.schedule,
+                initial_length=contended.initial_length,
+                final_length=contended.final_length,
+                stop_reason=winner.stop_reason,
+            )
+        elif args.restarts > 1:
             from repro.perf import best_of_restarts
 
             report = best_of_restarts(
@@ -818,6 +862,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             final_violations = collect_violations(
                 result.graph, arch, result.schedule,
                 pipelined_pes=args.pipelined,
+                comm=contended.comm if contended is not None else None,
             )
             if final_violations:  # pragma: no cover - defensive
                 print("warning: final schedule is illegal:", file=sys.stderr)
@@ -842,6 +887,16 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     print(f"{graph.name} on {arch.name}: "
           f"{result.initial_length} -> {result.final_length} control steps "
           f"(lower bound {bounds.lower}, sequential {bounds.sequential})")
+    if contended is not None:
+        rounds = len(contended.round_costs) - 1
+        winner_name = (
+            "blind baseline" if contended.comm is None
+            else "contention-aware"
+        )
+        print(f"contention ({contended.model.name}, weight "
+              f"{args.contention_weight}, {rounds} round(s)): "
+              f"blind bill {contended.blind_cost} -> winner bill "
+              f"{contended.final_cost} ({winner_name})")
     if report is not None:
         print(f"best of {report.restarts} restarts "
               f"(seed {report.seed}, {report.stages} stages): "

@@ -12,7 +12,12 @@ from repro.core.anticipation import anticipated_start, latest_finish
 from repro.core.config import CycloConfig
 from repro.core.cyclo import CycloResult, cyclo_compact
 from repro.core.mobility import mobility, mobility_map
-from repro.core.pipeline import OptimizeResult, optimize
+from repro.core.pipeline import (
+    ContentionResult,
+    OptimizeResult,
+    contention_aware_schedule,
+    optimize,
+)
 from repro.core.priority import (
     PriorityFn,
     fifo_priority,
@@ -29,6 +34,7 @@ from repro.core.trace import CompactionTrace, IterationRecord
 
 __all__ = [
     "CompactionTrace",
+    "ContentionResult",
     "CycloConfig",
     "CycloResult",
     "IterationRecord",
@@ -37,6 +43,7 @@ __all__ = [
     "RefineResult",
     "RemapOutcome",
     "anticipated_start",
+    "contention_aware_schedule",
     "cyclo_compact",
     "fifo_priority",
     "latest_finish",

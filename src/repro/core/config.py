@@ -4,6 +4,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.arch.comm import (
+    CONTENTION_MODELS,
+    ContentionModel,
+    make_contention_model,
+)
 from repro.errors import SchedulingError
 
 __all__ = ["CycloConfig"]
@@ -63,6 +68,20 @@ class CycloConfig:
         suite); disable only to benchmark against the reference
         behaviour.  With ``validate_each_step`` on, every pass
         cross-checks the incremental PSL against the full rescan.
+    contention_model:
+        Opt-in contention-aware pricing for the two-phase pipeline
+        (``contention_aware_schedule``): ``None`` (default) keeps the
+        paper's contention-free model — every baseline bit-identical —
+        while ``"serialized"`` / ``"scaled"`` name a
+        :class:`~repro.arch.comm.ContentionModel` that charges
+        transfers for the traffic already queued on their route.
+    contention_weight:
+        Control steps charged per queued data unit by the chosen
+        contention model.
+    contention_rounds:
+        Reprice-and-reschedule rounds of the two-phase pipeline (each
+        round freezes the previous schedule's link occupancy and
+        re-runs compaction under the surcharged prices).
     """
 
     relaxation: bool = True
@@ -74,6 +93,9 @@ class CycloConfig:
     deadline_seconds: float | None = None
     recover_on_error: bool = False
     fast_path: bool = True
+    contention_model: str | None = None
+    contention_weight: int = 1
+    contention_rounds: int = 2
 
     def __post_init__(self) -> None:
         if self.max_iterations is not None and self.max_iterations < 0:
@@ -91,6 +113,30 @@ class CycloConfig:
             raise SchedulingError(
                 f"deadline_seconds must be >= 0, got {self.deadline_seconds}"
             )
+        if (
+            self.contention_model is not None
+            and self.contention_model not in CONTENTION_MODELS
+        ):
+            raise SchedulingError(
+                f"contention_model must be None or one of "
+                f"{sorted(CONTENTION_MODELS)}, got {self.contention_model!r}"
+            )
+        if self.contention_weight < 1:
+            raise SchedulingError(
+                f"contention_weight must be >= 1, got {self.contention_weight}"
+            )
+        if self.contention_rounds < 1:
+            raise SchedulingError(
+                f"contention_rounds must be >= 1, got {self.contention_rounds}"
+            )
+
+    def resolve_contention(self) -> ContentionModel | None:
+        """Materialise the configured contention model (``None`` = off)."""
+        if self.contention_model is None:
+            return None
+        return make_contention_model(
+            self.contention_model, weight=self.contention_weight
+        )
 
     def iterations_for(self, num_nodes: int) -> int:
         """Resolve ``max_iterations`` for a graph of ``num_nodes``."""
@@ -110,6 +156,9 @@ class CycloConfig:
             "deadline_seconds": self.deadline_seconds,
             "recover_on_error": self.recover_on_error,
             "fast_path": self.fast_path,
+            "contention_model": self.contention_model,
+            "contention_weight": self.contention_weight,
+            "contention_rounds": self.contention_rounds,
         }
 
     @classmethod

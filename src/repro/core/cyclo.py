@@ -195,6 +195,7 @@ def cyclo_compact(
     *,
     config: CycloConfig | None = None,
     initial: ScheduleTable | None = None,
+    comm: CommCostCache | None = None,
 ) -> CycloResult:
     """Run cyclo-compaction scheduling of ``graph`` on ``arch``.
 
@@ -206,6 +207,14 @@ def cyclo_compact(
     initial:
         Optional starting schedule (defaults to the paper's start-up
         schedule).  It must be legal for ``graph`` on ``arch``.
+    comm:
+        Optional pre-built :class:`CommCostCache` pricing this run —
+        the hook the contention-aware pipeline uses to schedule under
+        surcharged (frozen-occupancy) prices.  Defaults to the plain
+        contention-free cache when ``cfg.fast_path`` is on.  Every
+        in-run consumer (start-up, remapping, PSL, validation) prices
+        through it, so the returned schedule is legal w.r.t. exactly
+        this cache's cost function.
 
     The input graph is copied, never mutated.
     """
@@ -213,7 +222,8 @@ def cyclo_compact(
     with span("cyclo_compact", workload=graph.name, arch=arch.name) as sp:
         # edge volumes are copy- and retiming-invariant, so one cache
         # built from the input graph serves the whole run
-        comm = CommCostCache.for_graph(arch, graph) if cfg.fast_path else None
+        if comm is None:
+            comm = CommCostCache.for_graph(arch, graph) if cfg.fast_path else None
         state = _initial_state(graph, arch, cfg, initial, comm=comm)
         result = _run_passes(state, graph, arch, cfg, comm=comm)
         sp.add(

@@ -17,15 +17,28 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.arch.cache import CommCostCache
+from repro.arch.comm import ContentionModel
+from repro.arch.contention import (
+    ContendedCostReport,
+    LinkOccupancy,
+    contended_cost,
+)
 from repro.arch.topology import Architecture
 from repro.core.config import CycloConfig
-from repro.core.cyclo import cyclo_compact
+from repro.core.cyclo import CycloResult, cyclo_compact
 from repro.core.refine import refine_schedule
+from repro.errors import SchedulingError
 from repro.graph.csdfg import CSDFG, Node
 from repro.retiming.basic import compose_retimings
 from repro.schedule.table import ScheduleTable
 
-__all__ = ["OptimizeResult", "optimize"]
+__all__ = [
+    "OptimizeResult",
+    "optimize",
+    "ContentionResult",
+    "contention_aware_schedule",
+]
 
 
 @dataclass
@@ -113,4 +126,158 @@ def optimize(
         retiming=cumulative,
         initial_length=initial_length,
         round_lengths=round_lengths,
+    )
+
+
+@dataclass
+class ContentionResult:
+    """Outcome of :func:`contention_aware_schedule`.
+
+    Attributes
+    ----------
+    schedule, graph, retiming:
+        The winning schedule (lowest contended communication bill),
+        its retimed graph and the cumulative retiming.
+    comm:
+        The frozen-occupancy :class:`CommCostCache` the winner was
+        scheduled and validated under (``None`` when the
+        contention-blind baseline won: it was priced contention-free).
+    model:
+        The contention model all candidates were evaluated with.
+    blind, aware:
+        The contention-blind baseline run and the winning
+        contention-aware run (``None`` if no aware round improved).
+    blind_report, final_report:
+        Contended re-pricing of the baseline and of the winner (see
+        :func:`repro.arch.contention.contended_cost`); the pipeline
+        minimises ``contended_cost`` and never returns a schedule with
+        a higher bill than the baseline.
+    round_costs:
+        Contended communication bill after the baseline and after each
+        aware round, in order.
+    """
+
+    schedule: ScheduleTable
+    graph: CSDFG
+    retiming: dict[Node, int]
+    comm: CommCostCache | None
+    model: ContentionModel
+    blind: CycloResult
+    aware: CycloResult | None
+    blind_report: ContendedCostReport
+    final_report: ContendedCostReport
+    round_costs: list[int] = field(default_factory=list)
+
+    @property
+    def initial_length(self) -> int:
+        return self.blind.initial_length
+
+    @property
+    def final_length(self) -> int:
+        return self.schedule.length
+
+    @property
+    def blind_cost(self) -> int:
+        """Contended bill of the contention-blind baseline."""
+        return self.blind_report.contended_cost
+
+    @property
+    def final_cost(self) -> int:
+        """Contended bill of the returned schedule."""
+        return self.final_report.contended_cost
+
+
+def contention_aware_schedule(
+    graph: CSDFG,
+    arch: Architecture,
+    *,
+    config: CycloConfig | None = None,
+    model: ContentionModel | None = None,
+    rounds: int | None = None,
+) -> ContentionResult:
+    """Two-phase contention-sensitive scheduling.
+
+    Phase one runs the paper's contention-blind cyclo-compaction.
+    Phase two freezes the resulting assignment's link occupancy
+    (:class:`~repro.arch.contention.LinkOccupancy`), rebuilds the comm
+    cache with the surcharged prices and re-runs compaction under them
+    — transfers routed through congested links now look expensive, so
+    the remapper is steered away from the hotspots it created.  The
+    reprice-and-reschedule step repeats up to ``rounds`` times (the
+    occupancy snapshot refreshed from the latest schedule each round,
+    stopping early at an occupancy fixpoint), and the schedule with
+    the lowest *contended* communication bill wins; the blind baseline
+    competes too, so the result is never worse than ignoring
+    contention.
+
+    ``model`` defaults to ``config.resolve_contention()`` and must be
+    non-``None`` one way or the other; ``rounds`` defaults to
+    ``config.contention_rounds``.  Every candidate is scheduled against
+    a frozen price snapshot, so within each run the engine's legality
+    guarantees hold verbatim — the winner is validator-legal under the
+    returned ``comm`` cache.
+    """
+    cfg = config if config is not None else CycloConfig(validate_each_step=False)
+    if model is None:
+        model = cfg.resolve_contention()
+    if model is None:
+        raise SchedulingError(
+            "contention_aware_schedule needs a contention model: pass "
+            "model= or set config.contention_model"
+        )
+    num_rounds = rounds if rounds is not None else cfg.contention_rounds
+
+    blind = cyclo_compact(graph, arch, config=cfg)
+    blind_report = contended_cost(
+        blind.graph, arch, blind.schedule.processor_map(), model
+    )
+
+    best_cost = blind_report.contended_cost
+    best_report = blind_report
+    best_run: CycloResult = blind
+    best_comm: CommCostCache | None = None
+    best_aware: CycloResult | None = None
+    round_costs = [blind_report.contended_cost]
+
+    occ = LinkOccupancy.from_assignment(
+        blind.graph, arch, blind.schedule.processor_map()
+    )
+    for _ in range(num_rounds):
+        comm = CommCostCache.for_graph(
+            arch, graph, contention=model, occupancy=occ
+        )
+        aware = cyclo_compact(graph, arch, config=cfg, comm=comm)
+        report = contended_cost(
+            aware.graph, arch, aware.schedule.processor_map(), model
+        )
+        round_costs.append(report.contended_cost)
+        # primary objective: the contended communication bill; equal
+        # bills fall back to the paper's objective, schedule length
+        if (report.contended_cost, aware.schedule.length) < (
+            best_cost,
+            best_run.schedule.length,
+        ):
+            best_cost = report.contended_cost
+            best_report = report
+            best_run = aware
+            best_comm = comm
+            best_aware = aware
+        next_occ = LinkOccupancy.from_assignment(
+            aware.graph, arch, aware.schedule.processor_map()
+        )
+        if next_occ.loads == occ.loads:
+            break  # repricing fixpoint: the next round would repeat
+        occ = next_occ
+
+    return ContentionResult(
+        schedule=best_run.schedule,
+        graph=best_run.graph,
+        retiming=dict(best_run.retiming),
+        comm=best_comm,
+        model=model,
+        blind=blind,
+        aware=best_aware,
+        blind_report=blind_report,
+        final_report=best_report,
+        round_costs=round_costs,
     )

@@ -13,8 +13,8 @@ changes are judged on how they scale, not just on small-graph latency.
 Cells are independent, so :func:`run_scale_matrix` shards them across
 :func:`repro.perf.run_parallel` workers; measurements are taken inside
 the worker, history is written by the parent (the history store is a
-single-writer design).  ``quick=True`` trims to the first cell — the
-CI ``scale-smoke`` job's mode.
+single-writer design).  ``quick=True`` trims to the first cell plus
+the contended Cayley cell — the CI ``scale-smoke`` job's mode.
 
 The per-cell pass budgets are part of the matrix: large cells run
 fewer passes so one full matrix stays in tens of seconds, and
@@ -49,7 +49,13 @@ __all__ = [
 @dataclass(frozen=True)
 class ScaleCell:
     """One scale-tier measurement: an exact-size family instance on a
-    fixed machine with a pinned pass budget."""
+    fixed machine with a pinned pass budget.
+
+    ``contention`` > 0 switches the cell to the two-phase
+    contention-aware pipeline (serialised-link model at that weight,
+    one reprice round), so the tier also pins the cost of occupancy-
+    surcharged comm-cache rows at the thousand-node scale.
+    """
 
     family: str
     size: int
@@ -57,23 +63,31 @@ class ScaleCell:
     num_pes: int
     passes: int
     seed: int = 11
+    contention: int = 0
 
     @property
     def label(self) -> str:
-        return f"{self.family}-{self.size}@{self.arch_kind}{self.num_pes}"
+        suffix = f"+c{self.contention}" if self.contention else ""
+        return (
+            f"{self.family}-{self.size}"
+            f"@{self.arch_kind}{self.num_pes}{suffix}"
+        )
 
 
 #: The pinned scale cells: four structural families, four sizes
-#: (1k/2k/5k/10k nodes), five topology kinds, one wide (64-PE)
-#: machine to exercise the batched per-PE fold kernels.  Pass budgets
-#: keep one full matrix under ~10 s while every cell still accepts
-#: multiple compaction passes.
+#: (1k/2k/5k/10k nodes), six topology kinds, one wide (64-PE)
+#: machine to exercise the batched per-PE fold kernels, plus one
+#: contended Cayley cell (circulant machine, serialised links) that
+#: runs the two-phase pipeline.  Pass budgets keep one full matrix
+#: under ~10 s while every cell still accepts multiple compaction
+#: passes.
 SCALE_MATRIX: tuple[ScaleCell, ...] = (
     ScaleCell("layered", 1000, "mesh", 16, 40),
     ScaleCell("fork-join", 2000, "hypercube", 16, 12),
     ScaleCell("ring", 5000, "torus", 16, 10),
     ScaleCell("chain", 10000, "ring", 16, 6),
     ScaleCell("layered", 1000, "complete", 64, 25),
+    ScaleCell("layered", 1000, "circulant", 16, 12, contention=2),
 )
 
 
@@ -85,17 +99,33 @@ def run_scale_cell(cell: ScaleCell) -> dict:
     parent needs to write history and the benchmark report.
     """
     from repro.arch import make_architecture
-    from repro.core import CycloConfig, cyclo_compact
+    from repro.core import CycloConfig, contention_aware_schedule, cyclo_compact
     from repro.qa import sample_sized_graph
 
     graph = sample_sized_graph(cell.family, cell.size, seed=cell.seed)
     arch = make_architecture(cell.arch_kind, cell.num_pes)
-    cfg = CycloConfig(max_iterations=cell.passes, validate_each_step=False)
+    cfg = CycloConfig(
+        max_iterations=cell.passes,
+        validate_each_step=False,
+        contention_model="serialized" if cell.contention else None,
+        contention_weight=cell.contention if cell.contention else 1,
+        contention_rounds=1,
+    )
     sink = InMemorySink()
     metrics_mod.reset()
+    extra: dict = {}
     with sink_installed(sink):
         started = time.perf_counter()
-        result = cyclo_compact(graph, arch, config=cfg)
+        if cell.contention:
+            contended = contention_aware_schedule(graph, arch, config=cfg)
+            result = contended.blind if contended.comm is None else contended.aware
+            extra = {
+                "contention": cell.contention,
+                "blind_cost": contended.blind_cost,
+                "final_cost": contended.final_cost,
+            }
+        else:
+            result = cyclo_compact(graph, arch, config=cfg)
         duration = time.perf_counter() - started
     counters = REGISTRY.snapshot()["counters"]
     metrics_mod.reset()
@@ -114,6 +144,7 @@ def run_scale_cell(cell: ScaleCell) -> dict:
         "stop_reason": result.stop_reason,
         "phases": phase_totals(sink.events),
         "counters": counters,
+        **extra,
     }
 
 
@@ -140,11 +171,15 @@ def run_scale_matrix(
     Returns ``(rows, records)`` in matrix order — ``rows`` are the
     per-cell measurement dicts from :func:`run_scale_cell`, ``records``
     the appended history records (empty when ``history_dir`` is None).
-    ``quick=True`` keeps only the first cell (CI smoke mode);``jobs``
-    shards cells across worker processes without changing any measured
-    cell (each worker times only its own cell).
+    ``quick=True`` keeps the first cell plus every contended cell (CI
+    smoke mode: one blind baseline and one contention-aware pipeline
+    run); ``jobs`` shards cells across worker processes without
+    changing any measured cell (each worker times only its own cell).
     """
-    cells = list(matrix[:1] if quick else matrix)
+    if quick:
+        cells = list(matrix[:1]) + [c for c in matrix[1:] if c.contention]
+    else:
+        cells = list(matrix)
     rows = run_parallel(run_scale_cell, cells, jobs=jobs)
     records: list[RunRecord] = []
     if history_dir is not None:

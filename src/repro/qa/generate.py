@@ -74,6 +74,10 @@ _VALID_PE_COUNTS: dict[str, tuple[int, ...]] = {
     "hypercube": (2, 4, 8),
     "star": (2, 3, 4, 5, 6, 8),
     "tree": (3, 7, 15),
+    "circulant": (4, 5, 6, 8),
+    "cayley-star": (2, 6, 24),
+    "cayley-bubble": (2, 6, 24),
+    "pancake": (2, 6, 24),
 }
 
 
@@ -341,7 +345,7 @@ def sample_arch_spec(
     sizes = [n for n in _VALID_PE_COUNTS[kind] if n <= max_pes]
     if not sizes:
         # some kinds have a floor above max_pes (tori start at 3x3):
-        # sample their smallest valid machine so all 8 kinds stay covered
+        # sample their smallest valid machine so every kind stays covered
         sizes = [min(_VALID_PE_COUNTS[kind])]
     num_pes = rng.choice(sizes)
     spec = ArchSpec(kind, num_pes)

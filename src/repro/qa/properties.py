@@ -51,6 +51,13 @@ workloads:
     anticipation folds, on data derived from the sampled graph and
     architecture (including degraded rows holding ``None``).  Vacuous
     when only one backend is importable.
+``contention-legal``
+    The two-phase contention pipeline
+    (:func:`repro.core.pipeline.contention_aware_schedule`) with a
+    sampled contention model: the winner validates under the contended
+    cache it carries, the DESIGN criterion holds with ``M`` re-derived
+    independently from hops x cost model x frozen occupancy, and the
+    contended bill never exceeds the contention-blind baseline's.
 """
 
 from __future__ import annotations
@@ -60,12 +67,20 @@ import random
 from fractions import Fraction
 from typing import Callable
 
+from repro.arch.comm import (
+    ContentionModel,
+    ScaledContention,
+    SerializedContention,
+)
+from repro.arch.contention import LinkOccupancy
+from repro.arch.routing import route as _route
 from repro.arch.topology import Architecture
 from repro.baselines.etf import etf_schedule
 from repro.baselines.exact import exact_minimum_length
 from repro.baselines.sequential import sequential_schedule
 from repro.core.config import CycloConfig
 from repro.core.cyclo import CycloResult, cyclo_compact
+from repro.core.pipeline import contention_aware_schedule
 from repro.errors import QAError, SchedulingError
 from repro.graph.csdfg import CSDFG
 from repro.graph.properties import iteration_bound
@@ -598,6 +613,98 @@ def prop_kernels_agree(
     return problems
 
 
+def contended_design_criterion_violations(
+    graph: CSDFG,
+    arch: Architecture,
+    schedule: ScheduleTable,
+    model: ContentionModel,
+    occupancy: LinkOccupancy | None,
+) -> list[str]:
+    """The DESIGN criterion under contended pricing, re-derived
+    independently of the cache: ``M = price(base, load)`` with ``base``
+    straight from ``arch.hops`` x the cost model and ``load`` read off
+    the frozen occupancy's per-link ledger along the deterministic
+    route.  ``occupancy=None`` degrades to the contention-free oracle.
+    """
+    if occupancy is None:
+        return design_criterion_violations(graph, arch, schedule)
+    loads = occupancy.loads
+    problems: list[str] = []
+    L = schedule.length
+    for edge in graph.edges():
+        if edge.src not in schedule or edge.dst not in schedule:
+            problems.append(
+                f"edge ({edge.src!r}, {edge.dst!r}): endpoint unscheduled"
+            )
+            continue
+        pu = schedule.placement(edge.src)
+        pv = schedule.placement(edge.dst)
+        cb_v = pv.start
+        ce_u = pu.start + pu.duration - 1
+        base = arch.comm_model.cost(arch.hops(pu.pe, pv.pe), edge.volume)  # repro-lint: disable=RL103 (independent oracle)
+        if base == 0:
+            m = 0
+        else:
+            path = _route(arch, pu.pe, pv.pe)
+            load = max(
+                (
+                    loads.get((min(a, b), max(a, b)), 0)
+                    for a, b in zip(path, path[1:])
+                ),
+                default=0,
+            )
+            m = model.price(base, load)
+        if cb_v + edge.delay * L < ce_u + m + 1:
+            problems.append(
+                f"contended design criterion: CB({edge.dst!r})={cb_v} + "
+                f"{edge.delay}*{L} < CE({edge.src!r})={ce_u} + M={m} + 1"
+            )
+    return problems
+
+
+def prop_contention_legal(
+    graph: CSDFG,
+    arch: Architecture,
+    cfg: CycloConfig,
+    rng: random.Random,
+) -> list[str]:
+    """Contention-aware scheduling stays legal and never loses to the
+    contention-blind baseline on its own metric."""
+    if rng.random() < 0.7:
+        model = SerializedContention(weight=1 + rng.randrange(3))
+    else:
+        model = ScaledContention(weight=1 + rng.randrange(8))
+    result = contention_aware_schedule(
+        graph, arch, config=cfg, model=model, rounds=1
+    )
+    problems: list[str] = []
+
+    # the winner must validate under exactly the pricing it carries
+    for violation in collect_violations(
+        result.graph,
+        arch,
+        result.schedule,
+        pipelined_pes=cfg.pipelined_pes,
+        comm=result.comm,
+    ):
+        problems.append(f"[{model.name}] contended validator: {violation}")
+
+    # DESIGN criterion with M re-derived independently of the cache
+    occupancy = result.comm.occupancy if result.comm is not None else None
+    for violation in contended_design_criterion_violations(
+        result.graph, arch, result.schedule, model, occupancy
+    ):
+        problems.append(f"[{model.name}] {violation}")
+
+    # the baseline competes, so the winner can never bill higher
+    if result.final_cost > result.blind_cost:
+        problems.append(
+            f"[{model.name}] contended bill regressed: aware winner costs "
+            f"{result.final_cost}, blind baseline {result.blind_cost}"
+        )
+    return problems
+
+
 #: Registry of every property, in the order the fuzzer runs them.
 PROPERTIES: dict[str, PropertyFn] = {
     "schedules-legal": prop_schedules_legal,
@@ -609,6 +716,7 @@ PROPERTIES: dict[str, PropertyFn] = {
     "bounds": prop_bounds,
     "analyzer-agrees": prop_analyzer_agrees,
     "kernels-agree": prop_kernels_agree,
+    "contention-legal": prop_contention_legal,
 }
 
 

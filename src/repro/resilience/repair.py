@@ -29,6 +29,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.arch.cache import CommCostCache
+from repro.arch.comm import ContentionModel
+from repro.arch.contention import LinkOccupancy
 from repro.arch.degraded import DegradedTopology
 from repro.arch.topology import Architecture
 from repro.core.config import CycloConfig
@@ -74,6 +77,13 @@ class RepairResult:
         fallback).
     rounds:
         Evacuation rounds the local repair needed.
+    comm:
+        When repairing under a contention model, the contended
+        :class:`CommCostCache` the repaired schedule was priced *and*
+        validated against — the frozen occupancy snapshot the repair
+        steered by, on the degraded machine, so rerouted hops carry
+        the congestion surcharge of the traffic that shares the
+        surviving links.  ``None`` for contention-free repairs.
     """
 
     schedule: ScheduleTable
@@ -84,6 +94,7 @@ class RepairResult:
     repaired_length: int = 0
     strategy: str = "local"
     rounds: int = 0
+    comm: CommCostCache | None = None
 
     @property
     def regression(self) -> float:
@@ -123,6 +134,7 @@ def repair_schedule(
     max_rounds: int = 4,
     pipelined_pes: bool = False,
     reoptimize_config: CycloConfig | None = None,
+    contention: ContentionModel | None = None,
 ) -> RepairResult:
     """Repair ``schedule`` after ``faults``, or raise a typed error.
 
@@ -130,6 +142,16 @@ def repair_schedule(
     already-built :class:`DegradedTopology`.  The result's schedule
     always passes ``collect_violations`` on the degraded machine —
     that check runs inside this function, unconditionally.
+
+    With ``contention`` set, every legality check and remap prices
+    communication through a contended cache whose link-occupancy
+    snapshot is frozen from the surviving placements at the start of
+    each repair round: hops rerouted around the failures are charged
+    for the traffic that shares the surviving links, not the stale
+    contention-free rows of the healthy machine.  The final validation
+    runs under the same frozen cache the repair was priced with
+    (returned as ``result.comm``) — the two-phase freeze-then-certify
+    contract of ``contention_aware_schedule``.
 
     Raises
     ------
@@ -155,6 +177,7 @@ def repair_schedule(
             max_rounds=max_rounds,
             pipelined_pes=pipelined_pes,
             reoptimize_config=reoptimize_config,
+            contention=contention,
         )
         metrics.inc("resilience.repair.calls")
         metrics.inc(f"resilience.repair.{result.strategy}")
@@ -180,6 +203,7 @@ def _repair(
     max_rounds: int,
     pipelined_pes: bool,
     reoptimize_config: CycloConfig | None,
+    contention: ContentionModel | None = None,
 ) -> RepairResult:
     original_length = schedule.length
     local = _local_repair(
@@ -188,6 +212,7 @@ def _repair(
         schedule,
         max_rounds=max_rounds,
         pipelined_pes=pipelined_pes,
+        contention=contention,
     )
     if local is not None:
         local.original_length = original_length
@@ -202,7 +227,11 @@ def _repair(
         metrics.inc("resilience.repair.regression_fallbacks")
 
     reopt = _reoptimize(
-        graph, degraded, pipelined_pes=pipelined_pes, config=reoptimize_config
+        graph,
+        degraded,
+        pipelined_pes=pipelined_pes,
+        config=reoptimize_config,
+        contention=contention,
     )
     if reopt is None and local is None:
         raise InfeasibleScheduleError(
@@ -214,7 +243,7 @@ def _repair(
     if reopt is not None and (
         local is None or reopt[0].length < local.schedule.length
     ):
-        reopt_schedule, reopt_graph = reopt
+        reopt_schedule, reopt_graph, reopt_comm = reopt
         moved = {
             node: (
                 reopt_schedule.placement(node).pe,
@@ -235,9 +264,35 @@ def _repair(
             original_length=original_length,
             repaired_length=reopt_schedule.length,
             strategy="reoptimized",
+            comm=reopt_comm,
         )
     assert local is not None
     return local
+
+
+def _contended_cache(
+    graph: CSDFG,
+    degraded: DegradedTopology,
+    schedule: ScheduleTable,
+    contention: ContentionModel | None,
+) -> CommCostCache | None:
+    """Contended pricing frozen from the schedule's current placements.
+
+    Only survivors count: nodes stranded on dead PEs (or not placed at
+    all) contribute no occupancy — their traffic is exactly what the
+    repair is about to move.  ``None`` when repairing contention-free.
+    """
+    if contention is None:
+        return None
+    assignment = {}
+    for node in schedule.nodes():
+        pe = schedule.placement(node).pe
+        if pe < degraded.num_pes and degraded.is_alive(pe):
+            assignment[node] = pe
+    occupancy = LinkOccupancy.from_assignment(graph, degraded, assignment)
+    return CommCostCache.for_graph(
+        degraded, graph, contention=contention, occupancy=occupancy
+    )
 
 
 def _local_repair(
@@ -247,6 +302,7 @@ def _local_repair(
     *,
     max_rounds: int,
     pipelined_pes: bool,
+    contention: ContentionModel | None = None,
 ) -> RepairResult | None:
     """Evacuate-and-remap repair; ``None`` when escalation gives up."""
     repaired = schedule.copy(name=f"{schedule.name}:repaired")
@@ -256,8 +312,9 @@ def _local_repair(
         if repaired.placement(node).pe >= degraded.num_pes
         or not degraded.is_alive(repaired.placement(node).pe)
     }
+    comm = _contended_cache(graph, degraded, repaired, contention)
     broken = _violated_edges(
-        graph, degraded, repaired, pipelined_pes=pipelined_pes
+        graph, degraded, repaired, pipelined_pes=pipelined_pes, comm=comm
     )
     # zero-delay edges broken by re-routing cannot be padded away: their
     # consumers must move too; delayed edges pad via the implied length
@@ -265,11 +322,15 @@ def _local_repair(
     if not evacuate and not broken:
         # the fault missed this schedule entirely (e.g. an unused link)
         if collect_violations(
-            graph, degraded, repaired, pipelined_pes=pipelined_pes
+            graph, degraded, repaired, pipelined_pes=pipelined_pes, comm=comm
         ):  # pragma: no cover - defensive, _violated_edges covers edges
             return None
         return RepairResult(
-            schedule=repaired, graph=graph, degraded=degraded, strategy="noop"
+            schedule=repaired,
+            graph=graph,
+            degraded=degraded,
+            strategy="noop",
+            comm=comm,
         )
 
     moved: dict[Node, tuple[int, int]] = {}
@@ -277,6 +338,10 @@ def _local_repair(
         for node in evacuate:
             if node in repaired:
                 repaired.remove(node)
+        # price the remap against the survivors' occupancy: the
+        # evacuees are unplaced, so their traffic no longer pins the
+        # links it used before the fault
+        comm = _contended_cache(graph, degraded, repaired, contention)
         outcome = remap_nodes(
             graph,
             degraded,
@@ -285,6 +350,7 @@ def _local_repair(
             previous_length=max(repaired.length, 1),
             relaxation=True,
             pipelined_pes=pipelined_pes,
+            comm=comm,
         )
         if not outcome.accepted:
             # some evacuated node has no admissible slot against its
@@ -297,27 +363,35 @@ def _local_repair(
             continue
         moved.update(outcome.placements)
 
+        # legality is certified under the same frozen snapshot the
+        # remap was priced with (the two-phase contract): re-freezing
+        # from the post-remap placements could demand a schedule that
+        # accommodates congestion it was never charged for, which is
+        # unsatisfiable when a zero-delay edge crosses a link the
+        # repair itself loaded
         bad_edges = _violated_edges(
-            graph, degraded, repaired, pipelined_pes=pipelined_pes
+            graph, degraded, repaired, pipelined_pes=pipelined_pes, comm=comm
         )
         if bad_edges:
             # delayed-edge violations pad away; zero-delay ones cannot
             feasible_length = minimum_feasible_length(
-                graph, degraded, repaired, pipelined_pes=pipelined_pes
+                graph, degraded, repaired, pipelined_pes=pipelined_pes,
+                comm=comm,
             )
             if feasible_length is not None:
                 repaired.set_length(max(feasible_length, repaired.length))
                 bad_edges = _violated_edges(
-                    graph, degraded, repaired, pipelined_pes=pipelined_pes
+                    graph, degraded, repaired, pipelined_pes=pipelined_pes,
+                    comm=comm,
                 )
         if bad_edges:
             evacuate = evacuate | {e.dst for e in bad_edges}
             continue
 
         violations = collect_violations(
-            graph, degraded, repaired, pipelined_pes=pipelined_pes
+            graph, degraded, repaired, pipelined_pes=pipelined_pes, comm=comm
         )
-        if violations:  # pragma: no cover - internal invariant
+        if violations:
             metrics.inc("resilience.repair.local_failures")
             return None
         return RepairResult(
@@ -327,6 +401,7 @@ def _local_repair(
             moved=moved,
             strategy="local",
             rounds=round_index,
+            comm=comm,
         )
     metrics.inc("resilience.repair.local_failures")
     return None
@@ -354,10 +429,14 @@ def _violated_edges(
     schedule: ScheduleTable,
     *,
     pipelined_pes: bool = False,
+    comm: CommCostCache | None = None,
 ) -> list:
     """Edges whose dependence inequality fails on ``degraded`` (both
-    endpoints placed on alive PEs; others are someone else's problem)."""
+    endpoints placed on alive PEs; others are someone else's problem).
+    ``comm`` overrides the pricing (contended repair rounds pass the
+    re-frozen cache; the default is the contention-free cost)."""
     del pipelined_pes  # the dependence rule is identical for pipelined PEs
+    cost = comm.cost if comm is not None else degraded.comm_cost
     bad = []
     L = schedule.length
     for edge in graph.edges():
@@ -372,8 +451,8 @@ def _violated_edges(
             and degraded.is_alive(pv.pe)
         ):
             continue
-        comm = degraded.comm_cost(pu.pe, pv.pe, edge.volume)
-        if pv.start + edge.delay * L < pu.finish + comm + 1:
+        M = cost(pu.pe, pv.pe, edge.volume)
+        if pv.start + edge.delay * L < pu.finish + M + 1:
             bad.append(edge)
     return bad
 
@@ -384,10 +463,17 @@ def _reoptimize(
     *,
     pipelined_pes: bool,
     config: CycloConfig | None,
-) -> tuple[ScheduleTable, CSDFG] | None:
+    contention: ContentionModel | None = None,
+) -> tuple[ScheduleTable, CSDFG, CommCostCache | None] | None:
     """From-scratch cyclo-compaction on the surviving machine as
-    ``(schedule, matching retimed graph)``, or ``None`` when it cannot
-    produce a legal schedule."""
+    ``(schedule, matching retimed graph, contended cache)``, or
+    ``None`` when it cannot produce a legal schedule.
+
+    Under contention this is the two-phase flow in miniature: a blind
+    compaction seeds a frozen occupancy snapshot, a second compaction
+    runs under the surcharged cache, and the result is certified
+    against that same cache (delayed-edge shortfalls are absorbed by
+    padding to the contended :func:`minimum_feasible_length`)."""
     cfg = config if config is not None else CycloConfig(
         pipelined_pes=pipelined_pes, validate_each_step=False
     )
@@ -396,10 +482,38 @@ def _reoptimize(
     except ReproError:
         metrics.inc("resilience.repair.reoptimize_failures")
         return None
+    schedule = result.schedule
+    comm = _contended_cache(result.graph, degraded, schedule, contention)
+    if comm is not None:
+        # two-phase: freeze the blind run's occupancy, then compact
+        # again under the surcharged prices — the engine schedules
+        # against the contended cache, so the result is legal under it
+        # by construction
+        try:
+            aware = cyclo_compact(graph, degraded, config=cfg, comm=comm)
+        except ReproError:
+            metrics.inc("resilience.repair.reoptimize_failures")
+            return None
+        result = aware
+        schedule = aware.schedule
+        if collect_violations(
+            result.graph, degraded, schedule,
+            pipelined_pes=cfg.pipelined_pes, comm=comm,
+        ):
+            # delayed-edge shortfall under the carried prices: pad
+            feasible = minimum_feasible_length(
+                result.graph, degraded, schedule,
+                pipelined_pes=cfg.pipelined_pes, comm=comm,
+            )
+            if feasible is None:
+                metrics.inc("resilience.repair.reoptimize_failures")
+                return None
+            schedule = schedule.copy()
+            schedule.set_length(max(feasible, schedule.length))
     if collect_violations(
-        result.graph, degraded, result.schedule,
-        pipelined_pes=cfg.pipelined_pes,
-    ):  # pragma: no cover - cyclo_compact outputs are validated
+        result.graph, degraded, schedule,
+        pipelined_pes=cfg.pipelined_pes, comm=comm,
+    ):
         metrics.inc("resilience.repair.reoptimize_failures")
         return None
-    return result.schedule, result.graph
+    return schedule, result.graph, comm

@@ -56,9 +56,11 @@ def collect_violations(
     With ``pipelined_pes=True`` a processor only needs to be free at a
     task's *issue* control step (the paper's §2 pipelined PEs); the
     precedence/communication rules are unchanged (latency is still
-    ``t(v)``).  ``comm`` supplies precomputed communication costs (the
-    cache defers any miss back to ``arch.comm_cost``, so verdicts are
-    identical with or without it).
+    ``t(v)``).  ``comm`` supplies precomputed communication costs: a
+    plain cache defers any miss back to ``arch.comm_cost``, so verdicts
+    are identical with or without it, while a *contended* cache (one
+    built with a contention model and occupancy snapshot) certifies the
+    schedule against the surcharged prices instead.
     """
     with span("validate", nodes=graph.num_nodes) as validate_span:
         violations = _collect_violations(
@@ -164,11 +166,15 @@ def validate_schedule(
     schedule: ScheduleTable,
     *,
     pipelined_pes: bool = False,
+    comm: "CommCostCache | None" = None,
 ) -> None:
     """Raise :class:`ScheduleValidationError` when ``schedule`` is
-    illegal for ``graph`` on ``arch``."""
+    illegal for ``graph`` on ``arch``.
+
+    ``comm`` prices the precedence rule; pass a contended cache to
+    certify legality under contention-aware prices."""
     violations = collect_violations(
-        graph, arch, schedule, pipelined_pes=pipelined_pes
+        graph, arch, schedule, pipelined_pes=pipelined_pes, comm=comm
     )
     if violations:
         raise ScheduleValidationError(violations)
@@ -180,10 +186,11 @@ def is_valid_schedule(
     schedule: ScheduleTable,
     *,
     pipelined_pes: bool = False,
+    comm: "CommCostCache | None" = None,
 ) -> bool:
     """Boolean form of :func:`validate_schedule`."""
     return not collect_violations(
-        graph, arch, schedule, pipelined_pes=pipelined_pes
+        graph, arch, schedule, pipelined_pes=pipelined_pes, comm=comm
     )
 
 

@@ -84,6 +84,11 @@ class ContentionReport:
     max_lateness: int = 0
     late_messages: int = 0
     total_queueing: int = 0
+    #: Control steps each directed link spent carrying data.
+    link_busy: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: Waiting control steps attributable to each directed link (a
+    #: message blocked at a busy link charges the wait to that link).
+    link_queueing: dict[tuple[int, int], int] = field(default_factory=dict)
 
     @property
     def extra_length_needed(self) -> int:
@@ -93,6 +98,16 @@ class ContentionReport:
     def congestion_free(self) -> bool:
         """True when the multiple-channel assumption was harmless."""
         return self.max_lateness == 0
+
+    def hotspots(self, top: int = 3) -> list[tuple[tuple[int, int], int]]:
+        """Directed links that caused the most queueing, descending;
+        ties fall back to busy time then link id.  The empirical
+        counterpart of the static per-link loads in
+        :func:`repro.arch.contention.link_loads`."""
+        return sorted(
+            self.link_queueing.items(),
+            key=lambda kv: (-kv[1], -self.link_busy.get(kv[0], 0), kv[0]),
+        )[:top]
 
 
 def simulate_contended(
@@ -126,7 +141,14 @@ def simulate_contended(
         for a, b in zip(path, path[1:]):
             link = (a, b)
             start = max(now, link_free.get(link, 1))
+            if start > now:
+                report.link_queueing[link] = (
+                    report.link_queueing.get(link, 0) + start - now
+                )
             finish = start + msg.volume - 1
+            report.link_busy[link] = (
+                report.link_busy.get(link, 0) + msg.volume
+            )
             link_free[link] = finish + 1
             now = finish + 1
         actual_arrival = now - 1

@@ -23,6 +23,8 @@ DOCUMENTED_WARNINGS = {
     "RA103",  # dead node: ddmin removed its incident edges
     "RA104",  # disconnected graph: same cause
     "RA203",  # comm blow-up: tiny shrunk work vs. untouched volumes
+    "RA206",  # bridge links: linear arrays/trees are all bridges
+    "RA207",  # route hotspot: tiny machines concentrate all routes
 }
 
 

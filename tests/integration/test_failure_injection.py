@@ -23,8 +23,15 @@ from repro.sim import SimulationError, simulate
 from repro.workloads import figure1_csdfg, figure7_csdfg
 
 # every registered topology kind at a PE count its factory accepts
-# (tree wants 2**k - 1, torus wants a >=3 x >=3 factorisation)
-_PE_COUNTS = {"tree": 7, "torus": 9}
+# (tree wants 2**k - 1, torus wants a >=3 x >=3 factorisation, the
+# permutation-group Cayley kinds want a factorial)
+_PE_COUNTS = {
+    "tree": 7,
+    "torus": 9,
+    "cayley-star": 6,
+    "cayley-bubble": 6,
+    "pancake": 6,
+}
 ALL_KINDS = sorted(
     (kind, _PE_COUNTS.get(kind, 8)) for kind in ARCHITECTURE_KINDS
 )

@@ -47,6 +47,31 @@ def test_tree_topology():
     _assert_equivalent(graph, arch, cfg)
 
 
+@pytest.mark.parametrize(
+    "kind,pes",
+    [
+        ("circulant", 8),
+        ("cayley-star", 6),
+        ("cayley-bubble", 6),
+        ("pancake", 6),
+    ],
+)
+def test_cayley_family_topologies(kind, pes):
+    # the Cayley generator's members go through the same strict
+    # fast-vs-reference equivalence as the paper topologies
+    graph = make_workload("figure7")
+    arch = make_architecture(kind, pes)
+    cfg = CycloConfig(max_iterations=8, validate_each_step=False)
+    _assert_equivalent(graph, arch, cfg)
+
+
+def test_cayley_workload_sweep_on_circulant():
+    arch = make_architecture("circulant", 8)
+    cfg = CycloConfig(max_iterations=6, validate_each_step=False)
+    for workload in ("figure1", "biquad4", "fft8"):
+        _assert_equivalent(make_workload(workload), arch, cfg)
+
+
 def test_with_per_step_validation():
     graph = make_workload("figure7")
     arch = make_architecture("mesh", 8)

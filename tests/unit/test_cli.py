@@ -177,13 +177,15 @@ class TestScale:
             ]
         ) == 0
         out = capsys.readouterr().out
-        assert "scale tier (quick): 1 cell(s)" in out
+        # quick mode = the first cell plus every contended cell
+        assert "scale tier (quick): 2 cell(s)" in out
         assert "nodes/s" in out
-        assert "1 scale record(s)" in out
+        assert "2 scale record(s)" in out
         assert (hist / "scale.ndjson").exists()
         payload = json.loads(out_file.read_text())
         assert payload["quick"] is True
         assert payload["results"][0]["size"] == 1000
+        assert any(r.get("contention") for r in payload["results"])
 
 
 class TestSimulate:

@@ -16,7 +16,8 @@ from repro.errors import DeadProcessorError
 from repro.qa import sample_graph
 
 # one valid PE count per registered kind (tori need >= 3 per dimension,
-# hypercubes powers of two, balanced trees 2**k - 1)
+# hypercubes powers of two, balanced trees 2**k - 1, permutation-group
+# Cayley kinds factorials)
 KIND_SIZES = {
     "linear": 4,
     "ring": 5,
@@ -26,6 +27,10 @@ KIND_SIZES = {
     "hypercube": 8,
     "star": 5,
     "tree": 7,
+    "circulant": 8,
+    "cayley-star": 6,
+    "cayley-bubble": 6,
+    "pancake": 6,
 }
 
 VOLUMES = (1, 2, 3, 5)

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.arch import CompletelyConnected, LinearArray, Mesh2D, Ring
+from repro.arch import (
+    Circulant,
+    CompletelyConnected,
+    LinearArray,
+    Mesh2D,
+    Ring,
+    SerializedContention,
+)
 from repro.core import CycloConfig, cyclo_compact, start_up_schedule
 from repro.errors import DisconnectedTopologyError, InfeasibleScheduleError
 from repro.graph import CSDFG
@@ -141,3 +148,64 @@ class TestRepairAfterLinkCut:
                 collect_violations(rep.graph, rep.degraded, rep.schedule)
                 == []
             )
+
+
+class TestRepairUnderContention:
+    """Regression for the contended-repricing fix: rerouted hops are
+    priced under the contention model the caller repairs with, and the
+    repaired schedule validates against that same pricing."""
+
+    def compacted_on_circulant(self):
+        graph = figure7_csdfg()
+        arch = Circulant(8, steps=(1, 2))
+        result = cyclo_compact(
+            graph, arch, config=CycloConfig(max_iterations=20)
+        )
+        return result.graph, arch, result.schedule
+
+    def test_link_kill_on_cayley_repairs_contended_legal(self):
+        graph, arch, schedule = self.compacted_on_circulant()
+        model = SerializedContention(weight=2)
+        strategies = set()
+        for link in arch.links:
+            rep = repair_schedule(
+                graph, arch, schedule, [LinkFault(*link)],
+                contention=model,
+            )
+            strategies.add(rep.strategy)
+            # legal under the contended cache the repair validated with
+            assert (
+                collect_violations(
+                    rep.graph, rep.degraded, rep.schedule, comm=rep.comm
+                )
+                == []
+            )
+            # ...and under plain re-derived contended pricing too: the
+            # returned occupancy matches the final placements
+            if rep.comm is not None:
+                assert rep.comm.contended
+                assert rep.comm.occupancy.arch is rep.degraded
+        # at least one cut actually forced a repair (not all noop)
+        assert strategies - {"noop"}
+
+    def test_pe_kill_on_cayley_repairs_contended_legal(self):
+        graph, arch, schedule = self.compacted_on_circulant()
+        used = {schedule.placement(v).pe for v in graph.nodes()}
+        rep = repair_schedule(
+            graph, arch, schedule, [PEFault(sorted(used)[0])],
+            contention=SerializedContention(weight=3),
+        )
+        assert rep.strategy in ("local", "reoptimized")
+        assert rep.comm is not None
+        assert (
+            collect_violations(
+                rep.graph, rep.degraded, rep.schedule, comm=rep.comm
+            )
+            == []
+        )
+
+    def test_contention_free_repair_returns_no_cache(self):
+        graph, arch, schedule = self.compacted_on_circulant()
+        used = {schedule.placement(v).pe for v in graph.nodes()}
+        rep = repair_schedule(graph, arch, schedule, [PEFault(sorted(used)[0])])
+        assert rep.comm is None
