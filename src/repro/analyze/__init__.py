@@ -1,4 +1,4 @@
-"""repro.analyze — the two-headed static-analysis subsystem.
+"""repro.analyze — the static-analysis subsystem.
 
 **Head 1, the input analyzer** (:func:`analyze_inputs`), statically
 checks the things users hand the scheduler — CSDFG graphs,
@@ -14,7 +14,18 @@ repository's own invariants over the source tree with :mod:`ast`
 (RL1xx): seeded randomness, no wall clock in core, one communication
 pricing authority, typed exceptions.
 
-Both heads produce the same currency — :class:`Diagnostic` values with
+**Head 3, the interprocedural flow analyzer** (:func:`analyze_flow`),
+builds a module-level call graph with per-function taint summaries and
+proves whole-program determinism and contract properties the per-file
+lint cannot see (RD1xx/RC2xx): unseeded randomness reaching parallel
+payloads, set order crossing worker-merge boundaries, clock/env reads
+flowing into schedules, and the freeze-then-certify contention pricing
+protocol.  Its runtime backstop is the **dynamic determinism
+sanitizer** (:func:`sanitize_command`, ``repro sanitize``), which runs
+a target command twice under perturbed ``PYTHONHASHSEED``/``--jobs``
+and diffs the canonicalized outputs.
+
+All heads produce the same currency — :class:`Diagnostic` values with
 stable codes, aggregated into an :class:`AnalysisReport` and emitted as
 text, JSON or SARIF 2.1.0 (:func:`render_report`).  The rule catalogue
 lives in :data:`RULES` and is documented in ``docs/analysis.md``.
@@ -33,6 +44,19 @@ from repro.analyze.diagnostics import (
     Severity,
 )
 from repro.analyze.emit import FORMATS, render_report, to_json, to_sarif
+from repro.analyze.flow import FlowProgram, FunctionSummary, analyze_flow
+from repro.analyze.sanitize import (
+    RunOutcome,
+    SanitizeReport,
+    canonicalize_output,
+    sanitize_command,
+    schedule_fingerprint,
+)
+from repro.analyze.suppress import (
+    Suppressions,
+    apply_suppressions,
+    parse_suppressions,
+)
 from repro.analyze.engine import (
     analyze_inputs,
     build_architecture,
@@ -69,6 +93,17 @@ __all__ = [
     "lint_source",
     "lint_paths",
     "infer_module",
+    "analyze_flow",
+    "FlowProgram",
+    "FunctionSummary",
+    "sanitize_command",
+    "canonicalize_output",
+    "schedule_fingerprint",
+    "SanitizeReport",
+    "RunOutcome",
+    "Suppressions",
+    "parse_suppressions",
+    "apply_suppressions",
     "FORMATS",
     "render_report",
     "to_json",

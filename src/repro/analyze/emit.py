@@ -7,11 +7,17 @@ CI ``static-analysis`` job uploads these so findings annotate PRs).
 
 Severity maps onto SARIF levels directly: ``error`` -> ``error``,
 ``warning`` -> ``warning``, ``info`` -> ``note``.
+
+SARIF regions are 1-indexed on both axes, and ``artifactLocation.uri``
+must be a valid URI reference — so lines/columns are clamped to >= 1
+(a diagnostic minted with line 0 would otherwise produce a file the
+spec forbids) and non-ASCII path characters are percent-encoded.
 """
 
 from __future__ import annotations
 
 import json
+from urllib.parse import quote
 
 from repro.analyze.diagnostics import SEVERITIES, AnalysisReport, Diagnostic
 from repro.analyze.rules import RULES
@@ -87,6 +93,12 @@ def to_sarif(report: AnalysisReport) -> dict:
     }
 
 
+def _artifact_uri(path: str) -> str:
+    """A spec-valid ``artifactLocation.uri``: forward slashes, with
+    non-ASCII and reserved characters percent-encoded."""
+    return quote(path.replace("\\", "/"), safe="/:.-_~")
+
+
 def _sarif_result(diag: Diagnostic, rule_index: int) -> dict:
     message = diag.message
     if diag.hint:
@@ -100,12 +112,12 @@ def _sarif_result(diag: Diagnostic, rule_index: int) -> dict:
     if diag.file is not None:
         region: dict = {}
         if diag.line is not None:
-            region["startLine"] = diag.line
+            region["startLine"] = max(1, diag.line)  # SARIF is 1-indexed
         if diag.col is not None:
-            region["startColumn"] = diag.col + 1  # SARIF columns are 1-based
+            region["startColumn"] = max(1, diag.col + 1)
         location: dict = {
             "physicalLocation": {
-                "artifactLocation": {"uri": diag.file},
+                "artifactLocation": {"uri": _artifact_uri(diag.file)},
             }
         }
         if region:

@@ -23,7 +23,11 @@ invariants (rules ``RL101``–``RL108`` in the catalogue):
 
 A finding on a line carrying ``# repro-lint: disable=CODE`` (several
 codes comma-separated, or ``disable=all``) is suppressed and counted in
-:attr:`~repro.analyze.diagnostics.AnalysisReport.suppressed`.
+:attr:`~repro.analyze.diagnostics.AnalysisReport.suppressed`; a
+``# repro-lint: disable-file=CODE`` comment suppresses for the whole
+file.  Suppressions that name unknown codes or silence nothing are
+themselves flagged (RL109) — see :mod:`repro.analyze.suppress`, which
+this head shares with the flow analyzer.
 
 The linter needs only the source text: files are never imported, so it
 is safe to run over trees that do not import (and over the mutation
@@ -33,11 +37,11 @@ fixtures the test suite plants in temporary directories).
 from __future__ import annotations
 
 import ast
-import re
 from pathlib import Path
 
 from repro.analyze.diagnostics import AnalysisReport, Diagnostic
 from repro.analyze.rules import make
+from repro.analyze.suppress import apply_suppressions
 from repro.errors import AnalysisError
 
 __all__ = ["infer_module", "lint_source", "lint_paths"]
@@ -86,11 +90,6 @@ _BUILTIN_RAISES = frozenset({
     "TypeError", "KeyError", "IndexError", "ArithmeticError",
     "ZeroDivisionError", "AttributeError", "OSError", "IOError",
 })
-
-_SUPPRESS_RE = re.compile(
-    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*|all)"
-)
-
 
 def infer_module(path: str | Path) -> str:
     """Dotted module name of a source file, anchored at ``repro``.
@@ -283,20 +282,6 @@ class _Visitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def _suppressions(source: str) -> dict[int, set[str]]:
-    """Per-line suppressed codes from ``# repro-lint: disable=...``."""
-    out: dict[int, set[str]] = {}
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(text)
-        if match:
-            raw = match.group(1)
-            out[lineno] = (
-                {"all"} if raw == "all"
-                else {code.strip() for code in raw.split(",")}
-            )
-    return out
-
-
 def lint_source(
     source: str,
     *,
@@ -317,17 +302,9 @@ def lint_source(
         raise AnalysisError(f"cannot parse {path}: {exc}") from exc
     visitor = _Visitor(module, path)
     visitor.visit(tree)
-    disabled = _suppressions(source)
-    kept: list[Diagnostic] = []
-    suppressed = 0
-    for diag in visitor.found:
-        codes = disabled.get(diag.line or -1, ())
-        if "all" in codes or diag.code in codes:
-            suppressed += 1
-        else:
-            kept.append(diag)
-    kept.sort(key=lambda d: (d.line or 0, d.col or 0, d.code))
-    return kept, suppressed
+    return apply_suppressions(
+        visitor.found, source, path=path, owned_prefixes=("RL",)
+    )
 
 
 def lint_paths(paths: list[str | Path]) -> AnalysisReport:

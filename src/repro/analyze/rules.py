@@ -9,7 +9,14 @@ Codes are grouped by what they analyze:
 * ``RA4xx`` — serialized-schedule certification (the DESIGN §1
   two-clause criterion re-derived from ``arch.hops`` + the cost model),
 * ``RL1xx`` — codebase lint (repo invariants enforced over the source
-  tree with :mod:`ast`).
+  tree with :mod:`ast`),
+* ``RD1xx`` — interprocedural determinism flow (unseeded randomness,
+  iteration order or the wall clock reaching result-bearing paths,
+  checked over the module-level call graph by
+  :mod:`repro.analyze.flow`),
+* ``RC2xx`` — interprocedural engine contracts (the freeze-then-certify
+  contention pricing protocol, cache construction discipline, kernel
+  backend encapsulation).
 
 Codes are *stable*: tests, CI annotations, suppression comments and
 ``docs/analysis.md`` all refer to them, so a code is never renumbered
@@ -290,6 +297,104 @@ RULES: dict[str, Rule] = _catalogue([
         "caller, which gathers once and passes flat sequences.",
         "hoist the gather to the caller and pass flat sequences, or "
         "suppress a deliberate scalar path with a disable comment",
+    ),
+    Rule(
+        "RL109", "warning", "useless-suppression",
+        "A `# repro-lint: disable=` comment names a code that is not in "
+        "the rule catalogue, or suppresses nothing on its line (or, for "
+        "a file-level disable-file=, nothing in its file): stale "
+        "suppressions hide the moment a rule would start firing again.",
+        "delete the suppression, or fix the code it names",
+    ),
+    # ------------------------------------------------------------- RD1xx
+    Rule(
+        "RD101", "error", "unseeded-rng-reaches-parallel-work",
+        "A function dispatched as parallel work (a run_parallel payload, "
+        "an executor-submitted worker) or passed as a scheduling "
+        "priority transitively draws from unseeded randomness — global "
+        "random state, an unseeded Random(), or the per-process-salted "
+        "builtin hash().  Restart shards and worker results would then "
+        "differ run to run, breaking the engine's "
+        "same-seed-same-schedule guarantee.",
+        "thread a seeded random.Random (or a crc32-style keyed hash, "
+        "as repro.perf.restarts.JitteredPriority does) through the path",
+    ),
+    Rule(
+        "RD102", "error", "set-order-crosses-merge-boundary",
+        "A worker-merge boundary function (one that merges worker "
+        "metric snapshots, publishes per-run stats, or runs as a "
+        "parallel payload) iterates a set or a set-returning helper "
+        "without sorting: set iteration order varies with "
+        "PYTHONHASHSEED, so merged tallies, published stats or worker "
+        "results pick up hash-order dependence.",
+        "wrap the iteration in sorted(...), or iterate a list/dict "
+        "built in deterministic order",
+    ),
+    Rule(
+        "RD103", "error", "clock-or-env-flows-into-schedule",
+        "A wall-clock or os.environ read flows into a scheduling entry "
+        "point — either a clock/env-derived value is passed as an "
+        "argument to the optimiser, or a function transitively callable "
+        "from a core entry point reads the clock/environment.  Schedule "
+        "lengths and placements would then depend on machine speed or "
+        "ambient environment, not just (graph, arch, config, seed).",
+        "keep clock reads in repro.obs/repro.perf drivers; pass "
+        "budgets and knobs as explicit config values",
+    ),
+    Rule(
+        "RD104", "error", "completion-order-accumulation",
+        "Results are consumed in worker *completion* order "
+        "(as_completed, imap_unordered): float accumulation and "
+        "first-wins merges then depend on thread timing.  The engine's "
+        "parallel driver must collect in submission (item) order, as "
+        "repro.perf.parallel.run_parallel does.",
+        "iterate futures in submission order (deque + popleft) and "
+        "reduce in item order",
+    ),
+    # ------------------------------------------------------------- RC2xx
+    Rule(
+        "RC201", "error", "contended-pricing-without-frozen-snapshot",
+        "A CommCostCache is constructed with a contention model but "
+        "without a frozen LinkOccupancy snapshot (missing, or a bare "
+        "empty ledger) outside repro.arch.  The freeze-then-certify "
+        "protocol requires pricing against occupancy frozen from a "
+        "concrete assignment, so that cost(src, dst, volume) stays a "
+        "pure function during the certification that follows.",
+        "freeze first: occ = LinkOccupancy.from_assignment(graph, arch, "
+        "assignment), then CommCostCache.for_graph(..., contention=m, "
+        "occupancy=occ)",
+    ),
+    Rule(
+        "RC202", "error", "stale-occupancy-freeze-across-remap",
+        "A contended cache is used for a remap/compaction call without "
+        "re-freezing after an earlier remap (or a loop re-uses a "
+        "snapshot frozen outside it): the second remap prices against "
+        "occupancy the first one already invalidated, so the certified "
+        "costs drift from the placements actually produced.",
+        "rebuild the frozen cache from the current assignment "
+        "immediately before each contended remap round",
+    ),
+    Rule(
+        "RC203", "error", "cache-construction-in-hot-loop",
+        "A CommCostCache or LinkOccupancy ledger is constructed inside "
+        "a for/while loop: construction walks every edge/link, so "
+        "per-iteration rebuilds turn O(passes) algorithms into "
+        "O(passes * edges).  Deliberate per-round repricing (the "
+        "contention fixpoint) is the documented exception.",
+        "hoist the construction out of the loop, or suppress a "
+        "deliberate per-round reprice with a disable comment",
+    ),
+    Rule(
+        "RC204", "error", "kernel-backend-branch-outside-kernels",
+        "Code outside repro.core.kernels (and the repro.qa oracles, "
+        "which deliberately compare both backends) branches on the "
+        "kernel backend: reads BACKEND/np_kernels/py_kernels, consults "
+        "the REPRO_KERNELS env pin, or try/except-guards a numpy "
+        "import.  Backend selection is pinned once at import time in "
+        "one module so numpy-less hosts and CI pins behave identically "
+        "everywhere.",
+        "call the dispatching wrappers in repro.core.kernels instead "
+        "of branching on the backend locally",
     ),
 ])
 

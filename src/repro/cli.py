@@ -43,12 +43,21 @@ Commands
     liveness/annotations, topology diagnostics, target-length
     feasibility proofs, schedule certificates — text/JSON/SARIF,
     non-zero exit on errors.  ``--paper-suite`` analyzes every
-    registered workload on every paper topology.
+    registered workload on every paper topology; ``--flow`` runs the
+    interprocedural determinism & contract analyzer (rules
+    RD1xx/RC2xx) over the source tree; ``--list-rules`` prints the
+    catalogue.
 ``lint``
     Static analysis of this repository's own source tree: seeded
     randomness, no wall clock in core, one communication pricing
     authority, typed exceptions, obs-routed output (rules RL1xx in
     ``docs/analysis.md``).
+``sanitize``
+    Dynamic determinism sanitizer (``docs/analysis.md``): run one
+    repro subcommand twice under perturbed ``PYTHONHASHSEED`` and
+    ``--jobs``, canonicalize both outputs (scrubbing durations, rates
+    and paths) and diff them — any surviving byte difference is a
+    determinism bug; non-zero exit on a diff.
 ``obs report|top|diff|regressions|matrix``
     The observatory (``docs/observability.md``): aggregate traces and
     run history into hotspot tables and latency percentiles, rank
@@ -429,6 +438,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--paper-suite", action="store_true",
         help="analyze every registered workload on every paper topology",
     )
+    p_an.add_argument(
+        "--flow", nargs="*", default=None, metavar="PATH",
+        help="run the interprocedural determinism & contract analyzer "
+             "(rules RD1xx/RC2xx) over source files/directories "
+             "(default: the installed repro package)",
+    )
+    p_an.add_argument(
+        "--list-rules", action="store_true",
+        help="print the full rule catalogue (codes, severities, titles) "
+             "and exit",
+    )
     _add_emit_args(p_an)
 
     p_lint = sub.add_parser(
@@ -440,6 +460,43 @@ def build_parser() -> argparse.ArgumentParser:
              "package)",
     )
     _add_emit_args(p_lint)
+
+    p_san = sub.add_parser(
+        "sanitize",
+        help="dynamic determinism sanitizer: run a repro command twice "
+             "under perturbed PYTHONHASHSEED/--jobs and diff the "
+             "canonicalized outputs",
+    )
+    p_san.add_argument(
+        "--jobs-a", type=int, default=1, metavar="N",
+        help="--jobs value substituted into run A (default: 1)",
+    )
+    p_san.add_argument(
+        "--jobs-b", type=int, default=2, metavar="N",
+        help="--jobs value substituted into run B (default: 2)",
+    )
+    p_san.add_argument(
+        "--hashseed-a", type=int, default=101, metavar="SEED",
+        help="PYTHONHASHSEED for run A (default: 101)",
+    )
+    p_san.add_argument(
+        "--hashseed-b", type=int, default=202, metavar="SEED",
+        help="PYTHONHASHSEED for run B (default: 202)",
+    )
+    p_san.add_argument(
+        "--timeout", type=float, default=120.0, metavar="SECONDS",
+        help="per-run timeout (default: 120)",
+    )
+    p_san.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the JSON verdict (runs, diff) here as well",
+    )
+    p_san.add_argument(
+        "target", nargs=argparse.REMAINDER, metavar="-- CMD ...",
+        help="the repro subcommand to double-run, after a `--` "
+             "separator, e.g. `repro sanitize -- schedule figure1 "
+             "--arch mesh --pes 4`",
+    )
 
     p_obs = sub.add_parser(
         "obs", help="aggregate traces and run history (the observatory)"
@@ -736,6 +793,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_analyze(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "sanitize":
+        return _cmd_sanitize(args)
     if args.command == "obs":
         return _cmd_obs(args)
     if args.command == "scale":
@@ -1293,6 +1352,58 @@ def _parse_link_spec(spec: str) -> tuple[int, int]:
     return a - 1, b - 1
 
 
+def _cmd_list_rules() -> int:
+    from repro.analyze import RULES
+
+    band = None
+    for code in sorted(RULES):
+        entry = RULES[code]
+        if code[:2] != band:
+            band = code[:2]
+            print({
+                "RA": "input analyzer (repro analyze)",
+                "RL": "codebase lint (repro lint)",
+                "RD": "determinism flow (repro analyze --flow)",
+                "RC": "engine contracts (repro analyze --flow)",
+            }.get(band, band) + ":")
+        print(f"  {entry.code}  {entry.severity:7s}  {entry.title}")
+    print(f"{len(RULES)} rule(s); details in docs/analysis.md")
+    return 0
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.analyze import analyze_flow
+
+    paths = args.flow or [Path(repro.__file__).parent]
+    return _emit_report(analyze_flow(paths), args)
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analyze import sanitize_command
+
+    target = list(args.target)
+    if target and target[0] == "--":
+        target = target[1:]
+    report = sanitize_command(
+        target,
+        jobs_a=args.jobs_a, jobs_b=args.jobs_b,
+        hashseed_a=args.hashseed_a, hashseed_b=args.hashseed_b,
+        timeout=args.timeout,
+    )
+    print(report.describe())
+    for line in report.diff:
+        print(f"  {line}")
+    if args.out:
+        Path(args.out).write_text(report.to_json() + "\n")
+        print(f"sanitize verdict written to {args.out}")
+    return report.exit_code()
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analyze import (
         AnalysisReport,
@@ -1303,6 +1414,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         load_schedule_input,
     )
 
+    if args.list_rules:
+        return _cmd_list_rules()
+    if args.flow is not None:
+        return _cmd_flow(args)
     if args.paper_suite:
         return _cmd_analyze_suite(args)
     if args.graph is None:

@@ -58,6 +58,14 @@ workloads:
     cache it carries, the DESIGN criterion holds with ``M`` re-derived
     independently from hops x cost model x frozen occupancy, and the
     contended bill never exceeds the contention-blind baseline's.
+``sanitizer-agrees``
+    The in-process face of the dynamic determinism sanitizer
+    (``repro sanitize``, :mod:`repro.analyze.sanitize`): running the
+    pipeline twice on the same inputs yields byte-identical canonical
+    schedule fingerprints, and (on small instances) the sharded
+    restart driver agrees with itself across repeated runs — the
+    cross-process ``PYTHONHASHSEED``/``--jobs`` perturbation of the
+    same contract lives in the CI sanitize smoke.
 """
 
 from __future__ import annotations
@@ -705,6 +713,51 @@ def prop_contention_legal(
     return problems
 
 
+def prop_sanitizer_agrees(
+    graph: CSDFG,
+    arch: Architecture,
+    cfg: CycloConfig,
+    rng: random.Random,
+) -> list[str]:
+    """Double-run determinism, in process: same inputs, byte-identical
+    canonical fingerprints (the ``repro sanitize`` contract)."""
+    from repro.analyze.sanitize import schedule_fingerprint
+
+    problems: list[str] = []
+    first = cyclo_compact(graph, arch, config=cfg)
+    second = cyclo_compact(graph, arch, config=cfg)
+    fp_a = schedule_fingerprint(first.schedule)
+    fp_b = schedule_fingerprint(second.schedule)
+    if fp_a != fp_b:
+        problems.append(
+            f"cyclo_compact is not deterministic: {fp_a!r} != {fp_b!r}"
+        )
+    # the sharded restart driver must agree with itself too; gate to
+    # small instances so a fuzz trial stays cheap
+    if graph.num_nodes <= 8:
+        from repro.perf.restarts import best_of_restarts
+
+        seed = rng.randrange(2**31)
+        runs = [
+            best_of_restarts(
+                graph, arch, config=cfg, restarts=2, seed=seed, jobs=1
+            )
+            for _ in range(2)
+        ]
+        fps = [schedule_fingerprint(r.schedule) for r in runs]
+        if fps[0] != fps[1]:
+            problems.append(
+                f"best_of_restarts(seed={seed}) is not deterministic: "
+                f"{fps[0]!r} != {fps[1]!r}"
+            )
+        if runs[0].winner.index != runs[1].winner.index:
+            problems.append(
+                f"best_of_restarts(seed={seed}) winner drifted: "
+                f"{runs[0].winner.index} != {runs[1].winner.index}"
+            )
+    return problems
+
+
 #: Registry of every property, in the order the fuzzer runs them.
 PROPERTIES: dict[str, PropertyFn] = {
     "schedules-legal": prop_schedules_legal,
@@ -717,6 +770,7 @@ PROPERTIES: dict[str, PropertyFn] = {
     "analyzer-agrees": prop_analyzer_agrees,
     "kernels-agree": prop_kernels_agree,
     "contention-legal": prop_contention_legal,
+    "sanitizer-agrees": prop_sanitizer_agrees,
 }
 
 

@@ -146,3 +146,92 @@ class TestAnalyzeCommand:
         assert main(["analyze", "--paper-suite", "--pes", "8"]) == 0
         out = capsys.readouterr().out
         assert "pair(s)" in out and "0 error(s)" in out
+
+
+class TestListRules:
+    def test_prints_every_band(self, capsys):
+        assert main(["analyze", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for head in ("input analyzer", "codebase lint",
+                     "determinism flow", "engine contracts"):
+            assert head in out
+        for code in ("RA101", "RL101", "RL109",
+                     "RD101", "RD104", "RC201", "RC204"):
+            assert code in out
+
+    def test_shows_severity_and_title(self, capsys):
+        main(["analyze", "--list-rules"])
+        out = capsys.readouterr().out
+        assert "RD101  error" in out
+        assert "unseeded-rng-reaches-parallel-work" in out
+        assert "RL109  warning" in out
+
+
+class TestFlowCommand:
+    def test_shipped_tree_is_clean(self, capsys):
+        assert main(["analyze", "--flow"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_explicit_paths(self, tmp_path, capsys):
+        victim = tmp_path / "repro" / "perf" / "driver.py"
+        victim.parent.mkdir(parents=True)
+        victim.write_text(
+            "import random\n"
+            "from repro.perf.parallel import run_parallel\n"
+            "def payload(item):\n"
+            "    return random.random()\n"
+            "def drive(items):\n"
+            "    return run_parallel(payload, items)\n"
+        )
+        assert main(["analyze", "--flow", str(victim)]) == 1
+        out = capsys.readouterr().out
+        assert "RD101" in out
+
+    def test_flow_sarif_output(self, tmp_path, capsys):
+        out_path = tmp_path / "flow.sarif"
+        assert main([
+            "analyze", "--flow", "--format", "sarif",
+            "--out", str(out_path),
+        ]) == 0
+        capsys.readouterr()
+        sarif = json.loads(out_path.read_text())
+        assert sarif["version"] == "2.1.0"
+
+
+class TestSanitizeCommand:
+    def test_clean_target_exits_zero(self, capsys, monkeypatch):
+        import repro
+        from pathlib import Path
+
+        monkeypatch.setenv(
+            "PYTHONPATH", str(Path(repro.__file__).parent.parent)
+        )
+        assert main([
+            "sanitize", "--timeout", "60", "--",
+            "schedule", "figure1", "--arch", "mesh", "--pes", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "byte-identical" in out
+
+    def test_json_artifact(self, tmp_path, capsys, monkeypatch):
+        import repro
+        from pathlib import Path
+
+        monkeypatch.setenv(
+            "PYTHONPATH", str(Path(repro.__file__).parent.parent)
+        )
+        out_path = tmp_path / "sanitize.json"
+        assert main([
+            "sanitize", "--timeout", "60", "--out", str(out_path), "--",
+            "schedule", "figure1", "--arch", "mesh", "--pes", "4",
+        ]) == 0
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text())
+        assert payload["format"] == "repro-sanitize"
+        assert payload["ok"] is True
+
+    def test_missing_target_fails(self, capsys):
+        assert main(["sanitize"]) == 1
+        err = capsys.readouterr().err
+        assert "needs a target" in err

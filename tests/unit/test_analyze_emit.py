@@ -137,3 +137,75 @@ class TestSarif:
         text = render_report(r, "sarif")
         parsed = json.loads(text)
         assert len(parsed["runs"][0]["results"]) == len(RULES)
+
+
+class TestSarifConformance:
+    """SARIF 2.1.0 details consumers actually reject: regions are
+    1-indexed, URIs are percent-encoded, and the whole document
+    round-trips through its own serialization."""
+
+    def test_zero_line_is_clamped_to_one(self):
+        r = AnalysisReport()
+        r.add(make("RL102", "module-level clock read",
+                   file="src/repro/x.py", line=0, col=0))
+        [run] = to_sarif(r)["runs"]
+        region = (run["results"][0]["locations"][0]
+                  ["physicalLocation"]["region"])
+        assert region == {"startLine": 1, "startColumn": 1}
+
+    def test_negative_column_is_clamped(self):
+        r = AnalysisReport()
+        r.add(make("RL102", "x", file="a.py", line=3, col=-1))
+        [run] = to_sarif(r)["runs"]
+        region = (run["results"][0]["locations"][0]
+                  ["physicalLocation"]["region"])
+        assert region["startLine"] == 3 and region["startColumn"] == 1
+
+    def test_column_is_one_indexed(self):
+        # ast reports 0-indexed col_offset; SARIF wants 1-indexed
+        r = AnalysisReport()
+        r.add(make("RL102", "x", file="a.py", line=3, col=4))
+        [run] = to_sarif(r)["runs"]
+        region = (run["results"][0]["locations"][0]
+                  ["physicalLocation"]["region"])
+        assert region["startColumn"] == 5
+
+    def test_non_ascii_uri_is_percent_encoded(self):
+        r = AnalysisReport()
+        r.add(make("RL102", "x", file="src/répro/naïve file.py", line=1))
+        [run] = to_sarif(r)["runs"]
+        uri = (run["results"][0]["locations"][0]
+               ["physicalLocation"]["artifactLocation"]["uri"])
+        assert uri == "src/r%C3%A9pro/na%C3%AFve%20file.py"
+        assert uri.isascii() and " " not in uri
+
+    def test_windows_separators_are_normalized(self):
+        r = AnalysisReport()
+        r.add(make("RL102", "x", file="src\\repro\\x.py", line=1))
+        [run] = to_sarif(r)["runs"]
+        uri = (run["results"][0]["locations"][0]
+               ["physicalLocation"]["artifactLocation"]["uri"])
+        assert uri == "src/repro/x.py"
+
+    def test_round_trip(self, report):
+        # serialize, re-parse, and re-check the invariants a SARIF
+        # viewer relies on — all from the parsed copy, not the dict
+        # we built
+        parsed = json.loads(render_report(report, "sarif"))
+        assert parsed["version"] == "2.1.0"
+        [run] = parsed["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        ids = [r["id"] for r in rules]
+        assert len(ids) == len(set(ids))
+        for result in run["results"]:
+            assert ids[result["ruleIndex"]] == result["ruleId"]
+            assert result["message"]["text"]
+            assert result["level"] in ("error", "warning", "note")
+            for loc in result.get("locations", []):
+                physical = loc.get("physicalLocation")
+                if physical is None:
+                    continue
+                region = physical["region"]
+                assert region["startLine"] >= 1
+                assert region["startColumn"] >= 1
+                assert physical["artifactLocation"]["uri"].isascii()

@@ -35,7 +35,9 @@ class TestCatalogue:
     def test_bands_are_consistent(self):
         for code, entry in RULES.items():
             assert entry.code == code
-            assert code[:3] in ("RA1", "RA2", "RA3", "RA4", "RL1")
+            assert code[:3] in (
+                "RA1", "RA2", "RA3", "RA4", "RL1", "RD1", "RC2",
+            )
             assert entry.title and entry.description
 
     def test_codes_are_stable(self):
@@ -49,7 +51,9 @@ class TestCatalogue:
             "RA301", "RA302", "RA303", "RA304", "RA305",
             "RA401", "RA402", "RA403", "RA404", "RA405",
             "RL101", "RL102", "RL103", "RL104", "RL105", "RL106",
-            "RL107", "RL108",
+            "RL107", "RL108", "RL109",
+            "RD101", "RD102", "RD103", "RD104",
+            "RC201", "RC202", "RC203", "RC204",
         }
 
     def test_make_uses_catalogue_defaults(self):

@@ -184,3 +184,37 @@ class TestEtfBaselineStillSane:
             graph = sample_graph(seed)
             schedule = etf_schedule(graph, arch)
             assert schedule.length >= 1
+
+
+class TestSanitizerAgrees:
+    def test_registered(self):
+        assert "sanitizer-agrees" in PROPERTIES
+
+    def test_holds_on_figure1(self, figure1, mesh2x2):
+        assert check_property(
+            "sanitizer-agrees", figure1, mesh2x2, CFG, rng=3
+        ) == []
+
+    def test_fires_on_run_dependent_pipeline(self, figure1, mesh2x2,
+                                             monkeypatch):
+        # simulate nondeterminism the way the sanitizer would see it:
+        # the second run of the pipeline behaves differently (here, a
+        # crippled iteration budget stands in for hash-seed dependence)
+        import repro.qa.properties as props
+
+        real = props.cyclo_compact
+        calls = {"n": 0}
+
+        def flaky(graph, arch, config=None, **kw):
+            calls["n"] += 1
+            if calls["n"] % 2 == 0:
+                config = CycloConfig(max_iterations=0,
+                                     validate_each_step=False)
+            return real(graph, arch, config=config, **kw)
+
+        monkeypatch.setattr(props, "cyclo_compact", flaky)
+        found = check_property(
+            "sanitizer-agrees", figure1, mesh2x2, CFG, rng=3
+        )
+        assert found, "sanitizer-agrees missed a run-dependent pipeline"
+        assert "not deterministic" in found[0]
